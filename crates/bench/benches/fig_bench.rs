@@ -1,0 +1,107 @@
+//! Miniature regenerations of Figs. 1–5 as benchmarks.
+
+use bns_core::{BnsConfig, LambdaSchedule, PriorKind, SamplerConfig};
+use bns_data::DatasetPreset;
+use bns_experiments::common::cli::HarnessArgs;
+use bns_experiments::common::config::{ModelKind, RunConfig};
+use bns_experiments::common::runner::{prepare_dataset, train_and_eval, train_model};
+use bns_experiments::experiments::{fig2, fig3};
+use bns_eval::{QualityTracker, ScoreDistributionProbe};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_cfg() -> RunConfig {
+    RunConfig { scale: 0.06, epochs: 4, dim: 16, threads: 2, ..RunConfig::default() }
+}
+
+fn fig1_distribution_probe(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let prepared = prepare_dataset(DatasetPreset::Ml100k, &cfg);
+    let mut group = c.benchmark_group("fig1");
+    group.sample_size(10);
+    group.bench_function("train_with_score_probe", |b| {
+        b.iter(|| {
+            let mut probe =
+                ScoreDistributionProbe::new(&prepared.dataset, vec![0, cfg.epochs - 1]);
+            train_model(
+                &prepared,
+                DatasetPreset::Ml100k,
+                ModelKind::Mf,
+                &SamplerConfig::Rns,
+                &cfg,
+                &mut probe,
+            );
+            black_box(probe.snapshots().len())
+        })
+    });
+    group.finish();
+}
+
+fn fig2_theoretical_densities(c: &mut Criterion) {
+    c.bench_function("fig2_density_grids", |b| {
+        b.iter(|| black_box(fig2::run(&HarnessArgs::default())))
+    });
+}
+
+fn fig3_unbias_surface(c: &mut Criterion) {
+    c.bench_function("fig3_surface", |b| b.iter(|| black_box(fig3::surface())));
+}
+
+fn fig4_quality_tracked_run(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let prepared = prepare_dataset(DatasetPreset::Ml100k, &cfg);
+    let sampler = SamplerConfig::Bns {
+        config: BnsConfig::default(),
+        prior: PriorKind::Popularity,
+    };
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.bench_function("bns_with_quality_tracker", |b| {
+        b.iter(|| {
+            let mut tracker = QualityTracker::new(&prepared.dataset);
+            train_model(
+                &prepared,
+                DatasetPreset::Ml100k,
+                ModelKind::Mf,
+                &sampler,
+                &cfg,
+                &mut tracker,
+            );
+            black_box(tracker.mean_tnr())
+        })
+    });
+    group.finish();
+}
+
+fn fig5_sweep_cell(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let prepared = prepare_dataset(DatasetPreset::Ml100k, &cfg);
+    let sampler = SamplerConfig::Bns {
+        config: BnsConfig { lambda: LambdaSchedule::Constant(5.0), ..BnsConfig::default() },
+        prior: PriorKind::Popularity,
+    };
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("lambda5_cell", |b| {
+        b.iter(|| {
+            black_box(train_and_eval(
+                &prepared,
+                DatasetPreset::Ml100k,
+                ModelKind::Mf,
+                &sampler,
+                &cfg,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    fig1_distribution_probe,
+    fig2_theoretical_densities,
+    fig3_unbias_surface,
+    fig4_quality_tracked_run,
+    fig5_sweep_cell
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Model benchmarks: the score/update primitives whose costs dominate
+//! training, for both MF and LightGCN.
+
+use bns_bench::fixture;
+use bns_model::lightgcn::NormAdjacency;
+use bns_model::{LightGcn, PairwiseModel, Scorer};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn mf_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mf");
+    for &n_items in &[1_000u32, 4_000] {
+        let fx = fixture(200, n_items, 5);
+        let mut out = vec![0.0f32; n_items as usize];
+        group.bench_with_input(
+            BenchmarkId::new("score_all_d32", n_items),
+            &n_items,
+            |b, _| b.iter(|| fx.model.score_all(black_box(0), &mut out)),
+        );
+    }
+    let fx = fixture(200, 1_000, 5);
+    let mut model = fx.model.clone();
+    group.bench_function("bpr_triple_update_d32", |b| {
+        b.iter(|| black_box(model.accumulate_triple(0, 1, 2, 0.01, 0.01)))
+    });
+    group.finish();
+}
+
+fn lightgcn_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lightgcn");
+    group.sample_size(30);
+    let fx = fixture(300, 1_200, 9);
+    let adj = NormAdjacency::from_interactions(fx.dataset.train());
+    let n = adj.n_nodes();
+    let dim = 32usize;
+    let src = vec![0.1f32; n * dim];
+    let mut dst = vec![0.0f32; n * dim];
+    group.bench_function("propagate_full_graph_d32", |b| {
+        b.iter(|| adj.propagate(black_box(&src), &mut dst, dim))
+    });
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut gcn = LightGcn::new(fx.dataset.train(), dim, 1, 0.1, &mut rng).unwrap();
+    let pairs: Vec<(u32, u32)> = fx.dataset.train().iter_pairs().take(128).collect();
+    group.bench_function("batch128_accumulate_and_backward", |b| {
+        b.iter(|| {
+            gcn.begin_batch();
+            for &(u, i) in &pairs {
+                let neg = (i + 1) % gcn.n_items();
+                if !fx.dataset.train().contains(u, neg) {
+                    black_box(gcn.accumulate_triple(u, i, neg, 0.01, 1e-5));
+                }
+            }
+            gcn.end_batch(0.01, 1e-5);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, mf_primitives, lightgcn_primitives);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Statistics-substrate benchmarks: special functions, ECDF variants,
+//! alias-method sampling, order-statistic densities.
+
+use bns_stats::dist::Continuous;
+use bns_stats::special::{beta_inc, erf, gamma_p};
+use bns_stats::{AliasTable, Ecdf, GammaDist, Normal, StudentT, TrueNegativeDensity};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn special_functions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("special");
+    group.bench_function("erf", |b| {
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x += 1e-6;
+            black_box(erf(x % 3.0))
+        })
+    });
+    group.bench_function("gamma_p", |b| {
+        let mut x = 0.1f64;
+        b.iter(|| {
+            x += 1e-6;
+            black_box(gamma_p(2.5, x % 10.0 + 0.1).unwrap())
+        })
+    });
+    group.bench_function("beta_inc", |b| {
+        let mut x = 0.01f64;
+        b.iter(|| {
+            x += 1e-7;
+            black_box(beta_inc(2.0, 3.0, x % 0.98 + 0.01).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn ecdf_variants(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let data: Vec<f64> = (0..4_000).map(|_| rng.random_range(-1.0..1.0)).collect();
+    let data32: Vec<f32> = data.iter().map(|&x| x as f32).collect();
+    let mut group = c.benchmark_group("ecdf");
+    group.bench_function("build_sorted_4k", |b| {
+        b.iter(|| black_box(Ecdf::new(&data).unwrap()))
+    });
+    let built = Ecdf::new(&data).unwrap();
+    group.bench_function("eval_binary_search", |b| {
+        let mut x = -1.0f64;
+        b.iter(|| {
+            x += 1e-5;
+            black_box(built.eval(x % 1.0))
+        })
+    });
+    group.bench_function("scan_f32_4k", |b| {
+        let mut x = -1.0f32;
+        b.iter(|| {
+            x += 1e-5;
+            black_box(bns_stats::ecdf::ecdf_scan_f32(&data32, x % 1.0))
+        })
+    });
+    group.finish();
+}
+
+fn alias_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alias");
+    for &n in &[1_000usize, 100_000] {
+        let weights: Vec<f64> = (1..=n).map(|i| (i as f64).powf(0.75)).collect();
+        group.bench_with_input(BenchmarkId::new("build", n), &n, |b, _| {
+            b.iter(|| black_box(AliasTable::new(&weights).unwrap()))
+        });
+        let table = AliasTable::new(&weights).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        group.bench_with_input(BenchmarkId::new("draw", n), &n, |b, _| {
+            b.iter(|| black_box(table.sample(&mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn order_statistic_densities(c: &mut Criterion) {
+    let mut group = c.benchmark_group("order_density");
+    let normal = TrueNegativeDensity::new(Normal::standard());
+    let student = TrueNegativeDensity::new(StudentT::new(3.0).unwrap());
+    let gamma = TrueNegativeDensity::new(GammaDist::new(2.0, 1.0).unwrap());
+    group.bench_function("gaussian_g", |b| {
+        let mut x = -3.0f64;
+        b.iter(|| {
+            x += 1e-5;
+            black_box(bns_stats::order::OrderStatisticDensity::density(&normal, x % 3.0))
+        })
+    });
+    group.bench_function("student_g", |b| {
+        let mut x = -3.0f64;
+        b.iter(|| {
+            x += 1e-5;
+            black_box(bns_stats::order::OrderStatisticDensity::density(&student, x % 3.0))
+        })
+    });
+    group.bench_function("gamma_g", |b| {
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x += 1e-5;
+            black_box(bns_stats::order::OrderStatisticDensity::density(&gamma, x % 8.0))
+        })
+    });
+    // Sampling throughput feeding the synthetic generator.
+    let mut rng = StdRng::seed_from_u64(3);
+    let n = Normal::standard();
+    group.bench_function("normal_sample", |b| b.iter(|| black_box(n.sample(&mut rng))));
+    group.finish();
+}
+
+criterion_group!(benches, special_functions, ecdf_variants, alias_sampling, order_statistic_densities);
+criterion_main!(benches);

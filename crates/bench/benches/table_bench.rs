@@ -1,0 +1,104 @@
+//! Miniature regenerations of Tables I–IV as benchmarks: each target runs
+//! the same code path as the corresponding `bns-experiments` binary at a
+//! small fixed scale, so regressions in any table's pipeline are caught by
+//! `cargo bench`.
+
+use bns_core::{BnsConfig, PriorKind, SamplerConfig};
+use bns_data::{DatasetPreset, DatasetStats};
+use bns_experiments::common::config::{ModelKind, RunConfig};
+use bns_experiments::common::runner::{prepare_dataset, train_and_eval};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_cfg() -> RunConfig {
+    RunConfig { scale: 0.06, epochs: 4, dim: 16, threads: 2, ..RunConfig::default() }
+}
+
+fn table1_dataset_statistics(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    c.bench_function("table1_generate_and_stats", |b| {
+        b.iter(|| {
+            let prepared = prepare_dataset(DatasetPreset::Ml100k, &cfg);
+            black_box(DatasetStats::of(&prepared.dataset))
+        })
+    });
+}
+
+fn table2_one_cell(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let prepared = prepare_dataset(DatasetPreset::Ml100k, &cfg);
+    let mut group = c.benchmark_group("table2_cell");
+    group.sample_size(10);
+    for sampler in [
+        SamplerConfig::Rns,
+        SamplerConfig::Bns { config: BnsConfig::default(), prior: PriorKind::Popularity },
+    ] {
+        group.bench_function(sampler.display_name(), |b| {
+            b.iter(|| {
+                black_box(train_and_eval(
+                    &prepared,
+                    DatasetPreset::Ml100k,
+                    ModelKind::Mf,
+                    &sampler,
+                    &cfg,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn table3_variant_cell(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let prepared = prepare_dataset(DatasetPreset::Ml100k, &cfg);
+    let sampler = SamplerConfig::Bns {
+        config: BnsConfig::default(),
+        prior: PriorKind::Occupation,
+    };
+    let mut group = c.benchmark_group("table3_cell");
+    group.sample_size(10);
+    group.bench_function("BNS-4_occupation_prior", |b| {
+        b.iter(|| {
+            black_box(train_and_eval(
+                &prepared,
+                DatasetPreset::Ml100k,
+                ModelKind::Mf,
+                &sampler,
+                &cfg,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn table4_oracle_cell(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let prepared = prepare_dataset(DatasetPreset::Ml100k, &cfg);
+    let sampler = SamplerConfig::Bns {
+        config: BnsConfig { m: 10, ..BnsConfig::default() },
+        prior: PriorKind::Oracle { p_if_fn: 0.64, p_if_tn: 0.04 },
+    };
+    let mut group = c.benchmark_group("table4_cell");
+    group.sample_size(10);
+    group.bench_function("oracle_prior_m10", |b| {
+        b.iter(|| {
+            black_box(train_and_eval(
+                &prepared,
+                DatasetPreset::Ml100k,
+                ModelKind::Mf,
+                &sampler,
+                &cfg,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    table1_dataset_statistics,
+    table2_one_cell,
+    table3_variant_cell,
+    table4_oracle_cell
+);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Shared fixtures for the Criterion benches.
+//!
+//! The benchmark targets live in `benches/`:
+//!
+//! * `sampler_micro`  — per-draw sampler latency; the BNS linear-complexity
+//!   claim (§III-D) as draw-time vs catalog size; exact-vs-subsampled ECDF
+//!   ablation.
+//! * `stats_bench`    — special functions, ECDF, alias sampling.
+//! * `model_bench`    — MF/LightGCN scoring, updates, propagation.
+//! * `table_bench`    — miniature regenerations of Tables I–IV.
+//! * `fig_bench`      — miniature regenerations of Figs. 1–5.
+
+use bns_data::synthetic::{generate, SyntheticConfig};
+use bns_data::{split_random, Dataset, Occupations, SplitConfig};
+use bns_model::MatrixFactorization;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A ready-to-train fixture: dataset + occupations + model.
+pub struct BenchFixture {
+    /// The train/test dataset.
+    pub dataset: Dataset,
+    /// Occupation labels.
+    pub occupations: Occupations,
+    /// An MF model with random embeddings.
+    pub model: MatrixFactorization,
+}
+
+/// Builds a deterministic fixture with density ≈ 5%.
+pub fn fixture(n_users: u32, n_items: u32, seed: u64) -> BenchFixture {
+    let cfg = SyntheticConfig {
+        n_users,
+        n_items,
+        target_interactions: (n_users as usize * n_items as usize) / 20,
+        seed,
+        ..SyntheticConfig::default()
+    };
+    let synthetic = generate(&cfg).expect("valid bench config");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBE);
+    let (train_set, test_set) =
+        split_random(&synthetic.interactions, SplitConfig::default(), &mut rng)
+            .expect("bench split");
+    let dataset = Dataset::new("bench", train_set, test_set).expect("valid bench dataset");
+    let mut model_rng = StdRng::seed_from_u64(seed ^ 0xF0);
+    let model =
+        MatrixFactorization::new(dataset.n_users(), dataset.n_items(), 32, 0.1, &mut model_rng)
+            .expect("valid bench model");
+    BenchFixture { dataset, occupations: synthetic.occupations, model }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_builds() {
+        let f = fixture(40, 80, 1);
+        assert_eq!(f.dataset.n_users(), 40);
+        assert_eq!(f.dataset.n_items(), 80);
+        assert!(!f.dataset.train().is_empty());
+    }
+}

@@ -1,0 +1,220 @@
+//! Prior probabilities `P_fn(l)` of an item being a false negative.
+//!
+//! The paper's default is the interaction-ratio prior of Eq. (17); the
+//! Table III ablations swap in a non-informative prior (BNS-3) and an
+//! occupation-enhanced prior (BNS-4); Table IV's asymptotic study uses an
+//! oracle prior built from ground-truth labels.
+
+use bns_data::occupation::OccupationItemCounts;
+use bns_data::{Interactions, Occupations, Popularity};
+
+/// A source of prior false-negative probabilities.
+pub trait Prior: Send + Sync {
+    /// Short display name.
+    fn name(&self) -> &str;
+
+    /// `P_fn(l)` for item `l` with respect to user `u`, in `[0, 1]`.
+    fn p_fn(&self, u: u32, item: u32) -> f64;
+}
+
+/// Eq. (17): `P_fn(l) = popₗ / N` — interactions of `l` over total
+/// training interactions, i.e. treating the interaction count as a
+/// `Binomial(N, P_fn)` draw.
+#[derive(Debug, Clone)]
+pub struct PopularityPrior {
+    counts: Vec<u32>,
+    inv_total: f64,
+}
+
+impl PopularityPrior {
+    /// Builds from training popularity.
+    pub fn new(pop: &Popularity) -> Self {
+        let total = pop.total();
+        Self {
+            counts: pop.counts().to_vec(),
+            inv_total: if total == 0 { 0.0 } else { 1.0 / total as f64 },
+        }
+    }
+}
+
+impl Prior for PopularityPrior {
+    fn name(&self) -> &str {
+        "popularity"
+    }
+
+    fn p_fn(&self, _u: u32, item: u32) -> f64 {
+        (self.counts[item as usize] as f64 * self.inv_total).clamp(0.0, 1.0)
+    }
+}
+
+/// BNS-3: a non-informative prior `P_fn(l) = 1/n_items` — "for a single
+/// randomized trial, the probability of any item l been interacted is
+/// 1/1682" (§IV-C2). Under this prior BNS degenerates to DNS.
+#[derive(Debug, Clone, Copy)]
+pub struct NonInformativePrior {
+    p: f64,
+}
+
+impl NonInformativePrior {
+    /// Uniform prior over `n_items` items.
+    pub fn new(n_items: u32) -> Self {
+        Self { p: if n_items == 0 { 0.0 } else { 1.0 / n_items as f64 } }
+    }
+}
+
+impl Prior for NonInformativePrior {
+    fn name(&self) -> &str {
+        "non-informative"
+    }
+
+    fn p_fn(&self, _u: u32, _item: u32) -> f64 {
+        self.p
+    }
+}
+
+/// BNS-4: occupation-enhanced prior
+/// `P_fn(l) = (popₗ/N) · (1 + Δoᵤₗ)` where `Δoᵤₗ` measures how much user
+/// `u`'s occupation group over-consumes item `l` (§IV-C2).
+#[derive(Debug, Clone)]
+pub struct OccupationPrior {
+    base: PopularityPrior,
+    occupations: Occupations,
+    counts: OccupationItemCounts,
+}
+
+impl OccupationPrior {
+    /// Builds from training popularity, occupation labels and the
+    /// occupation×item counts derived from **training** interactions.
+    pub fn new(pop: &Popularity, train: &Interactions, occupations: Occupations) -> Self {
+        let counts = OccupationItemCounts::build(train, &occupations);
+        Self { base: PopularityPrior::new(pop), occupations, counts }
+    }
+}
+
+impl Prior for OccupationPrior {
+    fn name(&self) -> &str {
+        "occupation"
+    }
+
+    fn p_fn(&self, u: u32, item: u32) -> f64 {
+        let group = self.occupations.of(u);
+        let delta = self.counts.delta(group, item);
+        (self.base.p_fn(u, item) * (1.0 + delta)).clamp(0.0, 1.0)
+    }
+}
+
+/// Table IV's ideal prior: `P_fn = 0.64` when the item truly is a false
+/// negative (a held-out test positive), `0.04` otherwise — the paper sets
+/// `P_fn(l) = (label(l) − 0.2)²` with labels 1/0.
+#[derive(Debug, Clone)]
+pub struct OraclePrior {
+    test: Interactions,
+    p_if_fn: f64,
+    p_if_tn: f64,
+}
+
+impl OraclePrior {
+    /// The paper's exact parameterization (0.64 / 0.04).
+    pub fn paper(test: Interactions) -> Self {
+        Self::new(test, 0.64, 0.04)
+    }
+
+    /// Custom oracle probabilities.
+    pub fn new(test: Interactions, p_if_fn: f64, p_if_tn: f64) -> Self {
+        Self {
+            test,
+            p_if_fn: p_if_fn.clamp(0.0, 1.0),
+            p_if_tn: p_if_tn.clamp(0.0, 1.0),
+        }
+    }
+}
+
+impl Prior for OraclePrior {
+    fn name(&self) -> &str {
+        "oracle"
+    }
+
+    fn p_fn(&self, u: u32, item: u32) -> f64 {
+        if self.test.contains(u, item) {
+            self.p_if_fn
+        } else {
+            self.p_if_tn
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn train() -> Interactions {
+        // Item counts: item 0 → 2, item 1 → 1, item 2 → 1, item 3 → 0.
+        Interactions::from_pairs(2, 4, &[(0, 0), (0, 1), (1, 0), (1, 2)]).unwrap()
+    }
+
+    #[test]
+    fn popularity_prior_matches_eq_17() {
+        let pop = Popularity::from_interactions(&train());
+        let p = PopularityPrior::new(&pop);
+        assert!((p.p_fn(0, 0) - 0.5).abs() < 1e-12);
+        assert!((p.p_fn(0, 1) - 0.25).abs() < 1e-12);
+        assert_eq!(p.p_fn(0, 3), 0.0);
+        assert_eq!(p.name(), "popularity");
+    }
+
+    #[test]
+    fn popularity_prior_empty_training() {
+        let p = PopularityPrior::new(&Popularity::from_counts(vec![0, 0]));
+        assert_eq!(p.p_fn(0, 0), 0.0);
+    }
+
+    #[test]
+    fn non_informative_is_uniform() {
+        let p = NonInformativePrior::new(1682);
+        assert!((p.p_fn(0, 5) - 1.0 / 1682.0).abs() < 1e-15);
+        assert_eq!(p.p_fn(1, 5), p.p_fn(0, 1000));
+        assert_eq!(NonInformativePrior::new(0).p_fn(0, 0), 0.0);
+    }
+
+    #[test]
+    fn occupation_prior_shifts_by_group_taste() {
+        let t = train();
+        let pop = Popularity::from_interactions(&t);
+        // User 0 in group 0, user 1 in group 1.
+        let occ = Occupations::from_labels(vec![0, 1], 2);
+        let p = OccupationPrior::new(&pop, &t, occ);
+        // Item 1 consumed only by group 0: Δ(g0) = (1−0.5)/1 = 0.5,
+        // Δ(g1) = −0.5 → prior scaled ×1.5 for u0, ×0.5 for u1.
+        let base = 0.25;
+        assert!((p.p_fn(0, 1) - base * 1.5).abs() < 1e-12);
+        assert!((p.p_fn(1, 1) - base * 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn occupation_prior_clamps_to_unit() {
+        // Extreme case: popularity prior already near 1 and Δ positive.
+        let t = Interactions::from_pairs(1, 1, &[(0, 0)]).unwrap();
+        let pop = Popularity::from_interactions(&t);
+        let occ = Occupations::from_labels(vec![0], 1);
+        let p = OccupationPrior::new(&pop, &t, occ);
+        assert!(p.p_fn(0, 0) <= 1.0);
+    }
+
+    #[test]
+    fn oracle_prior_uses_test_labels() {
+        let test = Interactions::from_pairs(1, 3, &[(0, 1)]).unwrap();
+        let p = OraclePrior::paper(test);
+        assert_eq!(p.p_fn(0, 1), 0.64);
+        assert_eq!(p.p_fn(0, 0), 0.04);
+        assert_eq!(p.p_fn(0, 2), 0.04);
+        assert_eq!(p.name(), "oracle");
+    }
+
+    #[test]
+    fn oracle_prior_clamps_custom_values() {
+        let test = Interactions::from_pairs(1, 2, &[(0, 0)]).unwrap();
+        let p = OraclePrior::new(test, 2.0, -0.5);
+        assert_eq!(p.p_fn(0, 0), 1.0);
+        assert_eq!(p.p_fn(0, 1), 0.0);
+    }
+}

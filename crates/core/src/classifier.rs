@@ -1,0 +1,114 @@
+//! Bayesian negative classification — Eq. (11)–(13) of the paper.
+//!
+//! Classifying an un-interacted item as true or false negative by comparing
+//! the two posteriors
+//!
+//! ```text
+//! P(tn | x̂ₗ) ∝ 2 f(x̂ₗ)(1 − F(x̂ₗ)) · P_tn(l)     (Eq. 11)
+//! P(fn | x̂ₗ) ∝ 2 F(x̂ₗ) f(x̂ₗ)      · P_fn(l)     (Eq. 12)
+//! ```
+//!
+//! The density `f(x̂ₗ)` is common to both, so the MAP decision (Eq. 13)
+//! reduces to comparing `(1 − F)(1 − P_fn)` against `F·P_fn` — equivalently
+//! `unbias(l) ≷ 1/2`. Both the reduced form and the full density-weighted
+//! form (given an explicit score distribution) are provided.
+
+use crate::bns::unbias::unbias;
+use bns_stats::dist::Continuous;
+
+/// The classification outcome for an un-interacted item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NegativeClass {
+    /// The user truly dislikes the item.
+    TrueNegative,
+    /// The user would like the item (a latent positive).
+    FalseNegative,
+}
+
+/// MAP classification from the empirical cdf value and the prior
+/// (density-free reduced form of Eq. 13). Ties break toward
+/// [`NegativeClass::TrueNegative`], matching the PU-learning convention
+/// that unlabeled data is negative absent contrary evidence.
+pub fn classify(f_hat: f64, p_fn: f64) -> NegativeClass {
+    if unbias(f_hat, p_fn) >= 0.5 {
+        NegativeClass::TrueNegative
+    } else {
+        NegativeClass::FalseNegative
+    }
+}
+
+/// Unnormalized posterior densities `(P(tn|x), P(fn|x))` of Eq. (11)/(12)
+/// for an explicit base score distribution.
+pub fn posterior_densities<D: Continuous>(dist: &D, x: f64, p_fn: f64) -> (f64, f64) {
+    let f = dist.pdf(x);
+    let cdf = dist.cdf(x);
+    let p_tn = 1.0 - p_fn;
+    (2.0 * f * (1.0 - cdf) * p_tn, 2.0 * cdf * f * p_fn)
+}
+
+/// MAP classification using explicit densities (full Eq. 13).
+pub fn classify_with_density<D: Continuous>(dist: &D, x: f64, p_fn: f64) -> NegativeClass {
+    let (tn, fnn) = posterior_densities(dist, x, p_fn);
+    if tn >= fnn {
+        NegativeClass::TrueNegative
+    } else {
+        NegativeClass::FalseNegative
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bns_stats::Normal;
+
+    #[test]
+    fn low_rank_low_prior_is_true_negative() {
+        assert_eq!(classify(0.1, 0.05), NegativeClass::TrueNegative);
+    }
+
+    #[test]
+    fn high_rank_high_prior_is_false_negative() {
+        assert_eq!(classify(0.95, 0.6), NegativeClass::FalseNegative);
+    }
+
+    #[test]
+    fn decision_boundary_is_unbias_half() {
+        // With a neutral prior the boundary sits exactly at F = 1/2.
+        assert_eq!(classify(0.499, 0.5), NegativeClass::TrueNegative);
+        assert_eq!(classify(0.501, 0.5), NegativeClass::FalseNegative);
+        // Ties → TrueNegative.
+        assert_eq!(classify(0.5, 0.5), NegativeClass::TrueNegative);
+    }
+
+    #[test]
+    fn prior_shifts_the_boundary() {
+        // Same F, different priors flip the decision.
+        assert_eq!(classify(0.7, 0.1), NegativeClass::TrueNegative);
+        assert_eq!(classify(0.7, 0.5), NegativeClass::FalseNegative);
+    }
+
+    #[test]
+    fn density_form_agrees_with_reduced_form() {
+        // For any base distribution, MAP with densities equals MAP with the
+        // cdf alone, because f(x) > 0 cancels.
+        let dist = Normal::standard();
+        for &x in &[-2.0, -0.5, 0.0, 0.5, 2.0] {
+            for &p in &[0.05, 0.3, 0.5, 0.8] {
+                let full = classify_with_density(&dist, x, p);
+                let reduced = classify(dist.cdf(x), p);
+                assert_eq!(full, reduced, "disagreement at x={x}, p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn posterior_densities_are_nonnegative_and_scale_with_prior() {
+        let dist = Normal::standard();
+        let (tn1, fn1) = posterior_densities(&dist, 0.3, 0.2);
+        let (tn2, fn2) = posterior_densities(&dist, 0.3, 0.4);
+        assert!(tn1 >= 0.0 && fn1 >= 0.0);
+        // Larger prior on fn: fn posterior grows, tn posterior shrinks.
+        assert!(fn2 > fn1);
+        assert!(tn2 < tn1);
+    }
+}

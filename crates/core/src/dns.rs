@@ -1,0 +1,158 @@
+//! DNS — Dynamic Negative Sampling (Zhang et al., SIGIR 2013).
+//!
+//! Draws a small uniform candidate set and returns the candidate the model
+//! currently scores **highest** ("local relatively higher ranked", §IV-B1 of
+//! the paper). DNS is the strongest baseline in Table II and — as the paper
+//! discusses in §IV-D — the exact degenerate case of BNS under a
+//! non-informative prior, because `F(x̂)` and ranking position are in
+//! one-to-one correspondence.
+
+use crate::sampler::{draw_candidate_set, NegativeSampler, SampleContext};
+use crate::{CoreError, Result};
+
+/// Max-score-of-candidates sampler.
+#[derive(Debug, Clone)]
+pub struct Dns {
+    m: usize,
+    candidates: Vec<u32>,
+}
+
+impl Dns {
+    /// Creates DNS with candidate-set size `m` (the paper fixes 5).
+    pub fn new(m: usize) -> Result<Self> {
+        if m == 0 {
+            return Err(CoreError::InvalidConfig("DNS candidate size must be > 0".into()));
+        }
+        Ok(Self { m, candidates: Vec::with_capacity(m) })
+    }
+
+    /// Candidate-set size.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+}
+
+impl NegativeSampler for Dns {
+    fn name(&self) -> &str {
+        "DNS"
+    }
+
+    fn sample(
+        &mut self,
+        u: u32,
+        _pos: u32,
+        ctx: &SampleContext<'_>,
+        rng: &mut dyn rand::RngCore,
+    ) -> Option<u32> {
+        if !draw_candidate_set(ctx.train, u, self.m, &mut self.candidates, rng) {
+            return None;
+        }
+        debug_assert_eq!(ctx.user_scores.len(), ctx.n_items() as usize);
+        self.candidates
+            .iter()
+            .copied()
+            .max_by(|&a, &b| {
+                ctx.user_scores[a as usize]
+                    .partial_cmp(&ctx.user_scores[b as usize])
+                    .expect("scores are finite")
+            })
+    }
+
+    fn needs_user_scores(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bns_data::{Interactions, Popularity};
+    use bns_model::scorer::FixedScorer;
+    use bns_model::Scorer;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_zero_candidates() {
+        assert!(Dns::new(0).is_err());
+        assert_eq!(Dns::new(5).unwrap().m(), 5);
+    }
+
+    #[test]
+    fn picks_highest_scored_candidate() {
+        // Scores strictly increasing with item id; DNS must pick the max id
+        // of whatever candidates it draws, so over many draws the selection
+        // distribution must first-order dominate uniform.
+        let train = Interactions::from_pairs(1, 50, &[(0, 0)]).unwrap();
+        let pop = Popularity::from_interactions(&train);
+        let scores: Vec<f32> = (0..50).map(|i| i as f32).collect();
+        let scorer = FixedScorer::new(1, 50, scores);
+        let mut user_scores = vec![0.0f32; 50];
+        scorer.score_all(0, &mut user_scores);
+        let ctx = SampleContext {
+            scorer: &scorer,
+            train: &train,
+            popularity: &pop,
+            user_scores: &user_scores,
+            epoch: 0,
+        };
+        let mut dns = Dns::new(5).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut mean = 0.0f64;
+        let n = 5_000;
+        for _ in 0..n {
+            let j = dns.sample(0, 0, &ctx, &mut rng).unwrap();
+            assert_ne!(j, 0, "sampled the positive");
+            mean += j as f64;
+        }
+        mean /= n as f64;
+        // Max of 5 uniform draws from ~U(1..50): E ≈ 50·5/6 ≈ 41.7 ≫ 25.
+        assert!(mean > 38.0, "mean sampled id {mean} not biased high");
+    }
+
+    #[test]
+    fn single_candidate_reduces_to_uniform() {
+        // |M| = 1 is RNS (the paper's Fig. 5 observation).
+        let train = Interactions::from_pairs(1, 10, &[(0, 9)]).unwrap();
+        let pop = Popularity::from_interactions(&train);
+        let scores: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        let scorer = FixedScorer::new(1, 10, scores);
+        let mut user_scores = vec![0.0f32; 10];
+        scorer.score_all(0, &mut user_scores);
+        let ctx = SampleContext {
+            scorer: &scorer,
+            train: &train,
+            popularity: &pop,
+            user_scores: &user_scores,
+            epoch: 0,
+        };
+        let mut dns = Dns::new(1).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 10];
+        let n = 30_000;
+        for _ in 0..n {
+            counts[dns.sample(0, 9, &ctx, &mut rng).unwrap() as usize] += 1;
+        }
+        for (i, &count) in counts.iter().enumerate().take(9) {
+            let f = count as f64 / n as f64;
+            assert!((f - 1.0 / 9.0).abs() < 0.02, "item {i} freq {f}");
+        }
+    }
+
+    #[test]
+    fn saturated_user_returns_none() {
+        let train = Interactions::from_pairs(1, 2, &[(0, 0), (0, 1)]).unwrap();
+        let pop = Popularity::from_interactions(&train);
+        let scorer = FixedScorer::new(1, 2, vec![0.0; 2]);
+        let ctx = SampleContext {
+            scorer: &scorer,
+            train: &train,
+            popularity: &pop,
+            user_scores: &[0.0, 0.0],
+            epoch: 0,
+        };
+        let mut dns = Dns::new(3).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(dns.sample(0, 0, &ctx, &mut rng), None);
+    }
+}

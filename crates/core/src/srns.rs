@@ -1,0 +1,246 @@
+//! SRNS — Simplified and Robustified Negative Sampling (Ding et al.,
+//! NeurIPS 2020), in the simplified form the paper benchmarks.
+//!
+//! SRNS keeps a per-user **memory** of candidate negatives and tracks the
+//! *variance* of each candidate's predicted score across epochs. Its
+//! selection favors candidates that are simultaneously high-scored
+//! (informative) and high-variance (empirically correlated with being a
+//! true negative — false negatives converge to stably high scores):
+//!
+//! ```text
+//! j = argmax_{l ∈ memory sample}  score(l) + α · std(l)
+//! ```
+//!
+//! After each draw the memory is partially refreshed with fresh uniform
+//! candidates so estimates do not collapse onto a frozen set. The paper's
+//! §IV-B2 notes the "linear average operation of SRNS … may weaken its
+//! effectiveness" — reproduced here by the same linear combination.
+
+use crate::sampler::{draw_uniform_negative, NegativeSampler, SampleContext};
+use crate::{CoreError, Result};
+use bns_stats::Welford;
+use rand::Rng;
+
+/// Per-user candidate memory with score-variance statistics.
+#[derive(Debug, Clone)]
+struct UserMemory {
+    items: Vec<u32>,
+    stats: Vec<Welford>,
+}
+
+/// Variance-aware sampler.
+#[derive(Debug, Clone)]
+pub struct Srns {
+    /// Memory size S₁ per user.
+    memory_size: usize,
+    /// Number of memory slots examined per draw (S₂).
+    sample_size: usize,
+    /// Weight α on the standard deviation term.
+    alpha: f64,
+    /// Probability of refreshing one memory slot after a draw.
+    refresh_prob: f64,
+    memories: Vec<Option<UserMemory>>,
+}
+
+impl Srns {
+    /// Creates SRNS with memory size `s1`, per-draw sample size `s2 ≤ s1`,
+    /// variance weight `alpha` and per-draw refresh probability.
+    pub fn new(s1: usize, s2: usize, alpha: f64, refresh_prob: f64) -> Result<Self> {
+        if s1 == 0 || s2 == 0 || s2 > s1 {
+            return Err(CoreError::InvalidConfig(
+                "SRNS requires 0 < sample_size <= memory_size".into(),
+            ));
+        }
+        if !(alpha >= 0.0) || !alpha.is_finite() {
+            return Err(CoreError::InvalidConfig("SRNS alpha must be finite and >= 0".into()));
+        }
+        if !(0.0..=1.0).contains(&refresh_prob) {
+            return Err(CoreError::InvalidConfig("SRNS refresh_prob must be in [0, 1]".into()));
+        }
+        Ok(Self { memory_size: s1, sample_size: s2, alpha, refresh_prob, memories: Vec::new() })
+    }
+
+    /// The paper-aligned default: S₁ = 20, S₂ = 5, α = 1, 20% refresh.
+    pub fn paper_default() -> Self {
+        Self::new(20, 5, 1.0, 0.2).expect("valid defaults")
+    }
+
+    fn memory_for<R: Rng + ?Sized>(
+        &mut self,
+        u: u32,
+        ctx: &SampleContext<'_>,
+        rng: &mut R,
+    ) -> Option<&mut UserMemory> {
+        if self.memories.len() <= u as usize {
+            self.memories.resize_with(u as usize + 1, || None);
+        }
+        if self.memories[u as usize].is_none() {
+            let mut items = Vec::with_capacity(self.memory_size);
+            for _ in 0..self.memory_size {
+                items.push(draw_uniform_negative(ctx.train, u, rng)?);
+            }
+            let stats = vec![Welford::new(); self.memory_size];
+            self.memories[u as usize] = Some(UserMemory { items, stats });
+        }
+        self.memories[u as usize].as_mut()
+    }
+}
+
+impl NegativeSampler for Srns {
+    fn name(&self) -> &str {
+        "SRNS"
+    }
+
+    fn sample(
+        &mut self,
+        u: u32,
+        _pos: u32,
+        ctx: &SampleContext<'_>,
+        rng: &mut dyn rand::RngCore,
+    ) -> Option<u32> {
+        debug_assert_eq!(ctx.user_scores.len(), ctx.n_items() as usize);
+        let sample_size = self.sample_size;
+        let alpha = self.alpha;
+        let refresh_prob = self.refresh_prob;
+        let memory_size = self.memory_size;
+        // Split borrows: copy scores we need before taking &mut memory.
+        let mem = self.memory_for(u, ctx, rng)?;
+
+        // Update running statistics with the current scores.
+        for (slot, &item) in mem.items.iter().enumerate() {
+            mem.stats[slot].push(ctx.user_scores[item as usize] as f64);
+        }
+
+        // Examine S₂ random slots; pick argmax score + α·std.
+        let mut best: Option<(f64, u32)> = None;
+        for _ in 0..sample_size {
+            let slot = rng.random_range(0..memory_size);
+            let item = mem.items[slot];
+            let value =
+                ctx.user_scores[item as usize] as f64 + alpha * mem.stats[slot].std_dev();
+            if best.map(|(v, _)| value > v).unwrap_or(true) {
+                best = Some((value, item));
+            }
+        }
+
+        // Stochastic memory refresh keeps exploration alive.
+        if rng.random_range(0.0..1.0) < refresh_prob {
+            if let Some(fresh) = draw_uniform_negative(ctx.train, u, rng) {
+                let slot = rng.random_range(0..memory_size);
+                mem.items[slot] = fresh;
+                mem.stats[slot] = Welford::new();
+            }
+        }
+        best.map(|(_, item)| item)
+    }
+
+    fn needs_user_scores(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bns_data::{Interactions, Popularity};
+    use bns_model::scorer::FixedScorer;
+    use bns_model::Scorer;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn config_validation() {
+        assert!(Srns::new(0, 1, 1.0, 0.1).is_err());
+        assert!(Srns::new(5, 0, 1.0, 0.1).is_err());
+        assert!(Srns::new(5, 6, 1.0, 0.1).is_err());
+        assert!(Srns::new(5, 5, -1.0, 0.1).is_err());
+        assert!(Srns::new(5, 5, 1.0, 1.5).is_err());
+        assert!(Srns::new(20, 5, 1.0, 0.2).is_ok());
+    }
+
+    fn fixture(n_items: u32) -> (Interactions, Popularity, FixedScorer, Vec<f32>) {
+        let train = Interactions::from_pairs(1, n_items, &[(0, 0)]).unwrap();
+        let pop = Popularity::from_interactions(&train);
+        let scores: Vec<f32> = (0..n_items).map(|i| i as f32 * 0.1).collect();
+        let scorer = FixedScorer::new(1, n_items, scores);
+        let mut user_scores = vec![0.0f32; n_items as usize];
+        scorer.score_all(0, &mut user_scores);
+        (train, pop, scorer, user_scores)
+    }
+
+    #[test]
+    fn never_samples_positive() {
+        let (train, pop, scorer, user_scores) = fixture(30);
+        let ctx = SampleContext {
+            scorer: &scorer,
+            train: &train,
+            popularity: &pop,
+            user_scores: &user_scores,
+            epoch: 0,
+        };
+        let mut s = Srns::paper_default();
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..1_000 {
+            let j = s.sample(0, 0, &ctx, &mut rng).unwrap();
+            assert_ne!(j, 0);
+            assert!(j < 30);
+        }
+    }
+
+    #[test]
+    fn favors_high_scores_with_zero_alpha() {
+        let (train, pop, scorer, user_scores) = fixture(100);
+        let ctx = SampleContext {
+            scorer: &scorer,
+            train: &train,
+            popularity: &pop,
+            user_scores: &user_scores,
+            epoch: 0,
+        };
+        // α = 0 → pure max-score over the memory sample.
+        let mut s = Srns::new(20, 5, 0.0, 0.2).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut mean = 0.0f64;
+        let n = 4_000;
+        for _ in 0..n {
+            mean += s.sample(0, 0, &ctx, &mut rng).unwrap() as f64;
+        }
+        mean /= n as f64;
+        assert!(mean > 60.0, "mean selected id {mean} not biased high");
+    }
+
+    #[test]
+    fn saturated_user_returns_none() {
+        let train = Interactions::from_pairs(1, 2, &[(0, 0), (0, 1)]).unwrap();
+        let pop = Popularity::from_interactions(&train);
+        let scorer = FixedScorer::new(1, 2, vec![0.0; 2]);
+        let ctx = SampleContext {
+            scorer: &scorer,
+            train: &train,
+            popularity: &pop,
+            user_scores: &[0.0, 0.0],
+            epoch: 0,
+        };
+        let mut s = Srns::paper_default();
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(s.sample(0, 0, &ctx, &mut rng), None);
+    }
+
+    #[test]
+    fn memory_is_lazily_allocated_per_user() {
+        let (train, pop, scorer, user_scores) = fixture(30);
+        let ctx = SampleContext {
+            scorer: &scorer,
+            train: &train,
+            popularity: &pop,
+            user_scores: &user_scores,
+            epoch: 0,
+        };
+        let mut s = Srns::paper_default();
+        assert!(s.memories.is_empty());
+        let mut rng = StdRng::seed_from_u64(3);
+        s.sample(0, 0, &ctx, &mut rng);
+        assert_eq!(s.memories.len(), 1);
+        assert!(s.memories[0].is_some());
+    }
+}

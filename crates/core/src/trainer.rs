@@ -1,0 +1,322 @@
+//! Algorithm 1 — the BPR training loop with pluggable negative sampling.
+//!
+//! For each epoch: shuffle the training pairs, and for each `(u, i)` get
+//! the user's rating vector (when the sampler wants it), draw a negative
+//! `j`, and apply the model's BPR update. Observers receive every sampled
+//! triple (the TNR/INF quality probes of Fig. 4 hook in here) and an
+//! end-of-epoch callback (ranking evaluation, score-distribution probes).
+
+use crate::sampler::{NegativeSampler, SampleContext};
+use crate::{CoreError, Result};
+use bns_data::Dataset;
+use bns_model::{PairwiseModel, Scorer};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Training-loop configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Number of epochs `T` (paper: 100).
+    pub epochs: usize,
+    /// Mini-batch size (paper: 1 for MF; 128/1024 for LightGCN).
+    pub batch_size: usize,
+    /// SGD hyperparameters.
+    pub sgd: bns_model::SgdConfig,
+    /// Seed for shuffling and sampling.
+    pub seed: u64,
+}
+
+impl TrainConfig {
+    /// The paper's MF setup at `epochs` epochs.
+    pub fn paper_mf(epochs: usize, seed: u64) -> Self {
+        Self { epochs, batch_size: 1, sgd: bns_model::SgdConfig::paper_mf(), seed }
+    }
+
+    /// The paper's LightGCN setup at `epochs` epochs.
+    pub fn paper_lightgcn(epochs: usize, batch_size: usize, seed: u64) -> Self {
+        Self { epochs, batch_size, sgd: bns_model::SgdConfig::paper_lightgcn(), seed }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.epochs == 0 {
+            return Err(CoreError::InvalidConfig("epochs must be > 0".into()));
+        }
+        if self.batch_size == 0 {
+            return Err(CoreError::InvalidConfig("batch_size must be > 0".into()));
+        }
+        self.sgd.validate().map_err(CoreError::from)
+    }
+}
+
+/// Callbacks fired by the training loop.
+pub trait TrainObserver {
+    /// One triple was sampled and applied. `info` is Eq. (4)'s gradient
+    /// magnitude for the sampled negative.
+    fn on_triple(&mut self, epoch: usize, u: u32, pos: u32, neg: u32, info: f32);
+
+    /// An epoch finished; the model is in a consistent (scoreable) state.
+    fn on_epoch_end(&mut self, epoch: usize, model: &dyn Scorer);
+}
+
+/// An observer that does nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl TrainObserver for NoopObserver {
+    fn on_triple(&mut self, _: usize, _: u32, _: u32, _: u32, _: f32) {}
+    fn on_epoch_end(&mut self, _: usize, _: &dyn Scorer) {}
+}
+
+/// Summary statistics of a completed run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainStats {
+    /// Total triples applied.
+    pub triples: usize,
+    /// Pairs skipped because the user had no negatives.
+    pub skipped: usize,
+    /// Mean `info` per epoch (the INF numerator without labels).
+    pub mean_info_per_epoch: Vec<f64>,
+    /// Wall-clock seconds for the whole run.
+    pub wall_seconds: f64,
+}
+
+/// Trains `model` on `dataset.train()` with the given sampler.
+///
+/// This is Algorithm 1 of the paper with the sampler abstracted: lines 5–13
+/// are [`NegativeSampler::sample`], line 14 is the model's BPR update.
+pub fn train<M: PairwiseModel>(
+    model: &mut M,
+    dataset: &Dataset,
+    sampler: &mut dyn NegativeSampler,
+    config: &TrainConfig,
+    observer: &mut dyn TrainObserver,
+) -> Result<TrainStats> {
+    config.validate()?;
+    if model.n_users() != dataset.n_users() || model.n_items() != dataset.n_items() {
+        return Err(CoreError::InvalidConfig(format!(
+            "model shape ({} users × {} items) does not match dataset ({} × {})",
+            model.n_users(),
+            model.n_items(),
+            dataset.n_users(),
+            dataset.n_items()
+        )));
+    }
+
+    let started = std::time::Instant::now();
+    let train_set = dataset.train();
+    let popularity = dataset.popularity();
+    let mut pairs: Vec<(u32, u32)> = train_set.iter_pairs().collect();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n_items = train_set.n_items() as usize;
+    let mut user_scores = vec![0.0f32; n_items];
+
+    let mut stats = TrainStats {
+        triples: 0,
+        skipped: 0,
+        mean_info_per_epoch: Vec::with_capacity(config.epochs),
+        wall_seconds: 0.0,
+    };
+
+    for epoch in 0..config.epochs {
+        let lr = config.sgd.lr.at(epoch);
+        model.begin_epoch(epoch);
+        sampler.on_epoch_start(epoch);
+        pairs.shuffle(&mut rng);
+
+        let mut info_sum = 0.0f64;
+        let mut info_count = 0usize;
+
+        for batch in pairs.chunks(config.batch_size) {
+            model.begin_batch();
+            for &(u, pos) in batch {
+                // Algorithm 1 line 4: rating vector x̂ᵤ, only when needed.
+                let wants_scores = sampler.needs_user_scores();
+                if wants_scores {
+                    model.score_all(u, &mut user_scores);
+                }
+                let neg = {
+                    let ctx = SampleContext {
+                        scorer: model as &dyn Scorer,
+                        train: train_set,
+                        popularity,
+                        user_scores: if wants_scores { &user_scores } else { &[] },
+                        epoch,
+                    };
+                    sampler.sample(u, pos, &ctx, &mut rng)
+                };
+                let Some(neg) = neg else {
+                    stats.skipped += 1;
+                    continue;
+                };
+                debug_assert!(
+                    !train_set.contains(u, neg),
+                    "sampler returned a training positive"
+                );
+                let info = model.accumulate_triple(u, pos, neg, lr, config.sgd.reg);
+                observer.on_triple(epoch, u, pos, neg, info);
+                info_sum += info as f64;
+                info_count += 1;
+                stats.triples += 1;
+            }
+            model.end_batch(lr, config.sgd.reg);
+        }
+
+        stats
+            .mean_info_per_epoch
+            .push(if info_count == 0 { 0.0 } else { info_sum / info_count as f64 });
+        observer.on_epoch_end(epoch, model as &dyn Scorer);
+    }
+
+    stats.wall_seconds = started.elapsed().as_secs_f64();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rns::Rns;
+    use bns_data::{Dataset, Interactions};
+    use bns_model::MatrixFactorization;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_dataset() -> Dataset {
+        // 4 users × 8 items with a clear block structure: users 0,1 like
+        // items 0..4; users 2,3 like items 4..8.
+        let train = Interactions::from_pairs(
+            4,
+            8,
+            &[
+                (0, 0),
+                (0, 1),
+                (0, 2),
+                (1, 1),
+                (1, 2),
+                (1, 3),
+                (2, 4),
+                (2, 5),
+                (2, 6),
+                (3, 5),
+                (3, 6),
+                (3, 7),
+            ],
+        )
+        .unwrap();
+        let test = Interactions::from_pairs(4, 8, &[(0, 3), (1, 0), (2, 7), (3, 4)]).unwrap();
+        Dataset::new("tiny", train, test).unwrap()
+    }
+
+    fn mf(seed: u64, d: &Dataset) -> MatrixFactorization {
+        let mut rng = StdRng::seed_from_u64(seed);
+        MatrixFactorization::new(d.n_users(), d.n_items(), 8, 0.1, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        let d = tiny_dataset();
+        let mut m = mf(0, &d);
+        let mut s = Rns;
+        let bad = TrainConfig { epochs: 0, ..TrainConfig::paper_mf(1, 0) };
+        assert!(train(&mut m, &d, &mut s, &bad, &mut NoopObserver).is_err());
+        let bad = TrainConfig { batch_size: 0, ..TrainConfig::paper_mf(1, 0) };
+        assert!(train(&mut m, &d, &mut s, &bad, &mut NoopObserver).is_err());
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let d = tiny_dataset();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut wrong = MatrixFactorization::new(2, 8, 4, 0.1, &mut rng).unwrap();
+        let mut s = Rns;
+        assert!(train(&mut wrong, &d, &mut s, &TrainConfig::paper_mf(1, 0), &mut NoopObserver)
+            .is_err());
+    }
+
+    #[test]
+    fn trains_and_counts_triples() {
+        let d = tiny_dataset();
+        let mut m = mf(1, &d);
+        let mut s = Rns;
+        let cfg = TrainConfig::paper_mf(5, 7);
+        let stats = train(&mut m, &d, &mut s, &cfg, &mut NoopObserver).unwrap();
+        assert_eq!(stats.triples, 5 * d.train().len());
+        assert_eq!(stats.skipped, 0);
+        assert_eq!(stats.mean_info_per_epoch.len(), 5);
+        assert!(stats.wall_seconds >= 0.0);
+    }
+
+    #[test]
+    fn learning_separates_blocks() {
+        let d = tiny_dataset();
+        let mut m = mf(2, &d);
+        let mut s = Rns;
+        let cfg = TrainConfig::paper_mf(60, 3);
+        train(&mut m, &d, &mut s, &cfg, &mut NoopObserver).unwrap();
+        // User 0 must now rank its block's items above the other block's.
+        let own: f32 = (0..4).map(|i| m.score(0, i)).sum();
+        let other: f32 = (4..8).map(|i| m.score(0, i)).sum();
+        assert!(own > other, "block structure not learned: {own} vs {other}");
+    }
+
+    #[test]
+    fn observer_sees_every_triple() {
+        struct Counter {
+            triples: usize,
+            epochs: usize,
+        }
+        impl TrainObserver for Counter {
+            fn on_triple(&mut self, _: usize, u: u32, pos: u32, neg: u32, info: f32) {
+                assert!(u < 4 && pos < 8 && neg < 8);
+                assert!((0.0..=1.0).contains(&info));
+                self.triples += 1;
+            }
+            fn on_epoch_end(&mut self, _: usize, model: &dyn Scorer) {
+                assert_eq!(model.n_users(), 4);
+                self.epochs += 1;
+            }
+        }
+        let d = tiny_dataset();
+        let mut m = mf(3, &d);
+        let mut s = Rns;
+        let mut obs = Counter { triples: 0, epochs: 0 };
+        let cfg = TrainConfig::paper_mf(3, 11);
+        let stats = train(&mut m, &d, &mut s, &cfg, &mut obs).unwrap();
+        assert_eq!(obs.triples, stats.triples);
+        assert_eq!(obs.epochs, 3);
+    }
+
+    #[test]
+    fn reproducible_under_seed() {
+        let d = tiny_dataset();
+        let mut m1 = mf(4, &d);
+        let mut m2 = mf(4, &d);
+        let mut s1 = Rns;
+        let mut s2 = Rns;
+        let cfg = TrainConfig::paper_mf(4, 13);
+        train(&mut m1, &d, &mut s1, &cfg, &mut NoopObserver).unwrap();
+        train(&mut m2, &d, &mut s2, &cfg, &mut NoopObserver).unwrap();
+        for u in 0..4 {
+            for i in 0..8 {
+                assert_eq!(m1.score(u, i), m2.score(u, i));
+            }
+        }
+    }
+
+    #[test]
+    fn batch_training_works_with_lightgcn() {
+        use bns_model::LightGcn;
+        let d = tiny_dataset();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut m = LightGcn::new(d.train(), 8, 1, 0.1, &mut rng).unwrap();
+        let mut s = Rns;
+        let cfg = TrainConfig::paper_lightgcn(10, 4, 17);
+        let stats = train(&mut m, &d, &mut s, &cfg, &mut NoopObserver).unwrap();
+        assert_eq!(stats.triples, 10 * d.train().len());
+        // Block structure should begin to emerge.
+        let own: f32 = (0..4).map(|i| m.score(0, i)).sum();
+        let other: f32 = (4..8).map(|i| m.score(0, i)).sum();
+        assert!(own > other);
+    }
+}

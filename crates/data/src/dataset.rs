@@ -1,0 +1,154 @@
+//! A train/test dataset pair plus derived lookups used across the system.
+
+use crate::interactions::Interactions;
+use crate::popularity::Popularity;
+use crate::{DataError, Result};
+
+/// A recommendation dataset: training interactions (the observed positives),
+/// held-out test interactions (the paper's *false negatives* during
+/// training), and derived popularity statistics.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Dataset display name (e.g. `"MovieLens-100K (synthetic)"`).
+    pub name: String,
+    train: Interactions,
+    test: Interactions,
+    popularity: Popularity,
+}
+
+impl Dataset {
+    /// Assembles a dataset, validating that train and test share one id
+    /// space and do not overlap.
+    pub fn new(name: impl Into<String>, train: Interactions, test: Interactions) -> Result<Self> {
+        if train.n_users() != test.n_users() || train.n_items() != test.n_items() {
+            return Err(DataError::Invalid(
+                "train and test must share the same user/item id space".into(),
+            ));
+        }
+        if train.is_empty() {
+            return Err(DataError::Invalid("training set must be non-empty".into()));
+        }
+        for (u, i) in test.iter_pairs() {
+            if train.contains(u, i) {
+                return Err(DataError::Invalid(format!(
+                    "pair ({u}, {i}) appears in both train and test"
+                )));
+            }
+        }
+        let popularity = Popularity::from_interactions(&train);
+        Ok(Self { name: name.into(), train, test, popularity })
+    }
+
+    /// Training interactions.
+    pub fn train(&self) -> &Interactions {
+        &self.train
+    }
+
+    /// Held-out test interactions.
+    pub fn test(&self) -> &Interactions {
+        &self.test
+    }
+
+    /// Popularity statistics of the **training** set (negative sampling must
+    /// not peek at test counts).
+    pub fn popularity(&self) -> &Popularity {
+        &self.popularity
+    }
+
+    /// Users in the id space.
+    pub fn n_users(&self) -> u32 {
+        self.train.n_users()
+    }
+
+    /// Items in the id space.
+    pub fn n_items(&self) -> u32 {
+        self.train.n_items()
+    }
+
+    /// Whether item `i` is a **false negative** for user `u` during
+    /// training: un-interacted in train but positive in test. This is the
+    /// ground-truth label used by the paper's TNR/INF sampling-quality
+    /// metrics (Eq. 33/34) and by the oracle prior of Table IV.
+    pub fn is_false_negative(&self, u: u32, i: u32) -> bool {
+        self.test.contains(u, i) && !self.train.contains(u, i)
+    }
+
+    /// Whether item `i` is a **true negative** for user `u`: un-interacted
+    /// in both train and test.
+    pub fn is_true_negative(&self, u: u32, i: u32) -> bool {
+        !self.test.contains(u, i) && !self.train.contains(u, i)
+    }
+
+    /// Users that have at least one training positive *and* at least one
+    /// test positive — the population over which ranking metrics are
+    /// averaged.
+    pub fn evaluable_users(&self) -> Vec<u32> {
+        (0..self.n_users())
+            .filter(|&u| self.train.degree(u) > 0 && self.test.degree(u) > 0)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        let train = Interactions::from_pairs(2, 4, &[(0, 0), (0, 1), (1, 2)]).unwrap();
+        let test = Interactions::from_pairs(2, 4, &[(0, 2), (1, 3)]).unwrap();
+        Dataset::new("tiny", train, test).unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let d = tiny();
+        assert_eq!(d.n_users(), 2);
+        assert_eq!(d.n_items(), 4);
+        assert_eq!(d.train().len(), 3);
+        assert_eq!(d.test().len(), 2);
+    }
+
+    #[test]
+    fn negative_labels() {
+        let d = tiny();
+        // (0,2) is in test → false negative during training.
+        assert!(d.is_false_negative(0, 2));
+        assert!(!d.is_true_negative(0, 2));
+        // (0,3) is nowhere → true negative.
+        assert!(d.is_true_negative(0, 3));
+        assert!(!d.is_false_negative(0, 3));
+        // (0,0) is a train positive → neither.
+        assert!(!d.is_false_negative(0, 0));
+        assert!(!d.is_true_negative(0, 0));
+    }
+
+    #[test]
+    fn rejects_overlap() {
+        let train = Interactions::from_pairs(1, 2, &[(0, 0)]).unwrap();
+        let test = Interactions::from_pairs(1, 2, &[(0, 0)]).unwrap();
+        assert!(Dataset::new("bad", train, test).is_err());
+    }
+
+    #[test]
+    fn rejects_mismatched_spaces() {
+        let train = Interactions::from_pairs(1, 2, &[(0, 0)]).unwrap();
+        let test = Interactions::from_pairs(2, 2, &[(1, 1)]).unwrap();
+        assert!(Dataset::new("bad", train, test).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_train() {
+        let train = Interactions::from_pairs(1, 2, &[]).unwrap();
+        let test = Interactions::from_pairs(1, 2, &[(0, 0)]).unwrap();
+        assert!(Dataset::new("bad", train, test).is_err());
+    }
+
+    #[test]
+    fn evaluable_users_need_both_sides() {
+        let train = Interactions::from_pairs(3, 4, &[(0, 0), (1, 1)]).unwrap();
+        let test = Interactions::from_pairs(3, 4, &[(0, 2), (2, 3)]).unwrap();
+        let d = Dataset::new("t", train, test).unwrap();
+        // User 0 has both; user 1 has no test; user 2 has no train.
+        assert_eq!(d.evaluable_users(), vec![0]);
+    }
+}

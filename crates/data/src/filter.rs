@@ -1,0 +1,173 @@
+//! Dataset filtering: iterative k-core.
+//!
+//! Standard implicit-feedback preprocessing (used by LightGCN, SRNS and
+//! most of the paper's baselines' original evaluations): repeatedly drop
+//! users and items with fewer than `k` interactions until a fixed point,
+//! so every remaining row/column supports at least `k` pairwise
+//! comparisons. Ids are re-packed to dense ranges.
+
+use crate::interactions::{Interactions, InteractionsBuilder};
+use crate::{DataError, Result};
+
+/// Result of a k-core filtering pass.
+#[derive(Debug, Clone)]
+pub struct KCoreResult {
+    /// The filtered, re-indexed interactions.
+    pub interactions: Interactions,
+    /// Old→new user id map (`None` for dropped users), indexable by old id.
+    pub user_map: Vec<Option<u32>>,
+    /// Old→new item id map.
+    pub item_map: Vec<Option<u32>>,
+    /// Number of pruning rounds until the fixed point.
+    pub rounds: usize,
+}
+
+/// Applies iterative k-core filtering. Errors if nothing survives.
+pub fn k_core(x: &Interactions, k: u32) -> Result<KCoreResult> {
+    if k == 0 {
+        return Err(DataError::Invalid("k-core requires k >= 1".into()));
+    }
+    let n_users = x.n_users() as usize;
+    let n_items = x.n_items() as usize;
+    let mut user_alive = vec![true; n_users];
+    let mut item_alive = vec![true; n_items];
+    let mut rounds = 0usize;
+
+    loop {
+        rounds += 1;
+        let mut user_deg = vec![0u32; n_users];
+        let mut item_deg = vec![0u32; n_items];
+        for (u, i) in x.iter_pairs() {
+            if user_alive[u as usize] && item_alive[i as usize] {
+                user_deg[u as usize] += 1;
+                item_deg[i as usize] += 1;
+            }
+        }
+        let mut changed = false;
+        for u in 0..n_users {
+            if user_alive[u] && user_deg[u] < k {
+                user_alive[u] = false;
+                changed = true;
+            }
+        }
+        for i in 0..n_items {
+            if item_alive[i] && item_deg[i] < k {
+                item_alive[i] = false;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        if rounds > n_users + n_items {
+            // Each round kills at least one node; this cannot trigger, but
+            // guard against accounting bugs rather than looping forever.
+            return Err(DataError::Invalid("k-core failed to converge".into()));
+        }
+    }
+
+    // Compact id maps.
+    let mut user_map = vec![None; n_users];
+    let mut next_u = 0u32;
+    for (u, alive) in user_alive.iter().enumerate() {
+        if *alive {
+            user_map[u] = Some(next_u);
+            next_u += 1;
+        }
+    }
+    let mut item_map = vec![None; n_items];
+    let mut next_i = 0u32;
+    for (i, alive) in item_alive.iter().enumerate() {
+        if *alive {
+            item_map[i] = Some(next_i);
+            next_i += 1;
+        }
+    }
+    if next_u == 0 || next_i == 0 {
+        return Err(DataError::Invalid(format!(
+            "{k}-core filtering removed the entire dataset"
+        )));
+    }
+    let mut builder = InteractionsBuilder::new(next_u, next_i);
+    for (u, i) in x.iter_pairs() {
+        if let (Some(nu), Some(ni)) = (user_map[u as usize], item_map[i as usize]) {
+            builder.push(nu, ni)?;
+        }
+    }
+    Ok(KCoreResult { interactions: builder.build()?, user_map, item_map, rounds })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_k_zero() {
+        let x = Interactions::from_pairs(1, 1, &[(0, 0)]).unwrap();
+        assert!(k_core(&x, 0).is_err());
+    }
+
+    #[test]
+    fn one_core_keeps_everything_connected() {
+        let x = Interactions::from_pairs(3, 3, &[(0, 0), (1, 1), (2, 2)]).unwrap();
+        let r = k_core(&x, 1).unwrap();
+        assert_eq!(r.interactions.len(), 3);
+        assert_eq!(r.interactions.n_users(), 3);
+    }
+
+    #[test]
+    fn two_core_drops_degree_one_nodes() {
+        // Users 0, 1 share items 0, 1 (degree 2 everywhere); user 2 has a
+        // single interaction with its own item 2.
+        let x = Interactions::from_pairs(
+            3,
+            3,
+            &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 2)],
+        )
+        .unwrap();
+        let r = k_core(&x, 2).unwrap();
+        assert_eq!(r.interactions.n_users(), 2);
+        assert_eq!(r.interactions.n_items(), 2);
+        assert_eq!(r.interactions.len(), 4);
+        assert_eq!(r.user_map[2], None);
+        assert_eq!(r.item_map[2], None);
+    }
+
+    #[test]
+    fn cascade_removal_iterates() {
+        // Chain: user 0 holds items {0,1}; user 1 holds {1,2}; user 2 holds
+        // {2}. 2-core: user 2 dies → item 2 drops to degree 1 → dies →
+        // user 1 drops to degree 1 → dies → item 1 drops to degree 1 →
+        // dies → user 0 drops to degree 1 → everything dies.
+        let x = Interactions::from_pairs(
+            3,
+            3,
+            &[(0, 0), (0, 1), (1, 1), (1, 2), (2, 2)],
+        )
+        .unwrap();
+        let err = k_core(&x, 2).unwrap_err();
+        assert!(err.to_string().contains("removed the entire dataset"));
+    }
+
+    #[test]
+    fn id_maps_are_consistent() {
+        let x = Interactions::from_pairs(
+            4,
+            4,
+            &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 3), (3, 3)],
+        )
+        .unwrap();
+        let r = k_core(&x, 2).unwrap();
+        // Survivors: users 0, 1 and items 0, 1 (item 3 has degree 2 but its
+        // users 2, 3 have degree 1 and die, killing it too).
+        assert_eq!(r.interactions.n_users(), 2);
+        assert_eq!(r.interactions.n_items(), 2);
+        for (old_u, new_u) in r.user_map.iter().enumerate() {
+            if let Some(nu) = new_u {
+                // Every mapped user's row survives with same degree ≥ 2.
+                assert!(r.interactions.degree(*nu) >= 2, "user {old_u}");
+            }
+        }
+        assert!(r.rounds >= 2);
+    }
+}

@@ -1,0 +1,235 @@
+//! Parsers for the real dataset file formats.
+//!
+//! Following the paper's protocol (§IV-A1), every rated item is converted to
+//! an implicit interaction regardless of the rating value. Raw user/item ids
+//! are re-indexed to contiguous `0..n` ranges.
+//!
+//! Supported formats:
+//! * MovieLens-100K `u.data` — `user \t item \t rating \t timestamp`
+//! * MovieLens-1M `ratings.dat` — `user::item::rating::timestamp`
+//! * Yahoo!-R3 `ydata-*.txt` — `user \t item \t rating` (whitespace-separated)
+//!
+//! The experiment harness calls [`load_auto`] and falls back to the
+//! synthetic presets when no file is present (the offline default).
+
+use crate::interactions::{Interactions, InteractionsBuilder};
+use crate::{DataError, Result};
+use std::collections::HashMap;
+use std::io::BufRead;
+use std::path::Path;
+
+/// File formats accepted by [`load_file`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileFormat {
+    /// Tab-separated `user item rating [timestamp]` (MovieLens-100K, Yahoo!-R3).
+    TabSeparated,
+    /// `user::item::rating::timestamp` (MovieLens-1M).
+    DoubleColon,
+}
+
+/// Parses raw `(user, item)` id pairs from a reader in the given format,
+/// dropping the rating (implicit-feedback conversion).
+pub fn parse_pairs<R: BufRead>(reader: R, format: FileFormat) -> Result<Vec<(u64, u64)>> {
+    let mut pairs = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let pair = match format {
+            FileFormat::TabSeparated => parse_whitespace_line(trimmed, line_no)?,
+            FileFormat::DoubleColon => parse_double_colon_line(trimmed, line_no)?,
+        };
+        pairs.push(pair);
+    }
+    Ok(pairs)
+}
+
+fn parse_whitespace_line(line: &str, line_no: usize) -> Result<(u64, u64)> {
+    let mut fields = line.split_whitespace();
+    let user = field_as_id(fields.next(), line_no, "user")?;
+    let item = field_as_id(fields.next(), line_no, "item")?;
+    Ok((user, item))
+}
+
+fn parse_double_colon_line(line: &str, line_no: usize) -> Result<(u64, u64)> {
+    let mut fields = line.split("::");
+    let user = field_as_id(fields.next(), line_no, "user")?;
+    let item = field_as_id(fields.next(), line_no, "item")?;
+    Ok((user, item))
+}
+
+fn field_as_id(field: Option<&str>, line: usize, what: &str) -> Result<u64> {
+    let raw = field.ok_or_else(|| DataError::Parse {
+        line,
+        message: format!("missing {what} field"),
+    })?;
+    raw.trim().parse::<u64>().map_err(|_| DataError::Parse {
+        line,
+        message: format!("{what} field `{raw}` is not an unsigned integer"),
+    })
+}
+
+/// Raw→dense id maps produced by [`reindex`].
+pub type IdMaps = (HashMap<u64, u32>, HashMap<u64, u32>);
+
+/// Re-indexes raw id pairs to contiguous `0..n_users` / `0..n_items` and
+/// builds the [`Interactions`]. Returns the store plus the raw→dense maps.
+pub fn reindex(pairs: &[(u64, u64)]) -> Result<(Interactions, IdMaps)> {
+    if pairs.is_empty() {
+        return Err(DataError::Invalid("no interactions parsed".into()));
+    }
+    let mut user_map: HashMap<u64, u32> = HashMap::new();
+    let mut item_map: HashMap<u64, u32> = HashMap::new();
+    let mut dense: Vec<(u32, u32)> = Vec::with_capacity(pairs.len());
+    for &(u, i) in pairs {
+        let next_u = user_map.len() as u32;
+        let du = *user_map.entry(u).or_insert(next_u);
+        let next_i = item_map.len() as u32;
+        let di = *item_map.entry(i).or_insert(next_i);
+        dense.push((du, di));
+    }
+    let n_users = user_map.len() as u32;
+    let n_items = item_map.len() as u32;
+    let mut builder = InteractionsBuilder::with_capacity(n_users, n_items, dense.len());
+    for (u, i) in dense {
+        builder.push(u, i)?;
+    }
+    Ok((builder.build()?, (user_map, item_map)))
+}
+
+/// Loads a dataset file, inferring the format from the extension/name:
+/// `*.dat` → `::`-separated, anything else → whitespace-separated.
+pub fn load_file(path: &Path) -> Result<Interactions> {
+    let format = if path.extension().is_some_and(|e| e == "dat") {
+        FileFormat::DoubleColon
+    } else {
+        FileFormat::TabSeparated
+    };
+    let file = std::fs::File::open(path)?;
+    let reader = std::io::BufReader::new(file);
+    let pairs = parse_pairs(reader, format)?;
+    let (interactions, _) = reindex(&pairs)?;
+    Ok(interactions)
+}
+
+/// Tries `load_file(path)` when `path` exists, otherwise returns `None` so
+/// callers can fall back to the synthetic presets.
+pub fn load_auto(path: &Path) -> Option<Result<Interactions>> {
+    if path.exists() {
+        Some(load_file(path))
+    } else {
+        None
+    }
+}
+
+/// Writes interactions in the MovieLens `u.data` tab-separated format
+/// (`user \t item \t rating \t timestamp`, rating fixed to 1, timestamp 0).
+///
+/// This makes the synthetic stand-ins inspectable with standard tooling and
+/// round-trippable through [`load_file`].
+pub fn write_movielens(x: &Interactions, path: &Path) -> Result<()> {
+    use std::io::Write;
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    for (u, i) in x.iter_pairs() {
+        writeln!(w, "{u}\t{i}\t1\t0")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_movielens_100k_format() {
+        let data = "196\t242\t3\t881250949\n186\t302\t3\t891717742\n22\t377\t1\t878887116\n";
+        let pairs = parse_pairs(Cursor::new(data), FileFormat::TabSeparated).unwrap();
+        assert_eq!(pairs, vec![(196, 242), (186, 302), (22, 377)]);
+    }
+
+    #[test]
+    fn parses_yahoo_format_with_blank_lines() {
+        let data = "1 14 5\n\n# comment\n2 99 1\n";
+        let pairs = parse_pairs(Cursor::new(data), FileFormat::TabSeparated).unwrap();
+        assert_eq!(pairs, vec![(1, 14), (2, 99)]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let data = "1\tnotanumber\t3\t0\n";
+        let err = parse_pairs(Cursor::new(data), FileFormat::TabSeparated).unwrap_err();
+        match err {
+            DataError::Parse { line, .. } => assert_eq!(line, 1),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_missing_fields() {
+        let data = "42\n";
+        assert!(parse_pairs(Cursor::new(data), FileFormat::TabSeparated).is_err());
+    }
+
+    #[test]
+    fn double_colon_line_parses() {
+        assert_eq!(parse_double_colon_line("1::1193::5::978300760", 1).unwrap(), (1, 1193));
+        assert!(parse_double_colon_line("1::", 1).is_err());
+    }
+
+    #[test]
+    fn reindex_densifies_ids() {
+        let pairs = vec![(100, 7), (100, 9), (50, 7)];
+        let (x, (users, items)) = reindex(&pairs).unwrap();
+        assert_eq!(x.n_users(), 2);
+        assert_eq!(x.n_items(), 2);
+        assert_eq!(x.len(), 3);
+        // First-seen order: user 100 → 0, user 50 → 1; item 7 → 0, item 9 → 1.
+        assert_eq!(users[&100], 0);
+        assert_eq!(users[&50], 1);
+        assert_eq!(items[&7], 0);
+        assert_eq!(items[&9], 1);
+        assert!(x.contains(0, 0) && x.contains(0, 1) && x.contains(1, 0));
+    }
+
+    #[test]
+    fn reindex_rejects_empty() {
+        assert!(reindex(&[]).is_err());
+    }
+
+    #[test]
+    fn load_file_round_trip_via_tempfile() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("bns_loader_test_u.data");
+        std::fs::write(&path, "1\t10\t4\t0\n1\t20\t5\t0\n2\t10\t3\t0\n").unwrap();
+        let x = load_file(&path).unwrap();
+        assert_eq!(x.n_users(), 2);
+        assert_eq!(x.n_items(), 2);
+        assert_eq!(x.len(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_auto_missing_file_is_none() {
+        assert!(load_auto(Path::new("/definitely/not/here.data")).is_none());
+    }
+
+    #[test]
+    fn write_then_load_round_trips() {
+        let x = Interactions::from_pairs(3, 4, &[(0, 1), (0, 3), (2, 0)]).unwrap();
+        let path = std::env::temp_dir().join("bns_writer_test_u.data");
+        write_movielens(&x, &path).unwrap();
+        let y = load_file(&path).unwrap();
+        // Ids are re-densified on load (user 1 had no interactions), so
+        // compare interaction structure, not raw equality.
+        assert_eq!(y.len(), 3);
+        assert_eq!(y.n_users(), 2);
+        assert_eq!(y.n_items(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+}

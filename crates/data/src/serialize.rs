@@ -1,0 +1,162 @@
+//! Binary serialization of interaction data.
+//!
+//! A tiny, versioned little-endian format built on the `bytes` crate, used
+//! to cache generated datasets between harness runs (generating the 1M-scale
+//! synthetic dataset takes noticeably longer than loading its cached form).
+//!
+//! Layout:
+//! ```text
+//! magic  u32  = 0x424E5331 ("BNS1")
+//! n_users u32
+//! n_items u32
+//! n_offsets u64, then offsets as u32 LE
+//! n_items_arr u64, then items as u32 LE
+//! ```
+
+use crate::interactions::Interactions;
+use crate::{DataError, Result};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Format magic — "BNS1".
+const MAGIC: u32 = 0x424E_5331;
+
+/// Encodes interactions into a self-describing binary buffer.
+pub fn encode_interactions(x: &Interactions) -> Bytes {
+    let (n_users, n_items, offsets, items) = x.csr_parts();
+    let mut buf = BytesMut::with_capacity(24 + 4 * (offsets.len() + items.len()));
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(n_users);
+    buf.put_u32_le(n_items);
+    buf.put_u64_le(offsets.len() as u64);
+    for &o in offsets {
+        buf.put_u32_le(o);
+    }
+    buf.put_u64_le(items.len() as u64);
+    for &i in items {
+        buf.put_u32_le(i);
+    }
+    buf.freeze()
+}
+
+/// Decodes a buffer produced by [`encode_interactions`], re-validating all
+/// CSR invariants.
+pub fn decode_interactions(mut buf: &[u8]) -> Result<Interactions> {
+    let need = |buf: &&[u8], n: usize, what: &str| -> Result<()> {
+        if buf.remaining() < n {
+            Err(DataError::Invalid(format!("truncated buffer while reading {what}")))
+        } else {
+            Ok(())
+        }
+    };
+    need(&buf, 4, "magic")?;
+    let magic = buf.get_u32_le();
+    if magic != MAGIC {
+        return Err(DataError::Invalid(format!(
+            "bad magic 0x{magic:08X}, expected 0x{MAGIC:08X}"
+        )));
+    }
+    need(&buf, 8, "header")?;
+    let n_users = buf.get_u32_le();
+    let n_items = buf.get_u32_le();
+
+    need(&buf, 8, "offsets length")?;
+    let n_offsets = buf.get_u64_le() as usize;
+    need(&buf, n_offsets.saturating_mul(4), "offsets")?;
+    let mut offsets = Vec::with_capacity(n_offsets);
+    for _ in 0..n_offsets {
+        offsets.push(buf.get_u32_le());
+    }
+
+    need(&buf, 8, "items length")?;
+    let n_arr = buf.get_u64_le() as usize;
+    need(&buf, n_arr.saturating_mul(4), "items")?;
+    let mut items = Vec::with_capacity(n_arr);
+    for _ in 0..n_arr {
+        items.push(buf.get_u32_le());
+    }
+    if buf.remaining() != 0 {
+        return Err(DataError::Invalid("trailing bytes after payload".into()));
+    }
+    Interactions::from_csr_parts(n_users, n_items, offsets, items)
+}
+
+/// Writes interactions to a file.
+pub fn save_interactions(x: &Interactions, path: &std::path::Path) -> Result<()> {
+    std::fs::write(path, encode_interactions(x))?;
+    Ok(())
+}
+
+/// Reads interactions from a file.
+pub fn load_interactions(path: &std::path::Path) -> Result<Interactions> {
+    let data = std::fs::read(path)?;
+    decode_interactions(&data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Interactions {
+        Interactions::from_pairs(3, 5, &[(0, 1), (0, 3), (1, 0), (2, 4)]).unwrap()
+    }
+
+    #[test]
+    fn round_trip() {
+        let x = sample();
+        let buf = encode_interactions(&x);
+        let y = decode_interactions(&buf).unwrap();
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn empty_interactions_round_trip() {
+        let x = Interactions::from_pairs(2, 2, &[]).unwrap();
+        let y = decode_interactions(&encode_interactions(&x)).unwrap();
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut buf = encode_interactions(&sample()).to_vec();
+        buf[0] ^= 0xFF;
+        assert!(decode_interactions(&buf).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_length() {
+        let buf = encode_interactions(&sample()).to_vec();
+        for cut in 0..buf.len() {
+            assert!(
+                decode_interactions(&buf[..cut]).is_err(),
+                "truncation at {cut} was accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut buf = encode_interactions(&sample()).to_vec();
+        buf.push(0);
+        assert!(decode_interactions(&buf).is_err());
+    }
+
+    #[test]
+    fn rejects_corrupted_payload() {
+        // Corrupt an item id to be out of range.
+        let x = sample();
+        let mut buf = encode_interactions(&x).to_vec();
+        let last = buf.len() - 4;
+        buf[last..].copy_from_slice(&1000u32.to_le_bytes());
+        assert!(decode_interactions(&buf).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let x = sample();
+        let path = std::env::temp_dir().join("bns_serialize_test.bin");
+        save_interactions(&x, &path).unwrap();
+        let y = load_interactions(&path).unwrap();
+        assert_eq!(x, y);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests of the data substrate.
+
+use bns_data::{k_core, split_leave_one_out, Interactions};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn kcore_survivors_meet_degree_bound(
+        pairs in prop::collection::vec((0u32..12, 0u32..18), 1..150),
+        k in 1u32..4,
+    ) {
+        let x = Interactions::from_pairs(12, 18, &pairs).unwrap();
+        match k_core(&x, k) {
+            Ok(r) => {
+                // Every surviving user has degree ≥ k.
+                for u in 0..r.interactions.n_users() {
+                    prop_assert!(r.interactions.degree(u) >= k as usize);
+                }
+                // Every surviving item has ≥ k interactions.
+                for (i, &c) in r.interactions.item_counts().iter().enumerate() {
+                    prop_assert!(c >= k, "item {} has count {}", i, c);
+                }
+                // Filtering never adds interactions.
+                prop_assert!(r.interactions.len() <= x.len());
+                // Id maps are injective over survivors.
+                let mut seen = std::collections::BTreeSet::new();
+                for m in r.user_map.iter().flatten() {
+                    prop_assert!(seen.insert(*m));
+                }
+            }
+            Err(_) => {
+                // Allowed: the filter may legitimately empty the dataset.
+            }
+        }
+    }
+
+    #[test]
+    fn kcore_is_idempotent(
+        pairs in prop::collection::vec((0u32..10, 0u32..14), 1..120),
+        k in 1u32..4,
+    ) {
+        let x = Interactions::from_pairs(10, 14, &pairs).unwrap();
+        if let Ok(once) = k_core(&x, k) {
+            let twice = k_core(&once.interactions, k).expect("fixed point survives");
+            prop_assert_eq!(once.interactions, twice.interactions);
+        }
+    }
+
+    #[test]
+    fn leave_one_out_properties(
+        pairs in prop::collection::vec((0u32..10, 0u32..20), 1..150),
+        seed in 0u64..500,
+    ) {
+        let all = Interactions::from_pairs(10, 20, &pairs).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (train, test) = split_leave_one_out(&all, &mut rng).unwrap();
+        prop_assert_eq!(train.len() + test.len(), all.len());
+        for u in 0..10u32 {
+            match all.degree(u) {
+                0 => prop_assert_eq!(test.degree(u), 0),
+                1 => {
+                    prop_assert_eq!(train.degree(u), 1);
+                    prop_assert_eq!(test.degree(u), 0);
+                }
+                d => {
+                    prop_assert_eq!(test.degree(u), 1);
+                    prop_assert_eq!(train.degree(u), d - 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn union_is_commutative_and_idempotent(
+        a_pairs in prop::collection::vec((0u32..8, 0u32..12), 0..60),
+        b_pairs in prop::collection::vec((0u32..8, 0u32..12), 0..60),
+    ) {
+        let a = Interactions::from_pairs(8, 12, &a_pairs).unwrap();
+        let b = Interactions::from_pairs(8, 12, &b_pairs).unwrap();
+        let ab = a.union(&b).unwrap();
+        let ba = b.union(&a).unwrap();
+        prop_assert_eq!(&ab, &ba);
+        let aa = a.union(&a).unwrap();
+        prop_assert_eq!(&aa, &a);
+        // Union contains both sides.
+        for (u, i) in a.iter_pairs().chain(b.iter_pairs()) {
+            prop_assert!(ab.contains(u, i));
+        }
+    }
+}

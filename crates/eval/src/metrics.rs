@@ -1,0 +1,231 @@
+//! Ranking metrics.
+//!
+//! The paper reports Precision, Recall and NDCG at K ∈ {5, 10, 20}
+//! (Tables II–IV). HitRate, MAP, MRR and AUC are included for the extended
+//! analyses and tests. All metrics take the ranked recommendation list and
+//! the user's **sorted** held-out positive set.
+
+/// Whether `item` is in the sorted `relevant` set.
+#[inline]
+fn is_relevant(relevant: &[u32], item: u32) -> bool {
+    relevant.binary_search(&item).is_ok()
+}
+
+/// Precision@K: fraction of the top-K that is relevant. Conventionally
+/// divides by `k` even when fewer than `k` items were recommendable.
+pub fn precision_at_k(ranked: &[u32], relevant: &[u32], k: usize) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let hits = ranked.iter().take(k).filter(|&&i| is_relevant(relevant, i)).count();
+    hits as f64 / k as f64
+}
+
+/// Recall@K: fraction of the relevant set retrieved in the top-K.
+pub fn recall_at_k(ranked: &[u32], relevant: &[u32], k: usize) -> f64 {
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let hits = ranked.iter().take(k).filter(|&&i| is_relevant(relevant, i)).count();
+    hits as f64 / relevant.len() as f64
+}
+
+/// NDCG@K with binary relevance: `DCG = Σ 1/log₂(rank + 1)` over relevant
+/// hits (1-based ranks), normalized by the ideal DCG of
+/// `min(k, |relevant|)` front-loaded hits.
+pub fn ndcg_at_k(ranked: &[u32], relevant: &[u32], k: usize) -> f64 {
+    if relevant.is_empty() || k == 0 {
+        return 0.0;
+    }
+    let dcg: f64 = ranked
+        .iter()
+        .take(k)
+        .enumerate()
+        .filter(|(_, &i)| is_relevant(relevant, i))
+        .map(|(rank0, _)| 1.0 / ((rank0 as f64 + 2.0).log2()))
+        .sum();
+    let ideal_hits = k.min(relevant.len());
+    let idcg: f64 = (0..ideal_hits).map(|r| 1.0 / ((r as f64 + 2.0).log2())).sum();
+    if idcg == 0.0 {
+        0.0
+    } else {
+        dcg / idcg
+    }
+}
+
+/// HitRate@K: 1 if any relevant item appears in the top-K.
+pub fn hit_rate(ranked: &[u32], relevant: &[u32], k: usize) -> f64 {
+    if ranked.iter().take(k).any(|&i| is_relevant(relevant, i)) {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Average precision over the full ranked list (AP; mean over users = MAP).
+pub fn average_precision(ranked: &[u32], relevant: &[u32]) -> f64 {
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    let mut sum = 0.0f64;
+    for (rank0, &i) in ranked.iter().enumerate() {
+        if is_relevant(relevant, i) {
+            hits += 1;
+            sum += hits as f64 / (rank0 + 1) as f64;
+        }
+    }
+    sum / relevant.len() as f64
+}
+
+/// Reciprocal rank of the first relevant item (0 when none appears).
+pub fn reciprocal_rank(ranked: &[u32], relevant: &[u32]) -> f64 {
+    for (rank0, &i) in ranked.iter().enumerate() {
+        if is_relevant(relevant, i) {
+            return 1.0 / (rank0 + 1) as f64;
+        }
+    }
+    0.0
+}
+
+/// AUC over a full score vector: probability that a random relevant item
+/// outranks a random irrelevant one, with ties counted half. `masked`
+/// items (train positives) are excluded from both sides. This is the
+/// metric the BPR objective of Eq. (1) is the smooth analogue of (§III-D).
+pub fn auc(scores: &[f32], relevant: &[u32], masked: &[u32]) -> f64 {
+    debug_assert!(relevant.windows(2).all(|w| w[0] < w[1]));
+    debug_assert!(masked.windows(2).all(|w| w[0] < w[1]));
+    let mut pos: Vec<f32> = Vec::with_capacity(relevant.len());
+    let mut neg: Vec<f32> = Vec::new();
+    let mut rel_idx = 0usize;
+    let mut mask_idx = 0usize;
+    for (i, &s) in scores.iter().enumerate() {
+        let i = i as u32;
+        if mask_idx < masked.len() && masked[mask_idx] == i {
+            mask_idx += 1;
+            continue;
+        }
+        if rel_idx < relevant.len() && relevant[rel_idx] == i {
+            rel_idx += 1;
+            pos.push(s);
+        } else {
+            neg.push(s);
+        }
+    }
+    if pos.is_empty() || neg.is_empty() {
+        return 0.5;
+    }
+    // O(n log n) via rank-sum rather than the O(|pos|·|neg|) double loop.
+    neg.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+    let mut wins = 0.0f64;
+    for &p in &pos {
+        let below = neg.partition_point(|&x| x < p);
+        let equal = neg.partition_point(|&x| x <= p) - below;
+        wins += below as f64 + 0.5 * equal as f64;
+    }
+    wins / (pos.len() as f64 * neg.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // ranked = [9, 4, 7, 1, 0]; relevant = {4, 1, 5}.
+    const RANKED: [u32; 5] = [9, 4, 7, 1, 0];
+    const RELEVANT: [u32; 3] = [1, 4, 5];
+
+    #[test]
+    fn precision_reference() {
+        assert_eq!(precision_at_k(&RANKED, &RELEVANT, 1), 0.0);
+        assert_eq!(precision_at_k(&RANKED, &RELEVANT, 2), 0.5);
+        assert_eq!(precision_at_k(&RANKED, &RELEVANT, 4), 0.5);
+        assert_eq!(precision_at_k(&RANKED, &RELEVANT, 0), 0.0);
+    }
+
+    #[test]
+    fn recall_reference() {
+        assert_eq!(recall_at_k(&RANKED, &RELEVANT, 2), 1.0 / 3.0);
+        assert_eq!(recall_at_k(&RANKED, &RELEVANT, 5), 2.0 / 3.0);
+        assert_eq!(recall_at_k(&RANKED, &[], 5), 0.0);
+    }
+
+    #[test]
+    fn ndcg_reference() {
+        // Hits at ranks 2 and 4 (1-based): DCG = 1/log2(3) + 1/log2(5).
+        let dcg = 1.0 / 3f64.log2() + 1.0 / 5f64.log2();
+        // Ideal: 3 hits at ranks 1..3 → IDCG = 1 + 1/log2(3) + 1/2.
+        let idcg = 1.0 + 1.0 / 3f64.log2() + 0.5;
+        let expected = dcg / idcg;
+        assert!((ndcg_at_k(&RANKED, &RELEVANT, 5) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_perfect_ranking_is_one() {
+        let ranked = [1u32, 4, 5, 9, 0];
+        assert!((ndcg_at_k(&ranked, &RELEVANT, 5) - 1.0).abs() < 1e-12);
+        assert!((ndcg_at_k(&ranked, &RELEVANT, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_no_hits_is_zero() {
+        assert_eq!(ndcg_at_k(&[7, 8, 9], &[1, 2], 3), 0.0);
+        assert_eq!(ndcg_at_k(&RANKED, &[], 3), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_reference() {
+        assert_eq!(hit_rate(&RANKED, &RELEVANT, 1), 0.0);
+        assert_eq!(hit_rate(&RANKED, &RELEVANT, 2), 1.0);
+        assert_eq!(hit_rate(&RANKED, &[], 5), 0.0);
+    }
+
+    #[test]
+    fn map_reference() {
+        // Hits at ranks 2 (precision 1/2) and 4 (precision 2/4).
+        let expected = (0.5 + 0.5) / 3.0;
+        assert!((average_precision(&RANKED, &RELEVANT) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mrr_reference() {
+        assert_eq!(reciprocal_rank(&RANKED, &RELEVANT), 0.5);
+        assert_eq!(reciprocal_rank(&[1, 2], &[1]), 1.0);
+        assert_eq!(reciprocal_rank(&[2, 3], &[9]), 0.0);
+    }
+
+    #[test]
+    fn auc_reference() {
+        // scores: item0 = 0.9 (relevant), item1 = 0.5, item2 = 0.1 → AUC 1.
+        assert_eq!(auc(&[0.9, 0.5, 0.1], &[0], &[]), 1.0);
+        // Relevant item at the bottom → AUC 0.
+        assert_eq!(auc(&[0.1, 0.5, 0.9], &[0], &[]), 0.0);
+        // Middle: relevant beats 1 of 2 → 0.5.
+        assert_eq!(auc(&[0.5, 0.9, 0.1], &[0], &[]), 0.5);
+    }
+
+    #[test]
+    fn auc_handles_masking_and_ties() {
+        // Mask the top negative away: AUC becomes 1.
+        assert_eq!(auc(&[0.5, 0.9, 0.1], &[0], &[1]), 1.0);
+        // All-ties → 0.5.
+        assert_eq!(auc(&[0.5, 0.5, 0.5], &[0], &[]), 0.5);
+        // Degenerate sides → 0.5.
+        assert_eq!(auc(&[0.5], &[0], &[]), 0.5);
+    }
+
+    #[test]
+    fn metrics_bounded_in_unit_interval() {
+        let ranked: Vec<u32> = (0..50).collect();
+        let relevant: Vec<u32> = (0..50).filter(|i| i % 3 == 0).collect();
+        for k in [1usize, 5, 10, 50] {
+            for v in [
+                precision_at_k(&ranked, &relevant, k),
+                recall_at_k(&ranked, &relevant, k),
+                ndcg_at_k(&ranked, &relevant, k),
+                hit_rate(&ranked, &relevant, k),
+            ] {
+                assert!((0.0..=1.0).contains(&v), "metric out of range: {v}");
+            }
+        }
+    }
+}

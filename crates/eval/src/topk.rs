@@ -1,0 +1,92 @@
+//! Top-K extraction with training-positive masking.
+//!
+//! The recommendation list for user `u` ranks the user's **un-interacted**
+//! items by predicted score (§II of the paper: "his recommendation list,
+//! consisting of his un-interacted items ranked according to their predicted
+//! scores"). Training positives are masked out; held-out test positives
+//! remain candidates — finding them is the whole game.
+
+/// Returns the item ids of the `k` highest-scored items, excluding the
+/// (sorted) `masked` items, ordered by descending score. Ties break toward
+/// the lower item id for determinism.
+pub fn top_k_masked(scores: &[f32], masked: &[u32], k: usize) -> Vec<u32> {
+    debug_assert!(masked.windows(2).all(|w| w[0] < w[1]), "mask must be sorted unique");
+    if k == 0 {
+        return Vec::new();
+    }
+    // Min-heap of the current best k, keyed by (score, Reverse(id)).
+    // A fixed-size sorted buffer beats BinaryHeap for the small k used in
+    // recommendation (k ≤ 20 in the paper).
+    let mut best: Vec<(f32, u32)> = Vec::with_capacity(k + 1);
+    let mut mask_idx = 0usize;
+    for (i, &s) in scores.iter().enumerate() {
+        let i = i as u32;
+        if mask_idx < masked.len() && masked[mask_idx] == i {
+            mask_idx += 1;
+            continue;
+        }
+        debug_assert!(s.is_finite(), "score for item {i} is not finite");
+        let better = |&(bs, bi): &(f32, u32)| s > bs || (s == bs && i < bi);
+        if best.len() < k {
+            let pos = best.iter().position(better).unwrap_or(best.len());
+            best.insert(pos, (s, i));
+        } else if better(best.last().expect("k > 0")) {
+            let pos = best.iter().position(better).expect("strictly better");
+            best.insert(pos, (s, i));
+            best.pop();
+        }
+    }
+    best.into_iter().map(|(_, i)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ordering() {
+        let scores = [0.1f32, 0.9, 0.5, 0.7, 0.3];
+        assert_eq!(top_k_masked(&scores, &[], 3), vec![1, 3, 2]);
+        assert_eq!(top_k_masked(&scores, &[], 5), vec![1, 3, 2, 4, 0]);
+    }
+
+    #[test]
+    fn masking_removes_train_positives() {
+        let scores = [0.1f32, 0.9, 0.5, 0.7, 0.3];
+        assert_eq!(top_k_masked(&scores, &[1, 3], 3), vec![2, 4, 0]);
+    }
+
+    #[test]
+    fn k_zero_and_oversized_k() {
+        let scores = [0.5f32, 0.4];
+        assert!(top_k_masked(&scores, &[], 0).is_empty());
+        assert_eq!(top_k_masked(&scores, &[], 10), vec![0, 1]);
+        assert_eq!(top_k_masked(&scores, &[0, 1], 10), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn ties_break_by_lower_id() {
+        let scores = [0.5f32, 0.5, 0.5, 0.5];
+        assert_eq!(top_k_masked(&scores, &[], 2), vec![0, 1]);
+        assert_eq!(top_k_masked(&scores, &[0], 2), vec![1, 2]);
+    }
+
+    #[test]
+    fn matches_full_sort_reference() {
+        // Pseudo-random scores; compare against a full sort.
+        let scores: Vec<f32> =
+            (0..200).map(|i| (((i * 7919) % 997) as f32) / 997.0).collect();
+        let masked: Vec<u32> = (0..200).filter(|i| i % 7 == 0).collect();
+        let got = top_k_masked(&scores, &masked, 10);
+
+        let mut all: Vec<(f32, u32)> = scores
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i % 7 != 0)
+            .map(|(i, &s)| (s, i as u32))
+            .collect();
+        all.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        let expected: Vec<u32> = all.into_iter().take(10).map(|(_, i)| i).collect();
+        assert_eq!(got, expected);
+    }
+}

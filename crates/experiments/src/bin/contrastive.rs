@@ -1,0 +1,6 @@
+//! Runs the contrastive extension experiment (see bns-experiments crate docs).
+
+fn main() {
+    let args = bns_experiments::HarnessArgs::from_env();
+    print!("{}", bns_experiments::experiments::contrastive::run(&args));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig2 (see bns-experiments crate docs).
+
+fn main() {
+    let args = bns_experiments::HarnessArgs::from_env();
+    print!("{}", bns_experiments::experiments::fig2::run(&args));
+}

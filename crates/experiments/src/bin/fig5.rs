@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig5 (see bns-experiments crate docs).
+
+fn main() {
+    let args = bns_experiments::HarnessArgs::from_env();
+    print!("{}", bns_experiments::experiments::fig5::run(&args));
+}

@@ -1,0 +1,6 @@
+//! Runs the stability experiment (see bns-experiments crate docs).
+
+fn main() {
+    let args = bns_experiments::HarnessArgs::from_env();
+    print!("{}", bns_experiments::experiments::stability::run(&args));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's table3 (see bns-experiments crate docs).
+
+fn main() {
+    let args = bns_experiments::HarnessArgs::from_env();
+    print!("{}", bns_experiments::experiments::table3::run(&args));
+}

@@ -1,0 +1,58 @@
+//! Tiny CSV writer for machine-readable experiment outputs.
+
+use std::io::Write;
+use std::path::Path;
+
+/// Writes `rows` (plus a header) to `<dir>/<name>.csv`, creating the
+/// directory if needed. Cells containing commas/quotes/newlines are quoted.
+pub fn write_csv(
+    dir: &Path,
+    name: &str,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let file = std::fs::File::create(&path)?;
+    let mut w = std::io::BufWriter::new(file);
+    writeln!(w, "{}", header.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","))?;
+    for row in rows {
+        writeln!(w, "{}", row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","))?;
+    }
+    w.flush()?;
+    Ok(path)
+}
+
+fn escape(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_escapes() {
+        let dir = std::env::temp_dir().join("bns_csv_test");
+        let rows = vec![
+            vec!["a".to_string(), "1,5".to_string()],
+            vec!["b\"q".to_string(), "2".to_string()],
+        ];
+        let path = write_csv(&dir, "t", &["name", "value"], &rows).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "name,value\na,\"1,5\"\n\"b\"\"q\",2\n");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn empty_rows_is_header_only() {
+        let dir = std::env::temp_dir().join("bns_csv_test");
+        let path = write_csv(&dir, "empty", &["x"], &[]).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "x\n");
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,8 @@
+//! Shared harness infrastructure.
+
+pub mod cli;
+pub mod config;
+pub mod csv;
+pub mod paper;
+pub mod runner;
+pub mod table;

@@ -1,0 +1,136 @@
+//! Contrastive-learning extension (the paper's §VI future work):
+//! InfoNCE training where the K negatives per anchor come from a
+//! pluggable sampler. Compares uniform, hard (DNS) and Bayesian (BNS)
+//! negative selection under the contrastive objective.
+
+use crate::common::cli::HarnessArgs;
+use crate::common::config::RunConfig;
+use crate::common::csv::write_csv;
+use crate::common::runner::prepare_dataset;
+use crate::common::table::TextTable;
+use bns_core::{
+    build_sampler, train_contrastive, BnsConfig, ContrastiveConfig, PriorKind, SamplerConfig,
+};
+use bns_data::DatasetPreset;
+use bns_eval::evaluate_ranking;
+use bns_model::MatrixFactorization;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The samplers compared under InfoNCE.
+pub fn lineup() -> Vec<SamplerConfig> {
+    vec![
+        SamplerConfig::Rns,
+        SamplerConfig::Dns { m: 5 },
+        SamplerConfig::Bns { config: BnsConfig::default(), prior: PriorKind::Popularity },
+    ]
+}
+
+/// Runs the comparison; returns `(name, final loss, ndcg@10, ndcg@20)`.
+pub fn run_rows(cfg: &RunConfig) -> Vec<(&'static str, f64, f64, f64)> {
+    let preset = DatasetPreset::Ml100k;
+    let prepared = prepare_dataset(preset, cfg);
+    let ccfg = ContrastiveConfig {
+        epochs: cfg.epochs,
+        k_negatives: 8,
+        temperature: 0.5,
+        lr: 0.05,
+        reg: 1e-4,
+        seed: cfg.seed,
+    };
+    lineup()
+        .into_iter()
+        .map(|sampler_cfg| {
+            let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xCE);
+            let mut model = MatrixFactorization::new(
+                prepared.dataset.n_users(),
+                prepared.dataset.n_items(),
+                cfg.dim,
+                cfg.init_std,
+                &mut rng,
+            )
+            .expect("valid model");
+            let mut sampler =
+                build_sampler(&sampler_cfg, &prepared.dataset, Some(&prepared.occupations))
+                    .expect("valid sampler");
+            let stats =
+                train_contrastive(&mut model, &prepared.dataset, sampler.as_mut(), &ccfg)
+                    .expect("contrastive training");
+            let report = evaluate_ranking(&model, &prepared.dataset, &cfg.ks, cfg.threads);
+            (
+                sampler_cfg.display_name(),
+                stats.loss_per_epoch.last().copied().unwrap_or(0.0),
+                report.at(10).map(|r| r.ndcg).unwrap_or(0.0),
+                report.at(20).map(|r| r.ndcg).unwrap_or(0.0),
+            )
+        })
+        .collect()
+}
+
+/// Full experiment entry point.
+pub fn run(args: &HarnessArgs) -> String {
+    let cfg = RunConfig::from_args(args);
+    let rows = run_rows(&cfg);
+    let mut out = String::from(
+        "Contrastive extension — InfoNCE (K = 8, τ = 0.5) with pluggable negative\nselection on 100K / MF embeddings (paper §VI future work)\n\n",
+    );
+    let mut table = TextTable::new(vec!["negatives", "final loss", "NDCG@10", "NDCG@20"]);
+    for (name, loss, n10, n20) in &rows {
+        table.row(vec![
+            name.to_string(),
+            format!("{loss:.4}"),
+            format!("{n10:.4}"),
+            format!("{n20:.4}"),
+        ]);
+    }
+    out.push_str(&table.render());
+    let ndcg = |name: &str| rows.iter().find(|(n, ..)| *n == name).map(|r| r.3).unwrap_or(0.0);
+    out.push_str(&format!(
+        "\nShape check: BNS negatives ≥ RNS negatives under InfoNCE: {} ({:.4} vs {:.4})\n",
+        ndcg("BNS") >= ndcg("RNS") * 0.95,
+        ndcg("BNS"),
+        ndcg("RNS")
+    ));
+    if let Some(dir) = &args.csv {
+        let csv_rows: Vec<Vec<String>> = rows
+            .iter()
+            .map(|(n, l, a, b)| {
+                vec![n.to_string(), format!("{l:.6}"), format!("{a:.6}"), format!("{b:.6}")]
+            })
+            .collect();
+        match write_csv(dir, "contrastive", &["sampler", "loss", "ndcg10", "ndcg20"], &csv_rows)
+        {
+            Ok(path) => out.push_str(&format!("\ncsv: {}\n", path.display())),
+            Err(e) => out.push_str(&format!("\ncsv write failed: {e}\n")),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lineup_is_rns_dns_bns() {
+        let names: Vec<&str> = lineup().iter().map(|c| c.display_name()).collect();
+        assert_eq!(names, vec!["RNS", "DNS", "BNS"]);
+    }
+
+    #[test]
+    fn tiny_run_smoke() {
+        let cfg = RunConfig {
+            scale: 0.05,
+            epochs: 2,
+            dim: 8,
+            threads: 2,
+            ..RunConfig::default()
+        };
+        let rows = run_rows(&cfg);
+        assert_eq!(rows.len(), 3);
+        for (_, loss, n10, _) in rows {
+            assert!(loss.is_finite() && loss >= 0.0);
+            assert!((0.0..=1.0).contains(&n10));
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Fig. 3 — numerical surface of the normalized posterior `unbias(F, P_fn)`
+//! over the unit square, demonstrating monotone decrease in both arguments.
+
+use crate::common::cli::HarnessArgs;
+use crate::common::csv::write_csv;
+use bns_core::bns::unbias::unbias;
+
+/// Grid resolution per axis.
+pub const GRID: usize = 11;
+
+/// Evaluates the surface on a `GRID × GRID` lattice.
+pub fn surface() -> Vec<(f64, f64, f64)> {
+    let mut out = Vec::with_capacity(GRID * GRID);
+    for i in 0..GRID {
+        let f = i as f64 / (GRID - 1) as f64;
+        for j in 0..GRID {
+            let p = j as f64 / (GRID - 1) as f64;
+            out.push((f, p, unbias(f, p)));
+        }
+    }
+    out
+}
+
+/// Full experiment entry point.
+pub fn run(args: &HarnessArgs) -> String {
+    let grid = surface();
+    let mut out = String::from(
+        "Fig. 3 — normalized posterior unbias(F, P_fn)\nrows: F(x̂) from 0 to 1; cols: P_fn from 0 to 1\n\n",
+    );
+    out.push_str("  F\\P  ");
+    for j in 0..GRID {
+        out.push_str(&format!("{:>5.1}", j as f64 / (GRID - 1) as f64));
+    }
+    out.push('\n');
+    for i in 0..GRID {
+        let f = i as f64 / (GRID - 1) as f64;
+        out.push_str(&format!("  {f:>4.1} "));
+        for j in 0..GRID {
+            let (_, _, u) = grid[i * GRID + j];
+            out.push_str(&format!("{u:>5.2}"));
+        }
+        out.push('\n');
+    }
+    out.push_str(
+        "\nShape checks: monotone decreasing along every row and column;\n\
+         unbias ∈ [0, 1]; unbias(F, 0.5) = 1 − F (paper Fig. 3).\n",
+    );
+    if let Some(dir) = &args.csv {
+        let rows: Vec<Vec<String>> = grid
+            .iter()
+            .map(|(f, p, u)| {
+                vec![format!("{f:.3}"), format!("{p:.3}"), format!("{u:.6}")]
+            })
+            .collect();
+        match write_csv(dir, "fig3", &["f_hat", "p_fn", "unbias"], &rows) {
+            Ok(path) => out.push_str(&format!("\ncsv: {}\n", path.display())),
+            Err(e) => out.push_str(&format!("\ncsv write failed: {e}\n")),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surface_has_full_grid_and_valid_range() {
+        let s = surface();
+        assert_eq!(s.len(), GRID * GRID);
+        for &(f, p, u) in &s {
+            assert!((0.0..=1.0).contains(&f));
+            assert!((0.0..=1.0).contains(&p));
+            assert!((0.0..=1.0).contains(&u), "unbias({f},{p}) = {u}");
+        }
+    }
+
+    #[test]
+    fn neutral_prior_diagonal() {
+        // unbias(F, 0.5) = 1 − F.
+        for &(f, p, u) in &surface() {
+            if (p - 0.5).abs() < 1e-9 {
+                assert!((u - (1.0 - f)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = run(&HarnessArgs::default());
+        assert!(r.contains("F\\P"));
+        assert!(r.lines().count() > GRID);
+    }
+}

@@ -1,0 +1,184 @@
+//! Fig. 4 — sampling quality per epoch on MovieLens-100K / MF.
+//!
+//! Tracks the true-negative rate (Eq. 33) and signed informativeness
+//! (Eq. 34) of every sampler: the six Table II samplers plus the pure
+//! posterior criterion of Eq. (35) ("BNS-post"). The paper's shape: BNS's
+//! TNR is closest to 1; hard samplers (AOBPR/DNS) have the worst TNR; the
+//! static samplers sit at the base rate; INF decays as training converges.
+
+use crate::common::cli::HarnessArgs;
+use crate::common::config::{ModelKind, RunConfig};
+use crate::common::csv::write_csv;
+use crate::common::runner::{prepare_dataset, train_model};
+use crate::common::table::TextTable;
+use bns_core::{BnsConfig, Criterion, PriorKind, SamplerConfig};
+use bns_data::DatasetPreset;
+use bns_eval::quality::EpochQuality;
+use bns_eval::QualityTracker;
+
+/// The Fig. 4 lineup: Table II samplers + the Eq. (35) posterior criterion.
+pub fn lineup() -> Vec<(&'static str, SamplerConfig)> {
+    let mut v: Vec<(&'static str, SamplerConfig)> = vec![
+        ("RNS", SamplerConfig::Rns),
+        ("PNS", SamplerConfig::Pns),
+        ("AOBPR", SamplerConfig::Aobpr { lambda_frac: 0.05 }),
+        ("DNS", SamplerConfig::Dns { m: 5 }),
+        ("SRNS", SamplerConfig::Srns { s1: 20, s2: 5, alpha: 1.0 }),
+        (
+            "BNS",
+            SamplerConfig::Bns { config: BnsConfig::default(), prior: PriorKind::Popularity },
+        ),
+    ];
+    v.push((
+        "BNS-post",
+        SamplerConfig::Bns {
+            config: BnsConfig { criterion: Criterion::PosteriorMax, ..BnsConfig::default() },
+            prior: PriorKind::Popularity,
+        },
+    ));
+    v
+}
+
+/// Runs every sampler and returns its per-epoch quality history.
+pub fn run_histories(cfg: &RunConfig) -> Vec<(&'static str, Vec<EpochQuality>)> {
+    let preset = DatasetPreset::Ml100k;
+    let prepared = prepare_dataset(preset, cfg);
+    lineup()
+        .into_iter()
+        .map(|(name, sampler)| {
+            let mut tracker = QualityTracker::new(&prepared.dataset);
+            train_model(&prepared, preset, ModelKind::Mf, &sampler, cfg, &mut tracker);
+            (name, tracker.history().to_vec())
+        })
+        .collect()
+}
+
+/// Full experiment entry point.
+pub fn run(args: &HarnessArgs) -> String {
+    let cfg = RunConfig::from_args(args);
+    let histories = run_histories(&cfg);
+    let mut out = String::from("Fig. 4 — sampling quality per epoch (100K / MF)\n\n");
+
+    // TNR table at a few representative epochs + run tail.
+    let probe: Vec<usize> = {
+        let last = cfg.epochs - 1;
+        let mut eps = vec![0, cfg.epochs / 4, cfg.epochs / 2, last];
+        eps.dedup();
+        eps
+    };
+    let mut header: Vec<String> = vec!["sampler".into()];
+    header.extend(probe.iter().map(|e| format!("TNR@e{e}")));
+    header.push("tail TNR".into());
+    header.extend(probe.iter().map(|e| format!("INF@e{e}")));
+    let mut table = TextTable::new(header);
+    for (name, hist) in &histories {
+        let mut cells = vec![name.to_string()];
+        for &e in &probe {
+            cells.push(format!("{:.3}", hist.get(e).map(|q| q.tnr).unwrap_or(0.0)));
+        }
+        let tail_n = (cfg.epochs / 5).max(1);
+        let tail: f64 = hist
+            .iter()
+            .rev()
+            .take(tail_n)
+            .map(|q| q.tnr)
+            .sum::<f64>()
+            / tail_n as f64;
+        cells.push(format!("{tail:.3}"));
+        for &e in &probe {
+            cells.push(format!("{:+.3}", hist.get(e).map(|q| q.inf).unwrap_or(0.0)));
+        }
+        table.row(cells);
+    }
+    out.push_str(&table.render());
+
+    // Shape checks.
+    let tail_tnr = |name: &str| -> f64 {
+        let tail_n = (cfg.epochs / 5).max(1);
+        histories
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, h)| {
+                h.iter().rev().take(tail_n).map(|q| q.tnr).sum::<f64>() / tail_n as f64
+            })
+            .unwrap_or(0.0)
+    };
+    let (bns_post, bns, rns, dns, aobpr) = (
+        tail_tnr("BNS-post"),
+        tail_tnr("BNS"),
+        tail_tnr("RNS"),
+        tail_tnr("DNS"),
+        tail_tnr("AOBPR"),
+    );
+    out.push_str("\nShape checks (paper Fig. 4):\n");
+    // §IV-B2: the posterior criterion (Eq. 35) is the one that "aims to
+    // select true negative instances" — its TNR must be closest to 1.
+    out.push_str(&format!(
+        "  posterior criterion has best TNR: {} (BNS-post {:.3} vs best other {:.3})\n",
+        [bns, rns, dns, aobpr].iter().all(|&t| bns_post >= t),
+        bns_post,
+        [bns, rns, dns, aobpr].iter().cloned().fold(0.0f64, f64::max)
+    ));
+    out.push_str(&format!(
+        "  min-risk BNS trades TNR for info: sits between DNS and RNS: {} ({:.3} in [{:.3}, {:.3}])\n",
+        bns >= dns.min(rns) && bns <= dns.max(rns) + 0.02,
+        bns,
+        dns.min(rns),
+        dns.max(rns)
+    ));
+    out.push_str(&format!(
+        "  hard samplers have lowest TNR:   {} (DNS {:.3}, AOBPR {:.3} < RNS {:.3})\n",
+        dns < rns && aobpr < rns,
+        dns,
+        aobpr,
+        rns
+    ));
+    if let Some(dir) = &args.csv {
+        let mut rows = Vec::new();
+        for (name, hist) in &histories {
+            for q in hist {
+                rows.push(vec![
+                    name.to_string(),
+                    q.epoch.to_string(),
+                    format!("{:.6}", q.tnr),
+                    format!("{:.6}", q.inf),
+                    q.tn.to_string(),
+                    q.fn_.to_string(),
+                ]);
+            }
+        }
+        match write_csv(dir, "fig4", &["sampler", "epoch", "tnr", "inf", "tn", "fn"], &rows) {
+            Ok(path) => out.push_str(&format!("\ncsv: {}\n", path.display())),
+            Err(e) => out.push_str(&format!("\ncsv write failed: {e}\n")),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lineup_has_seven_entries() {
+        assert_eq!(lineup().len(), 7);
+    }
+
+    #[test]
+    fn histories_cover_every_epoch() {
+        let cfg = RunConfig {
+            scale: 0.05,
+            epochs: 3,
+            dim: 8,
+            ..RunConfig::default()
+        };
+        let histories = run_histories(&cfg);
+        assert_eq!(histories.len(), 7);
+        for (name, h) in &histories {
+            assert_eq!(h.len(), 3, "{name} history incomplete");
+            for q in h {
+                assert!((0.0..=1.0).contains(&q.tnr));
+            }
+        }
+    }
+}

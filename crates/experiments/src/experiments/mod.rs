@@ -1,0 +1,14 @@
+//! One module per reproduced table/figure.
+
+pub mod ablation;
+pub mod contrastive;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod stability;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;

@@ -1,0 +1,80 @@
+//! Table I — dataset statistics.
+//!
+//! Prints the measured statistics of the generated stand-ins next to the
+//! paper's published counts, plus density / degree / popularity-skew
+//! diagnostics that justify the synthetic substitution (DESIGN.md §3).
+
+use crate::common::cli::HarnessArgs;
+use crate::common::config::RunConfig;
+use crate::common::csv::write_csv;
+use crate::common::runner::prepare_dataset;
+use crate::common::table::TextTable;
+use bns_data::{DatasetPreset, DatasetStats};
+
+/// Runs the experiment and returns the rendered report.
+pub fn run(args: &HarnessArgs) -> String {
+    let cfg = RunConfig::from_args(args);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Table I — dataset statistics (scale {:.2}; paper counts in parentheses)\n\n",
+        cfg.scale
+    ));
+    let mut table = TextTable::new(vec![
+        "dataset", "users", "items", "train", "test", "density", "deg/user", "gini",
+    ]);
+    let mut csv_rows = Vec::new();
+    for preset in DatasetPreset::ALL {
+        let prepared = prepare_dataset(preset, &cfg);
+        let s = DatasetStats::of(&prepared.dataset);
+        let (pu, pi, pn) = preset.paper_counts();
+        let paper_train = (pn as f64 * 0.8).round() as usize;
+        let paper_test = pn - paper_train;
+        table.row(vec![
+            preset.name().to_string(),
+            format!("{} ({})", s.users, pu),
+            format!("{} ({})", s.items, pi),
+            format!("{} ({})", s.train_size, paper_train),
+            format!("{} ({})", s.test_size, paper_test),
+            format!("{:.4}", s.density),
+            format!("{:.1}", s.mean_user_degree),
+            format!("{:.3}", s.popularity_gini),
+        ]);
+        csv_rows.push(vec![
+            preset.name().to_string(),
+            s.users.to_string(),
+            s.items.to_string(),
+            s.train_size.to_string(),
+            s.test_size.to_string(),
+            format!("{:.6}", s.density),
+            format!("{:.3}", s.mean_user_degree),
+            format!("{:.4}", s.popularity_gini),
+        ]);
+    }
+    out.push_str(&table.render());
+    if let Some(dir) = &args.csv {
+        let header =
+            ["dataset", "users", "items", "train", "test", "density", "deg_per_user", "gini"];
+        match write_csv(dir, "table1", &header, &csv_rows) {
+            Ok(path) => out.push_str(&format!("\ncsv: {}\n", path.display())),
+            Err(e) => out.push_str(&format!("\ncsv write failed: {e}\n")),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_three_rows() {
+        let args = HarnessArgs { scale: 0.05, ..HarnessArgs::default() };
+        let report = run(&args);
+        assert!(report.contains("MovieLens-100K"));
+        assert!(report.contains("MovieLens-1M"));
+        assert!(report.contains("Yahoo!-R3"));
+        // Paper counts are cited.
+        assert!(report.contains("(943)"));
+        assert!(report.contains("(6040)"));
+    }
+}

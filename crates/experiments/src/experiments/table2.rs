@@ -1,0 +1,186 @@
+//! Table II — recommendation performance of six samplers × two models ×
+//! three datasets, P/R/NDCG @ {5, 10, 20}.
+//!
+//! Measured values are printed with the paper's value in parentheses. The
+//! claim being reproduced is the *shape*: BNS best (or second) everywhere,
+//! DNS the strongest baseline, PNS below RNS.
+
+use crate::common::cli::HarnessArgs;
+use crate::common::config::{ModelKind, RunConfig};
+use crate::common::csv::write_csv;
+use crate::common::paper::table2_lookup;
+use crate::common::runner::{prepare_dataset, train_and_eval};
+use crate::common::table::{fmt_vs, TextTable};
+use bns_core::SamplerConfig;
+use bns_data::DatasetPreset;
+use bns_eval::RankingReport;
+
+/// One measured result row.
+#[derive(Debug, Clone)]
+pub struct ComboResult {
+    /// Dataset short name as used in the paper table.
+    pub dataset: &'static str,
+    /// Model name.
+    pub model: &'static str,
+    /// Sampler name.
+    pub method: &'static str,
+    /// Measured metrics `[P5, R5, N5, P10, R10, N10, P20, R20, N20]`.
+    pub metrics: [f64; 9],
+    /// Training wall-clock seconds.
+    pub train_seconds: f64,
+}
+
+fn flatten(report: &RankingReport) -> [f64; 9] {
+    let mut out = [0.0; 9];
+    for (i, row) in report.rows.iter().enumerate().take(3) {
+        out[i * 3] = row.precision;
+        out[i * 3 + 1] = row.recall;
+        out[i * 3 + 2] = row.ndcg;
+    }
+    out
+}
+
+fn paper_key(preset: DatasetPreset) -> &'static str {
+    match preset {
+        DatasetPreset::Ml100k => "100K",
+        DatasetPreset::Ml1m => "1M",
+        DatasetPreset::YahooR3 => "Yahoo",
+    }
+}
+
+/// Runs the full grid (or a subset of datasets) and returns result rows.
+pub fn run_grid(cfg: &RunConfig, presets: &[DatasetPreset]) -> Vec<ComboResult> {
+    let mut results = Vec::new();
+    for &preset in presets {
+        let prepared = prepare_dataset(preset, cfg);
+        for kind in [ModelKind::Mf, ModelKind::LightGcn] {
+            for sampler in SamplerConfig::paper_lineup() {
+                let (report, stats) =
+                    train_and_eval(&prepared, preset, kind, &sampler, cfg);
+                results.push(ComboResult {
+                    dataset: paper_key(preset),
+                    model: kind.name(),
+                    method: sampler.display_name(),
+                    metrics: flatten(&report),
+                    train_seconds: stats.wall_seconds,
+                });
+            }
+        }
+    }
+    results
+}
+
+/// Renders the Table II report.
+pub fn render(results: &[ComboResult]) -> String {
+    let mut out = String::from(
+        "Table II — recommendation performance, measured (paper)\n\n",
+    );
+    let mut table = TextTable::new(vec![
+        "dataset", "model", "method", "P@5", "R@5", "N@5", "P@10", "R@10", "N@10", "P@20",
+        "R@20", "N@20",
+    ]);
+    for r in results {
+        let paper = table2_lookup(r.dataset, r.model, r.method);
+        let mut cells = vec![r.dataset.to_string(), r.model.to_string(), r.method.to_string()];
+        for i in 0..9 {
+            cells.push(fmt_vs(r.metrics[i], paper.map(|p| p[i])));
+        }
+        table.row(cells);
+    }
+    out.push_str(&table.render());
+    out.push_str(&shape_checks(results));
+    out
+}
+
+/// Textual verdicts on the paper's qualitative claims.
+pub fn shape_checks(results: &[ComboResult]) -> String {
+    let mut out = String::from("\nShape checks (paper's qualitative claims):\n");
+    let get = |ds: &str, model: &str, method: &str| -> Option<&ComboResult> {
+        results
+            .iter()
+            .find(|r| r.dataset == ds && r.model == model && r.method == method)
+    };
+    let mut bns_best_or_second = 0usize;
+    let mut blocks = 0usize;
+    let mut rns_beats_pns = 0usize;
+    for ds in ["100K", "1M", "Yahoo"] {
+        for model in ["MF", "LightGCN"] {
+            let Some(bns) = get(ds, model, "BNS") else { continue };
+            blocks += 1;
+            // NDCG@10 comparison across methods.
+            let mut ndcgs: Vec<(f64, &str)> = ["RNS", "PNS", "AOBPR", "DNS", "SRNS", "BNS"]
+                .iter()
+                .filter_map(|m| get(ds, model, m).map(|r| (r.metrics[5], *m)))
+                .collect();
+            ndcgs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+            let rank = ndcgs.iter().position(|(_, m)| *m == "BNS").unwrap_or(9);
+            if rank <= 1 {
+                bns_best_or_second += 1;
+            }
+            let _ = bns;
+            if let (Some(rns), Some(pns)) = (get(ds, model, "RNS"), get(ds, model, "PNS")) {
+                if rns.metrics[5] >= pns.metrics[5] {
+                    rns_beats_pns += 1;
+                }
+            }
+        }
+    }
+    out.push_str(&format!(
+        "  BNS best-or-second on NDCG@10: {bns_best_or_second}/{blocks} blocks (paper: all)\n"
+    ));
+    out.push_str(&format!(
+        "  RNS >= PNS on NDCG@10:         {rns_beats_pns}/{blocks} blocks (paper: all)\n"
+    ));
+    out
+}
+
+/// Full experiment entry point.
+pub fn run(args: &HarnessArgs) -> String {
+    let cfg = RunConfig::from_args(args);
+    let results = run_grid(&cfg, &DatasetPreset::ALL);
+    let mut out = render(&results);
+    if let Some(dir) = &args.csv {
+        let header = [
+            "dataset", "model", "method", "p5", "r5", "n5", "p10", "r10", "n10", "p20",
+            "r20", "n20", "train_seconds",
+        ];
+        let rows: Vec<Vec<String>> = results
+            .iter()
+            .map(|r| {
+                let mut row =
+                    vec![r.dataset.to_string(), r.model.to_string(), r.method.to_string()];
+                row.extend(r.metrics.iter().map(|m| format!("{m:.6}")));
+                row.push(format!("{:.3}", r.train_seconds));
+                row
+            })
+            .collect();
+        match write_csv(dir, "table2", &header, &rows) {
+            Ok(path) => out.push_str(&format!("\ncsv: {}\n", path.display())),
+            Err(e) => out.push_str(&format!("\ncsv write failed: {e}\n")),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_grid_runs_and_renders() {
+        let cfg = RunConfig {
+            scale: 0.05,
+            epochs: 2,
+            dim: 8,
+            threads: 2,
+            ..RunConfig::default()
+        };
+        let results = run_grid(&cfg, &[DatasetPreset::Ml100k]);
+        assert_eq!(results.len(), 2 * 6);
+        let rendered = render(&results);
+        assert!(rendered.contains("BNS"));
+        assert!(rendered.contains("Shape checks"));
+        // Paper reference values present.
+        assert!(rendered.contains("(0.4205)"));
+    }
+}

@@ -1,0 +1,57 @@
+//! # bns-model — recommendation models for the BNS reproduction
+//!
+//! The paper evaluates negative samplers inside two recommendation models
+//! (§IV-A3): classic matrix factorization (MF, Koren et al.) and LightGCN
+//! (He et al., SIGIR 2020), both trained with the pairwise BPR objective of
+//! Eq. (1). This crate implements both from scratch:
+//!
+//! * [`embedding`] — flat row-major `f32` embedding tables with seeded
+//!   initialization.
+//! * [`scorer`] — the [`scorer::Scorer`] trait (read-only score access
+//!   used by samplers and evaluation) and the [`scorer::PairwiseModel`]
+//!   trait (adds BPR updates).
+//! * [`mf`] — matrix factorization with per-triple SGD (the paper trains MF
+//!   with batch size 1).
+//! * [`lightgcn`] — LightGCN: symmetric-normalized bipartite adjacency,
+//!   K-layer propagation with mean layer combination, and the exact
+//!   transposed-propagation backward pass.
+//! * [`optim`] — learning-rate schedules (constant, and the step decay the
+//!   paper uses for LightGCN) and SGD hyperparameters.
+//! * [`loss`] — sigmoid / BPR loss / the `info(·)` gradient magnitude of
+//!   Eq. (4).
+
+pub mod embedding;
+pub mod lightgcn;
+pub mod loss;
+pub mod mf;
+pub mod optim;
+pub mod scorer;
+
+pub use embedding::Embedding;
+pub use lightgcn::LightGcn;
+pub use mf::MatrixFactorization;
+pub use optim::{LrSchedule, SgdConfig};
+pub use scorer::{PairwiseModel, Scorer};
+
+/// Errors produced by the model layer.
+#[derive(Debug)]
+pub enum ModelError {
+    /// A hyperparameter was outside its valid domain.
+    InvalidConfig(String),
+    /// Model/dataset shape mismatch.
+    ShapeMismatch(String),
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::InvalidConfig(m) => write!(f, "invalid model config: {m}"),
+            ModelError::ShapeMismatch(m) => write!(f, "shape mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ModelError>;

@@ -1,0 +1,102 @@
+//! BPR loss pieces shared by models and samplers.
+
+/// Numerically stable logistic sigmoid `σ(x) = 1 / (1 + e^{−x})`.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        let z = (-x).exp();
+        1.0 / (1.0 + z)
+    } else {
+        let z = x.exp();
+        z / (1.0 + z)
+    }
+}
+
+/// The paper's informativeness measure (Eq. 4):
+/// `info(j) = 1 − σ(x̂ᵤᵢ − x̂ᵤⱼ)` — the BPR gradient magnitude contributed by
+/// the triple `(u, i, j)`.
+#[inline]
+pub fn info(score_pos: f32, score_neg: f32) -> f32 {
+    1.0 - sigmoid(score_pos - score_neg)
+}
+
+/// BPR log-likelihood term `ln σ(x̂ᵤᵢ − x̂ᵤⱼ)` (Eq. 1), computed stably via
+/// `ln σ(x) = −softplus(−x)`.
+#[inline]
+pub fn bpr_log_likelihood(score_pos: f32, score_neg: f32) -> f32 {
+    let x = score_pos - score_neg;
+    -softplus(-x)
+}
+
+/// Numerically stable `softplus(x) = ln(1 + e^x)`.
+#[inline]
+pub fn softplus(x: f32) -> f32 {
+    if x > 0.0 {
+        x + (-x).exp().ln_1p()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_reference_values() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!((sigmoid(2.0) - 0.880_797).abs() < 1e-5);
+        assert!((sigmoid(-2.0) - 0.119_203).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sigmoid_symmetry() {
+        for &x in &[0.1f32, 1.0, 3.0, 10.0] {
+            assert!((sigmoid(x) + sigmoid(-x) - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sigmoid_saturation_is_stable() {
+        assert_eq!(sigmoid(100.0), 1.0);
+        assert!(sigmoid(-100.0) < 1e-40);
+        assert!(sigmoid(1e10).is_finite());
+        assert!(sigmoid(-1e10).is_finite());
+    }
+
+    #[test]
+    fn info_semantics() {
+        // Equal scores: gradient magnitude 1/2.
+        assert!((info(1.0, 1.0) - 0.5).abs() < 1e-7);
+        // Positive scored far above negative: gradient vanishes (the paper's
+        // "excessively small x̂ᵤⱼ ⇒ info → 0").
+        assert!(info(10.0, -10.0) < 1e-6);
+        // Negative scored far above positive: info → 1 (hard negative).
+        assert!(info(-10.0, 10.0) > 1.0 - 1e-6);
+        // info is decreasing in (pos − neg).
+        assert!(info(1.0, 0.0) < info(0.5, 0.0));
+    }
+
+    #[test]
+    fn bpr_likelihood_matches_naive() {
+        for &(p, n) in &[(1.0f32, 0.0f32), (0.0, 1.0), (3.0, -2.0)] {
+            let naive = (sigmoid(p - n) as f64).ln();
+            assert!((bpr_log_likelihood(p, n) as f64 - naive).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn bpr_likelihood_extremes_finite() {
+        assert!(bpr_log_likelihood(-100.0, 100.0).is_finite());
+        assert!(bpr_log_likelihood(100.0, -100.0) <= 0.0);
+    }
+
+    #[test]
+    fn softplus_positive_and_monotone() {
+        assert!(softplus(-5.0) > 0.0);
+        assert!(softplus(0.0) > softplus(-1.0));
+        assert!((softplus(0.0) - std::f32::consts::LN_2).abs() < 1e-6);
+        // For large x, softplus(x) ≈ x.
+        assert!((softplus(50.0) - 50.0).abs() < 1e-4);
+    }
+}

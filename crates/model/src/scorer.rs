@@ -1,0 +1,156 @@
+//! Model traits: read-only scoring and pairwise training.
+//!
+//! Negative samplers and the evaluation protocol only need scores, so they
+//! work against [`Scorer`]. The training loop (Algorithm 1 of the paper,
+//! implemented in `bns-core::trainer`) additionally needs BPR updates and
+//! batch hooks, provided by [`PairwiseModel`].
+
+/// Read-only access to predicted scores `x̂ᵤᵢ`.
+pub trait Scorer {
+    /// Number of users in the model.
+    fn n_users(&self) -> u32;
+
+    /// Number of items in the model.
+    fn n_items(&self) -> u32;
+
+    /// Predicted score of a single `(user, item)` pair.
+    fn score(&self, u: u32, i: u32) -> f32;
+
+    /// Fills `out` (length `n_items`) with user `u`'s scores for every item
+    /// — the "rating vector x̂ᵤ" of Algorithm 1, line 4. Implementations
+    /// should specialize this; the default loops over [`Scorer::score`].
+    fn score_all(&self, u: u32, out: &mut [f32]) {
+        debug_assert_eq!(out.len(), self.n_items() as usize);
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.score(u, i as u32);
+        }
+    }
+}
+
+/// A model trainable with pairwise BPR updates.
+///
+/// The batch protocol mirrors mini-batch training: the trainer calls
+/// [`PairwiseModel::begin_batch`], then [`PairwiseModel::accumulate_triple`]
+/// once per sampled triple, then [`PairwiseModel::end_batch`]. MF (trained
+/// with batch size 1 in the paper) applies updates immediately inside
+/// `accumulate_triple`; LightGCN accumulates gradients on the propagated
+/// embeddings and backpropagates once per batch.
+pub trait PairwiseModel: Scorer {
+    /// Called once per epoch before any batch (LightGCN refreshes its
+    /// propagated embeddings here; MF is a no-op).
+    fn begin_epoch(&mut self, epoch: usize);
+
+    /// Called before each mini-batch.
+    fn begin_batch(&mut self);
+
+    /// Processes one training triple `(u, i, j)` and returns the
+    /// informativeness `info(j) = 1 − σ(x̂ᵤᵢ − x̂ᵤⱼ)` of the sampled
+    /// negative (Eq. 4), which the quality probes record.
+    fn accumulate_triple(&mut self, u: u32, pos: u32, neg: u32, lr: f32, reg: f32) -> f32;
+
+    /// Called after each mini-batch; applies accumulated gradients.
+    fn end_batch(&mut self, lr: f32, reg: f32);
+
+    /// Mean BPR log-likelihood over the given triples (diagnostics).
+    fn mean_bpr_ll(&self, triples: &[(u32, u32, u32)]) -> f64 {
+        if triples.is_empty() {
+            return 0.0;
+        }
+        triples
+            .iter()
+            .map(|&(u, i, j)| {
+                crate::loss::bpr_log_likelihood(self.score(u, i), self.score(u, j)) as f64
+            })
+            .sum::<f64>()
+            / triples.len() as f64
+    }
+}
+
+/// A fixed score table, useful for deterministic tests of samplers and
+/// metrics (also used by the Fig. 3 harness where scores are synthetic).
+#[derive(Debug, Clone)]
+pub struct FixedScorer {
+    n_users: u32,
+    n_items: u32,
+    /// Row-major `n_users × n_items` scores.
+    scores: Vec<f32>,
+}
+
+impl FixedScorer {
+    /// Wraps a dense score table.
+    pub fn new(n_users: u32, n_items: u32, scores: Vec<f32>) -> Self {
+        assert_eq!(
+            scores.len(),
+            n_users as usize * n_items as usize,
+            "score table shape mismatch"
+        );
+        Self { n_users, n_items, scores }
+    }
+
+    /// Mutable access for test setup.
+    pub fn set(&mut self, u: u32, i: u32, s: f32) {
+        self.scores[u as usize * self.n_items as usize + i as usize] = s;
+    }
+}
+
+impl Scorer for FixedScorer {
+    fn n_users(&self) -> u32 {
+        self.n_users
+    }
+
+    fn n_items(&self) -> u32 {
+        self.n_items
+    }
+
+    fn score(&self, u: u32, i: u32) -> f32 {
+        self.scores[u as usize * self.n_items as usize + i as usize]
+    }
+
+    fn score_all(&self, u: u32, out: &mut [f32]) {
+        let row =
+            &self.scores[u as usize * self.n_items as usize..(u as usize + 1) * self.n_items as usize];
+        out.copy_from_slice(row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_scorer_round_trip() {
+        let mut s = FixedScorer::new(2, 3, vec![0.0; 6]);
+        s.set(1, 2, 4.5);
+        assert_eq!(s.score(1, 2), 4.5);
+        assert_eq!(s.score(0, 0), 0.0);
+        let mut out = vec![0.0f32; 3];
+        s.score_all(1, &mut out);
+        assert_eq!(out, vec![0.0, 0.0, 4.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn fixed_scorer_validates_shape() {
+        FixedScorer::new(2, 3, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn default_score_all_matches_score() {
+        // A scorer that only implements `score`.
+        struct Diag;
+        impl Scorer for Diag {
+            fn n_users(&self) -> u32 {
+                1
+            }
+            fn n_items(&self) -> u32 {
+                4
+            }
+            fn score(&self, _u: u32, i: u32) -> f32 {
+                i as f32 * 2.0
+            }
+        }
+        let mut out = vec![0.0f32; 4];
+        Diag.score_all(0, &mut out);
+        assert_eq!(out, vec![0.0, 2.0, 4.0, 6.0]);
+    }
+}

@@ -1,0 +1,179 @@
+//! Alias-method weighted discrete sampling (Walker/Vose).
+//!
+//! The PNS baseline samples items with probability proportional to
+//! `popularity^0.75`; with the alias method the per-draw cost is O(1) after
+//! an O(n) build, which keeps the popularity-biased sampler on the same
+//! complexity budget as uniform sampling.
+
+use crate::{Result, StatsError};
+use rand::Rng;
+
+/// Precomputed alias table for sampling indices `0..n` with fixed weights.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds a table from non-negative weights (not necessarily normalized).
+    ///
+    /// Fails on an empty slice, on non-finite or negative weights, and when
+    /// every weight is zero.
+    pub fn new(weights: &[f64]) -> Result<Self> {
+        if weights.is_empty() {
+            return Err(StatsError::EmptySample);
+        }
+        if weights.len() > u32::MAX as usize {
+            return Err(StatsError::InvalidParameter {
+                what: "AliasTable: more than u32::MAX outcomes",
+            });
+        }
+        let mut total = 0.0f64;
+        for &w in weights {
+            if !w.is_finite() || w < 0.0 {
+                return Err(StatsError::InvalidParameter {
+                    what: "AliasTable: weights must be finite and >= 0",
+                });
+            }
+            total += w;
+        }
+        if total <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                what: "AliasTable: at least one weight must be positive",
+            });
+        }
+
+        let n = weights.len();
+        let scale = n as f64 / total;
+        let mut prob = vec![0.0f64; n];
+        let mut alias = vec![0u32; n];
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+
+        // Vose's algorithm: split outcomes into under-full and over-full.
+        let mut small: Vec<u32> = Vec::with_capacity(n);
+        let mut large: Vec<u32> = Vec::with_capacity(n);
+        for (i, &p) in scaled.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            prob[s as usize] = scaled[s as usize];
+            alias[s as usize] = l;
+            scaled[l as usize] = (scaled[l as usize] + scaled[s as usize]) - 1.0;
+            if scaled[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Leftovers are exactly full (modulo fp error).
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+            alias[i as usize] = i;
+        }
+        Ok(Self { prob, alias })
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Always false: construction rejects empty weight vectors.
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one index in O(1).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let n = self.prob.len();
+        let i = rng.random_range(0..n);
+        let u: f64 = rng.random_range(0.0..1.0);
+        if u < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_weights() {
+        assert!(AliasTable::new(&[]).is_err());
+        assert!(AliasTable::new(&[0.0, 0.0]).is_err());
+        assert!(AliasTable::new(&[-1.0, 2.0]).is_err());
+        assert!(AliasTable::new(&[f64::NAN]).is_err());
+        assert!(AliasTable::new(&[f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn single_outcome() {
+        let t = AliasTable::new(&[3.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn zero_weight_is_never_sampled() {
+        let t = AliasTable::new(&[1.0, 0.0, 1.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..5_000 {
+            assert_ne!(t.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_match_weights() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let t = AliasTable::new(&weights).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 200_000usize;
+        let mut counts = [0usize; 4];
+        for _ in 0..n {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let expected = w / total;
+            let observed = counts[i] as f64 / n as f64;
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "outcome {i}: observed {observed}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn heavily_skewed_weights() {
+        let weights = [1000.0, 1.0];
+        let t = AliasTable::new(&weights).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000usize;
+        let ones = (0..n).filter(|_| t.sample(&mut rng) == 1).count();
+        let expected = n as f64 / 1001.0;
+        assert!(
+            (ones as f64 - expected).abs() < 5.0 * expected.sqrt() + 10.0,
+            "ones = {ones}, expected ≈ {expected}"
+        );
+    }
+
+    #[test]
+    fn large_table_builds() {
+        let weights: Vec<f64> = (1..=10_000).map(|i| i as f64).collect();
+        let t = AliasTable::new(&weights).unwrap();
+        assert_eq!(t.len(), 10_000);
+        assert!(!t.is_empty());
+    }
+}

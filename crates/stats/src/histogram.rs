@@ -1,0 +1,184 @@
+//! Uniform-bin histograms with density normalization.
+//!
+//! Fig. 1 of the paper shows the *density* of true-negative and
+//! false-negative scores at several training epochs; [`Histogram`] produces
+//! exactly those normalized bin heights.
+
+use crate::{Result, StatsError};
+
+/// A histogram over `[lo, hi)` with equally wide bins.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+    /// Observations outside `[lo, hi)`.
+    outliers: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with `bins` bins spanning `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self> {
+        if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                what: "Histogram: requires finite lo < hi",
+            });
+        }
+        if bins == 0 {
+            return Err(StatsError::InvalidParameter {
+                what: "Histogram: requires at least one bin",
+            });
+        }
+        Ok(Self { lo, hi, counts: vec![0; bins], total: 0, outliers: 0 })
+    }
+
+    /// Builds a histogram from data, with the range taken from the sample
+    /// (slightly widened so the maximum lands inside the last bin).
+    pub fn from_data(data: &[f64], bins: usize) -> Result<Self> {
+        if data.is_empty() {
+            return Err(StatsError::EmptySample);
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &x in data {
+            if !x.is_finite() {
+                return Err(StatsError::InvalidParameter {
+                    what: "Histogram: observations must be finite",
+                });
+            }
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        if lo == hi {
+            // Degenerate sample: widen artificially around the point.
+            lo -= 0.5;
+            hi += 0.5;
+        } else {
+            hi += (hi - lo) * 1e-9;
+        }
+        let mut h = Self::new(lo, hi, bins)?;
+        for &x in data {
+            h.add(x);
+        }
+        Ok(h)
+    }
+
+    /// Records one observation.
+    pub fn add(&mut self, x: f64) {
+        if x < self.lo || x >= self.hi || !x.is_finite() {
+            self.outliers += 1;
+            return;
+        }
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        let idx = (((x - self.lo) / w) as usize).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Bin width.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// Center of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        self.lo + self.bin_width() * (i as f64 + 0.5)
+    }
+
+    /// Raw counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total in-range observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Observations that fell outside the range.
+    pub fn outliers(&self) -> u64 {
+        self.outliers
+    }
+
+    /// Normalized density heights: `count / (total · bin_width)`, so the
+    /// histogram integrates to 1 (the quantity plotted in Fig. 1).
+    pub fn densities(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        let norm = 1.0 / (self.total as f64 * self.bin_width());
+        self.counts.iter().map(|&c| c as f64 * norm).collect()
+    }
+
+    /// `(bin_center, density)` pairs, ready for plotting/printing.
+    pub fn density_points(&self) -> Vec<(f64, f64)> {
+        self.densities()
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| (self.bin_center(i), d))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_config() {
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::from_data(&[], 4).is_err());
+        assert!(Histogram::from_data(&[f64::NAN], 4).is_err());
+    }
+
+    #[test]
+    fn counts_land_in_right_bins() {
+        let mut h = Histogram::new(0.0, 4.0, 4).unwrap();
+        for &x in &[0.5, 1.5, 1.6, 2.2, 3.9] {
+            h.add(x);
+        }
+        assert_eq!(h.counts(), &[1, 2, 1, 1]);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.outliers(), 0);
+    }
+
+    #[test]
+    fn out_of_range_goes_to_outliers() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.add(-0.1);
+        h.add(1.0); // hi is exclusive
+        h.add(f64::NAN);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.outliers(), 3);
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let data: Vec<f64> = (0..1000).map(|i| (i % 97) as f64 * 0.01).collect();
+        let h = Histogram::from_data(&data, 20).unwrap();
+        let integral: f64 = h.densities().iter().sum::<f64>() * h.bin_width();
+        assert!((integral - 1.0).abs() < 1e-9, "integral = {integral}");
+    }
+
+    #[test]
+    fn from_data_covers_extremes() {
+        let h = Histogram::from_data(&[1.0, 2.0, 3.0], 3).unwrap();
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.outliers(), 0);
+    }
+
+    #[test]
+    fn degenerate_sample_is_widened() {
+        let h = Histogram::from_data(&[5.0, 5.0], 4).unwrap();
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn bin_centers_are_midpoints() {
+        let h = Histogram::new(0.0, 1.0, 4).unwrap();
+        assert!((h.bin_center(0) - 0.125).abs() < 1e-12);
+        assert!((h.bin_center(3) - 0.875).abs() < 1e-12);
+    }
+}

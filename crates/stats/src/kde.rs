@@ -1,0 +1,154 @@
+//! Gaussian kernel density estimation.
+//!
+//! Fig. 1 of the paper draws smooth density curves for the true/false
+//! negative score populations; [`GaussianKde`] reproduces those curves from
+//! the recorded scores with Silverman's rule-of-thumb bandwidth.
+
+use crate::{Result, StatsError};
+
+/// A Gaussian KDE over a fixed sample.
+#[derive(Debug, Clone)]
+pub struct GaussianKde {
+    data: Vec<f64>,
+    bandwidth: f64,
+}
+
+impl GaussianKde {
+    /// Builds a KDE with Silverman's rule-of-thumb bandwidth
+    /// `h = 0.9 · min(σ̂, IQR/1.34) · n^{−1/5}`.
+    pub fn new(data: &[f64]) -> Result<Self> {
+        if data.is_empty() {
+            return Err(StatsError::EmptySample);
+        }
+        if data.iter().any(|x| !x.is_finite()) {
+            return Err(StatsError::InvalidParameter {
+                what: "GaussianKde: observations must be finite",
+            });
+        }
+        let n = data.len() as f64;
+        let mean = data.iter().sum::<f64>() / n;
+        let var = data.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n.max(2.0);
+        let sd = var.sqrt();
+
+        let mut sorted = data.to_vec();
+        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let q = |p: f64| -> f64 {
+            let idx = ((p * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
+            sorted[idx]
+        };
+        let iqr = q(0.75) - q(0.25);
+        let spread = if iqr > 0.0 { sd.min(iqr / 1.34) } else { sd };
+        let bandwidth = if spread > 0.0 {
+            0.9 * spread * n.powf(-0.2)
+        } else {
+            // Degenerate (constant) sample: any positive bandwidth works.
+            1e-3
+        };
+        Ok(Self { data: data.to_vec(), bandwidth })
+    }
+
+    /// Builds a KDE with an explicit bandwidth.
+    pub fn with_bandwidth(data: &[f64], bandwidth: f64) -> Result<Self> {
+        if data.is_empty() {
+            return Err(StatsError::EmptySample);
+        }
+        if !(bandwidth > 0.0) || !bandwidth.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                what: "GaussianKde: bandwidth must be finite and > 0",
+            });
+        }
+        Ok(Self { data: data.to_vec(), bandwidth })
+    }
+
+    /// The bandwidth in use.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Density estimate at `x`.
+    pub fn density(&self, x: f64) -> f64 {
+        let h = self.bandwidth;
+        let norm = 1.0 / (self.data.len() as f64 * h * (2.0 * std::f64::consts::PI).sqrt());
+        self.data
+            .iter()
+            .map(|&xi| {
+                let z = (x - xi) / h;
+                (-0.5 * z * z).exp()
+            })
+            .sum::<f64>()
+            * norm
+    }
+
+    /// Evaluates the density on an even grid of `points` values across
+    /// `[lo, hi]`, returning `(x, density)` pairs.
+    pub fn grid(&self, lo: f64, hi: f64, points: usize) -> Vec<(f64, f64)> {
+        if points == 0 {
+            return Vec::new();
+        }
+        if points == 1 {
+            return vec![(lo, self.density(lo))];
+        }
+        let step = (hi - lo) / (points - 1) as f64;
+        (0..points)
+            .map(|i| {
+                let x = lo + step * i as f64;
+                (x, self.density(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Continuous, Normal};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(GaussianKde::new(&[]).is_err());
+        assert!(GaussianKde::new(&[f64::NAN]).is_err());
+        assert!(GaussianKde::with_bandwidth(&[1.0], 0.0).is_err());
+    }
+
+    #[test]
+    fn integrates_to_one() {
+        let data: Vec<f64> = (0..200).map(|i| (i as f64 - 100.0) / 25.0).collect();
+        let kde = GaussianKde::new(&data).unwrap();
+        let pts = kde.grid(-15.0, 15.0, 3001);
+        let step = pts[1].0 - pts[0].0;
+        let integral: f64 = pts.iter().map(|&(_, d)| d).sum::<f64>() * step;
+        assert!((integral - 1.0).abs() < 1e-3, "integral = {integral}");
+    }
+
+    #[test]
+    fn recovers_normal_density_shape() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let n = Normal::standard();
+        let data = n.sample_n(&mut rng, 20_000);
+        let kde = GaussianKde::new(&data).unwrap();
+        for &x in &[-1.0, 0.0, 1.0] {
+            let err = (kde.density(x) - n.pdf(x)).abs();
+            assert!(err < 0.03, "density error {err} at {x}");
+        }
+    }
+
+    #[test]
+    fn constant_sample_is_handled() {
+        let kde = GaussianKde::new(&[2.0, 2.0, 2.0]).unwrap();
+        assert!(kde.density(2.0) > 0.0);
+        assert!(kde.bandwidth() > 0.0);
+    }
+
+    #[test]
+    fn grid_endpoints() {
+        let kde = GaussianKde::with_bandwidth(&[0.0], 1.0).unwrap();
+        let g = kde.grid(-1.0, 1.0, 5);
+        assert_eq!(g.len(), 5);
+        assert_eq!(g[0].0, -1.0);
+        assert_eq!(g[4].0, 1.0);
+        assert!(kde.grid(0.0, 1.0, 0).is_empty());
+        assert_eq!(kde.grid(0.5, 1.0, 1).len(), 1);
+    }
+}

@@ -1,0 +1,138 @@
+//! Kolmogorov–Smirnov statistics.
+//!
+//! Used throughout the test suites to check that (a) the from-scratch
+//! distribution samplers match their own cdfs, (b) the synthetic dataset
+//! generator produces the popularity law it promises, and (c) the recorded
+//! true-negative / false-negative score populations in the Fig. 1
+//! reproduction really do separate (two-sample KS distance grows with
+//! training epochs).
+
+/// One-sample KS statistic `D_n = sup_x |F_n(x) − F(x)|` against a reference
+/// cdf. `sorted` must be ascending; returns 0 for an empty sample.
+pub fn ks_statistic_against_cdf<F: Fn(f64) -> f64>(sorted: &[f64], cdf: F) -> f64 {
+    let n = sorted.len();
+    if n == 0 {
+        return 0.0;
+    }
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "sample must be sorted ascending"
+    );
+    let nf = n as f64;
+    let mut d: f64 = 0.0;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = cdf(x);
+        // ECDF jumps from i/n to (i+1)/n at x; check both sides of the jump.
+        let lo = i as f64 / nf;
+        let hi = (i + 1) as f64 / nf;
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    d
+}
+
+/// Two-sample KS statistic `sup_x |F_a(x) − F_b(x)|`.
+/// Both inputs must be sorted ascending; returns 0 if either is empty.
+pub fn ks_statistic_two_sample(a_sorted: &[f64], b_sorted: &[f64]) -> f64 {
+    if a_sorted.is_empty() || b_sorted.is_empty() {
+        return 0.0;
+    }
+    debug_assert!(a_sorted.windows(2).all(|w| w[0] <= w[1]));
+    debug_assert!(b_sorted.windows(2).all(|w| w[0] <= w[1]));
+    let (na, nb) = (a_sorted.len() as f64, b_sorted.len() as f64);
+    let mut i = 0usize;
+    let mut j = 0usize;
+    let mut d: f64 = 0.0;
+    while i < a_sorted.len() && j < b_sorted.len() {
+        let xa = a_sorted[i];
+        let xb = b_sorted[j];
+        if xa <= xb {
+            i += 1;
+        }
+        if xb <= xa {
+            j += 1;
+        }
+        d = d.max((i as f64 / na - j as f64 / nb).abs());
+    }
+    d
+}
+
+/// Approximate p-value for the one-sample KS statistic via the asymptotic
+/// Kolmogorov distribution `Q(λ) = 2 Σ (−1)^{k−1} e^{−2k²λ²}`.
+pub fn ks_p_value(d: f64, n: usize) -> f64 {
+    if n == 0 || d <= 0.0 {
+        return 1.0;
+    }
+    let sqrt_n = (n as f64).sqrt();
+    let lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+    let mut sum = 0.0f64;
+    let mut sign = 1.0f64;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64) * (k as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_fit_has_small_statistic() {
+        // Sample at exact uniform quantile midpoints: D = 1/(2n).
+        let n = 100;
+        let sorted: Vec<f64> = (0..n).map(|i| (i as f64 + 0.5) / n as f64).collect();
+        let d = ks_statistic_against_cdf(&sorted, |x| x.clamp(0.0, 1.0));
+        assert!((d - 0.005).abs() < 1e-12, "d = {d}");
+    }
+
+    #[test]
+    fn gross_mismatch_has_large_statistic() {
+        // Sample concentrated near 0 against a uniform cdf.
+        let sorted: Vec<f64> = (0..100).map(|i| i as f64 * 1e-4).collect();
+        let d = ks_statistic_against_cdf(&sorted, |x| x.clamp(0.0, 1.0));
+        assert!(d > 0.9, "d = {d}");
+    }
+
+    #[test]
+    fn empty_sample_is_zero() {
+        assert_eq!(ks_statistic_against_cdf(&[], |x| x), 0.0);
+        assert_eq!(ks_statistic_two_sample(&[], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn two_sample_identical_is_zero() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(ks_statistic_two_sample(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn two_sample_disjoint_is_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 11.0];
+        assert_eq!(ks_statistic_two_sample(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn two_sample_interleaved() {
+        let a = [1.0, 3.0, 5.0];
+        let b = [2.0, 4.0, 6.0];
+        let d = ks_statistic_two_sample(&a, &b);
+        assert!((d - 1.0 / 3.0).abs() < 1e-12, "d = {d}");
+    }
+
+    #[test]
+    fn p_value_behaviour() {
+        // Tiny statistic on a large sample: not significant.
+        assert!(ks_p_value(0.005, 100) > 0.9);
+        // Huge statistic: extremely significant.
+        assert!(ks_p_value(0.5, 100) < 1e-6);
+        // Degenerate inputs.
+        assert_eq!(ks_p_value(0.0, 100), 1.0);
+        assert_eq!(ks_p_value(0.3, 0), 1.0);
+    }
+}

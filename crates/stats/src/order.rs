@@ -1,0 +1,226 @@
+//! Order-statistic densities from the paper's §III-B.
+//!
+//! Given two iid score variables with pdf `f` and cdf `F`, sorted so that
+//! `X_tn ≤ X_fn` (the paper's order relation, Eq. 6/7), the class-conditional
+//! densities are
+//!
+//! * true negatives:  `g(x) = 2 f(x) (1 − F(x))`  — Eq. (9),
+//! * false negatives: `h(x) = 2 f(x) F(x)`        — Eq. (10).
+//!
+//! Proposition 0.1 of the paper shows both are valid densities; the tests
+//! here verify that claim numerically for several base distributions, and
+//! [`kth_order_density`] generalizes to the k-th order statistic of n draws
+//! (the pairwise case being `n = 2`).
+
+use crate::dist::Continuous;
+use crate::special::ln_gamma;
+use rand::Rng;
+
+/// Common interface of the derived order-statistic densities.
+pub trait OrderStatisticDensity {
+    /// Density value at `x`.
+    fn density(&self, x: f64) -> f64;
+
+    /// Cumulative distribution of the order statistic at `x`.
+    fn cdf(&self, x: f64) -> f64;
+}
+
+/// Density of the score of a **true negative**, `g(x) = 2 f(x)(1 − F(x))`.
+///
+/// This is the distribution of `min(X₁, X₂)` for two iid scores — the lower
+/// of the pair, matching the intuition that a model trained to rank positives
+/// high pushes true negatives low.
+#[derive(Debug, Clone, Copy)]
+pub struct TrueNegativeDensity<D: Continuous> {
+    base: D,
+}
+
+impl<D: Continuous> TrueNegativeDensity<D> {
+    /// Wraps a base score distribution.
+    pub fn new(base: D) -> Self {
+        Self { base }
+    }
+
+    /// The wrapped base distribution.
+    pub fn base(&self) -> &D {
+        &self.base
+    }
+
+    /// Draws a sample by taking the minimum of two base draws.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let a = self.base.sample(rng);
+        let b = self.base.sample(rng);
+        a.min(b)
+    }
+}
+
+impl<D: Continuous> OrderStatisticDensity for TrueNegativeDensity<D> {
+    fn density(&self, x: f64) -> f64 {
+        2.0 * self.base.pdf(x) * (1.0 - self.base.cdf(x))
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        // P(min ≤ x) = 1 − (1 − F)².
+        let s = 1.0 - self.base.cdf(x);
+        1.0 - s * s
+    }
+}
+
+/// Density of the score of a **false negative**, `h(x) = 2 f(x) F(x)`.
+///
+/// This is the distribution of `max(X₁, X₂)` — the higher of the pair.
+#[derive(Debug, Clone, Copy)]
+pub struct FalseNegativeDensity<D: Continuous> {
+    base: D,
+}
+
+impl<D: Continuous> FalseNegativeDensity<D> {
+    /// Wraps a base score distribution.
+    pub fn new(base: D) -> Self {
+        Self { base }
+    }
+
+    /// The wrapped base distribution.
+    pub fn base(&self) -> &D {
+        &self.base
+    }
+
+    /// Draws a sample by taking the maximum of two base draws.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let a = self.base.sample(rng);
+        let b = self.base.sample(rng);
+        a.max(b)
+    }
+}
+
+impl<D: Continuous> OrderStatisticDensity for FalseNegativeDensity<D> {
+    fn density(&self, x: f64) -> f64 {
+        2.0 * self.base.pdf(x) * self.base.cdf(x)
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        // P(max ≤ x) = F².
+        let f = self.base.cdf(x);
+        f * f
+    }
+}
+
+/// Density of the k-th order statistic (1-based) of `n` iid draws:
+///
+/// `f_(k)(x) = n!/((k−1)!(n−k)!) · F^{k−1} (1−F)^{n−k} f(x)`.
+///
+/// With `n = 2`: `k = 1` reproduces [`TrueNegativeDensity`] and `k = 2`
+/// reproduces [`FalseNegativeDensity`].
+pub fn kth_order_density<D: Continuous>(base: &D, n: usize, k: usize, x: f64) -> f64 {
+    assert!(k >= 1 && k <= n, "require 1 <= k <= n (k = {k}, n = {n})");
+    let f = base.cdf(x);
+    let ln_coeff = ln_gamma(n as f64 + 1.0)
+        - ln_gamma(k as f64)
+        - ln_gamma((n - k) as f64 + 1.0);
+    let pow = if k > 1 { f.powi(k as i32 - 1) } else { 1.0 }
+        * if n > k { (1.0 - f).powi((n - k) as i32) } else { 1.0 };
+    ln_coeff.exp() * pow * base.pdf(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::test_util::trapezoid;
+    use crate::{GammaDist, Normal, StudentT, UniformDist};
+
+    #[test]
+    fn uniform_closed_forms() {
+        // For U(0,1): g(x) = 2(1−x), h(x) = 2x.
+        let tn = TrueNegativeDensity::new(UniformDist::standard());
+        let fnd = FalseNegativeDensity::new(UniformDist::standard());
+        for &x in &[0.1, 0.25, 0.5, 0.9] {
+            assert!((tn.density(x) - 2.0 * (1.0 - x)).abs() < 1e-12);
+            assert!((fnd.density(x) - 2.0 * x).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn proposition_0_1_densities_integrate_to_one() {
+        // The paper's Proposition 0.1 for three base distributions.
+        let n = Normal::new(0.0, 1.0).unwrap();
+        let tn = TrueNegativeDensity::new(n);
+        let fnd = FalseNegativeDensity::new(n);
+        assert!((trapezoid(|x| tn.density(x), -10.0, 10.0, 20_000) - 1.0).abs() < 1e-8);
+        assert!((trapezoid(|x| fnd.density(x), -10.0, 10.0, 20_000) - 1.0).abs() < 1e-8);
+
+        let t = StudentT::new(4.0).unwrap();
+        let tn = TrueNegativeDensity::new(t);
+        assert!((trapezoid(|x| tn.density(x), -80.0, 80.0, 80_000) - 1.0).abs() < 1e-5);
+
+        let g = GammaDist::new(2.0, 1.0).unwrap();
+        let fnd = FalseNegativeDensity::new(g);
+        assert!((trapezoid(|x| fnd.density(x), 0.0, 60.0, 60_000) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tn_mass_sits_below_fn_mass() {
+        // Fig. 2's separation: E[min] < E[max].
+        let n = Normal::standard();
+        let tn = TrueNegativeDensity::new(n);
+        let fnd = FalseNegativeDensity::new(n);
+        let mean_tn = trapezoid(|x| x * tn.density(x), -10.0, 10.0, 20_000);
+        let mean_fn = trapezoid(|x| x * fnd.density(x), -10.0, 10.0, 20_000);
+        assert!(mean_tn < mean_fn);
+        // Known values: E[min of 2 std normals] = −1/√π.
+        let expected = -1.0 / std::f64::consts::PI.sqrt();
+        assert!((mean_tn - expected).abs() < 1e-6);
+        assert!((mean_fn + expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn order_cdfs_bracket_base_cdf() {
+        // P(max ≤ x) ≤ F(x) ≤ P(min ≤ x).
+        let n = Normal::standard();
+        let tn = TrueNegativeDensity::new(n);
+        let fnd = FalseNegativeDensity::new(n);
+        for i in -30..30 {
+            let x = 0.1 * i as f64;
+            let f = n.cdf(x);
+            assert!(fnd.cdf(x) <= f + 1e-12);
+            assert!(tn.cdf(x) >= f - 1e-12);
+        }
+    }
+
+    #[test]
+    fn kth_order_density_matches_pairwise_cases() {
+        let n = Normal::standard();
+        let tn = TrueNegativeDensity::new(n);
+        let fnd = FalseNegativeDensity::new(n);
+        for &x in &[-1.5, 0.0, 0.7, 2.0] {
+            assert!((kth_order_density(&n, 2, 1, x) - tn.density(x)).abs() < 1e-12);
+            assert!((kth_order_density(&n, 2, 2, x) - fnd.density(x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn kth_order_density_integrates_to_one_for_n3() {
+        let n = Normal::standard();
+        for k in 1..=3 {
+            let total = trapezoid(|x| kth_order_density(&n, 3, k, x), -10.0, 10.0, 20_000);
+            assert!((total - 1.0).abs() < 1e-7, "k = {k}: {total}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "require 1 <= k <= n")]
+    fn kth_order_density_rejects_bad_k() {
+        let n = Normal::standard();
+        kth_order_density(&n, 2, 3, 0.0);
+    }
+
+    #[test]
+    fn sampling_matches_density_means() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(99);
+        let tn = TrueNegativeDensity::new(Normal::standard());
+        let m: f64 = (0..40_000).map(|_| tn.sample(&mut rng)).sum::<f64>() / 40_000.0;
+        let expected = -1.0 / std::f64::consts::PI.sqrt();
+        assert!((m - expected).abs() < 0.02, "sampled mean {m}, expected {expected}");
+    }
+}

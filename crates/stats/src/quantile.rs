@@ -1,0 +1,103 @@
+//! Quantiles, ranks and summary statistics on slices.
+//!
+//! Small utilities shared by the evaluation crate (rank-position
+//! computations for AOBPR/DNS) and the experiment harness (summaries of
+//! measured metric distributions across repeated runs).
+
+use crate::{Result, StatsError};
+
+/// Linear-interpolation quantile (type 7, the R/NumPy default) of already
+/// **sorted** ascending data.
+pub fn quantile_sorted(sorted: &[f64], p: f64) -> Result<f64> {
+    if sorted.is_empty() {
+        return Err(StatsError::EmptySample);
+    }
+    if !(0.0..=1.0).contains(&p) {
+        return Err(StatsError::InvalidParameter {
+            what: "quantile: p must be in [0, 1]",
+        });
+    }
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "data must be sorted");
+    let n = sorted.len();
+    if n == 1 {
+        return Ok(sorted[0]);
+    }
+    let h = p * (n - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    let frac = h - lo as f64;
+    Ok(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
+/// Median of sorted data.
+pub fn median_sorted(sorted: &[f64]) -> Result<f64> {
+    quantile_sorted(sorted, 0.5)
+}
+
+/// Mean of a slice; errors on empty input.
+pub fn mean(data: &[f64]) -> Result<f64> {
+    if data.is_empty() {
+        return Err(StatsError::EmptySample);
+    }
+    Ok(data.iter().sum::<f64>() / data.len() as f64)
+}
+
+/// Population standard deviation of a slice; errors on empty input.
+pub fn std_dev(data: &[f64]) -> Result<f64> {
+    let m = mean(data)?;
+    let var = data.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / data.len() as f64;
+    Ok(var.sqrt())
+}
+
+/// 0-based rank of `x` within `scores` counted from the **top**: the number
+/// of entries strictly greater than `x`. Rank 0 means `x` would be the
+/// highest score. This is the `rank(j|u)` used by the AOBPR baseline.
+pub fn rank_from_top_f32(scores: &[f32], x: f32) -> usize {
+    scores.iter().filter(|&&s| s > x).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_reference_values() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile_sorted(&data, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile_sorted(&data, 1.0).unwrap(), 4.0);
+        assert_eq!(quantile_sorted(&data, 0.5).unwrap(), 2.5);
+        // NumPy: np.quantile([1,2,3,4], 0.25) = 1.75.
+        assert!((quantile_sorted(&data, 0.25).unwrap() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_rejects_bad_args() {
+        assert!(quantile_sorted(&[], 0.5).is_err());
+        assert!(quantile_sorted(&[1.0], 1.5).is_err());
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median_sorted(&[1.0, 2.0, 3.0]).unwrap(), 2.0);
+        assert_eq!(median_sorted(&[1.0, 2.0, 3.0, 4.0]).unwrap(), 2.5);
+        assert_eq!(median_sorted(&[7.0]).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn mean_and_std() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&data).unwrap() - 5.0).abs() < 1e-12);
+        assert!((std_dev(&data).unwrap() - 2.0).abs() < 1e-12);
+        assert!(mean(&[]).is_err());
+        assert!(std_dev(&[]).is_err());
+    }
+
+    #[test]
+    fn rank_from_top_semantics() {
+        let scores = [0.1f32, 0.9, 0.5, 0.7];
+        assert_eq!(rank_from_top_f32(&scores, 1.0), 0);
+        assert_eq!(rank_from_top_f32(&scores, 0.9), 0);
+        assert_eq!(rank_from_top_f32(&scores, 0.6), 2);
+        assert_eq!(rank_from_top_f32(&scores, 0.0), 4);
+    }
+}

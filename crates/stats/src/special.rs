@@ -1,0 +1,415 @@
+//! Special functions implemented from scratch.
+//!
+//! The paper's Fig. 2 plots the order-statistic densities of Normal,
+//! Student-t and Gamma distributions, whose cdfs require the error function,
+//! the regularized incomplete beta function and the regularized incomplete
+//! gamma function respectively. None of the approved dependencies provide
+//! them, so they are implemented here following the classic series /
+//! continued-fraction decompositions (Numerical Recipes §6.1–6.4), with
+//! accuracy around 1e-12 on the tested domains.
+
+// The Lanczos / Acklam coefficient tables keep the published digit
+// counts verbatim even where f64 rounds them.
+#![allow(clippy::excessive_precision)]
+
+use crate::{Result, StatsError};
+
+/// Natural log of the gamma function, via the Lanczos approximation (g = 7,
+/// n = 9 coefficients). Valid for `x > 0`; accuracy ~1e-13.
+pub fn ln_gamma(x: f64) -> f64 {
+    // Lanczos coefficients for g = 7.
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula keeps precision for small x.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEFFS[0];
+    let t = x + 7.5;
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Maximum iterations for the series / continued-fraction expansions.
+const MAX_ITER: usize = 500;
+/// Relative tolerance for the expansions.
+const EPS: f64 = 1e-14;
+/// Number near the smallest representable positive normal, used to avoid
+/// division by zero in Lentz's algorithm.
+const FPMIN: f64 = 1e-300;
+
+/// Regularized lower incomplete gamma function `P(a, x) = γ(a, x) / Γ(a)`.
+///
+/// `P(a, 0) = 0` and `P(a, ∞) = 1`. Requires `a > 0`, `x ≥ 0`.
+pub fn gamma_p(a: f64, x: f64) -> Result<f64> {
+    if a <= 0.0 || !a.is_finite() {
+        return Err(StatsError::InvalidParameter { what: "gamma_p: a must be > 0" });
+    }
+    if x < 0.0 || !x.is_finite() {
+        return Err(StatsError::InvalidParameter { what: "gamma_p: x must be >= 0" });
+    }
+    if x == 0.0 {
+        return Ok(0.0);
+    }
+    if x < a + 1.0 {
+        // Series representation converges quickly here.
+        gamma_p_series(a, x)
+    } else {
+        // Continued fraction for Q(a, x), then P = 1 - Q.
+        Ok(1.0 - gamma_q_cf(a, x)?)
+    }
+}
+
+/// Regularized upper incomplete gamma function `Q(a, x) = 1 − P(a, x)`.
+pub fn gamma_q(a: f64, x: f64) -> Result<f64> {
+    Ok(1.0 - gamma_p(a, x)?)
+}
+
+fn gamma_p_series(a: f64, x: f64) -> Result<f64> {
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..MAX_ITER {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * EPS {
+            return Ok(sum * (-x + a * x.ln() - ln_gamma(a)).exp());
+        }
+    }
+    Err(StatsError::NoConvergence { routine: "gamma_p_series" })
+}
+
+fn gamma_q_cf(a: f64, x: f64) -> Result<f64> {
+    // Modified Lentz's algorithm for the continued fraction of Q(a, x).
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / FPMIN;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..=MAX_ITER {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = b + an / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            return Ok((-x + a * x.ln() - ln_gamma(a)).exp() * h);
+        }
+    }
+    Err(StatsError::NoConvergence { routine: "gamma_q_cf" })
+}
+
+/// The error function `erf(x)`, computed through the incomplete gamma
+/// function: `erf(x) = sign(x) · P(1/2, x²)`. Accuracy ~1e-13.
+pub fn erf(x: f64) -> f64 {
+    if x == 0.0 {
+        return 0.0;
+    }
+    // P(1/2, x^2) always converges for finite x; the unwrap is safe because
+    // the parameters are in-domain by construction.
+    let p = gamma_p(0.5, x * x).unwrap_or(1.0);
+    if x > 0.0 {
+        p
+    } else {
+        -p
+    }
+}
+
+/// The complementary error function `erfc(x) = 1 − erf(x)`.
+///
+/// For large positive `x` this is computed through `Q(1/2, x²)` directly to
+/// avoid catastrophic cancellation.
+pub fn erfc(x: f64) -> f64 {
+    if x <= 0.0 {
+        // erf(x) ≤ 0 here, so 1 − erf(x) involves no cancellation.
+        return 1.0 - erf(x);
+    }
+    gamma_q(0.5, x * x).unwrap_or(0.0)
+}
+
+/// Regularized incomplete beta function `I_x(a, b)`.
+///
+/// `I_0 = 0`, `I_1 = 1`. Requires `a, b > 0` and `x ∈ [0, 1]`.
+pub fn beta_inc(a: f64, b: f64, x: f64) -> Result<f64> {
+    if a <= 0.0 || b <= 0.0 {
+        return Err(StatsError::InvalidParameter { what: "beta_inc: a, b must be > 0" });
+    }
+    if !(0.0..=1.0).contains(&x) {
+        return Err(StatsError::InvalidParameter { what: "beta_inc: x must be in [0, 1]" });
+    }
+    if x == 0.0 {
+        return Ok(0.0);
+    }
+    if x == 1.0 {
+        return Ok(1.0);
+    }
+    let ln_front =
+        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    // Use the symmetry relation to keep the continued fraction convergent.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        Ok(front * beta_cf(a, b, x)? / a)
+    } else {
+        Ok(1.0 - front * beta_cf(b, a, 1.0 - x)? / b)
+    }
+}
+
+fn beta_cf(a: f64, b: f64, x: f64) -> Result<f64> {
+    // Modified Lentz's algorithm for the continued fraction of I_x(a, b).
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            return Ok(h);
+        }
+    }
+    Err(StatsError::NoConvergence { routine: "beta_cf" })
+}
+
+/// Standard normal cdf `Φ(x)`.
+pub fn std_normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Standard normal pdf `φ(x)`.
+pub fn std_normal_pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Inverse of the standard normal cdf (the probit function), via the
+/// Acklam rational approximation refined with one Halley step.
+/// Accuracy ~1e-13 on (0, 1).
+pub fn std_normal_quantile(p: f64) -> Result<f64> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(StatsError::InvalidParameter { what: "probit: p must be in [0, 1]" });
+    }
+    if p == 0.0 {
+        return Ok(f64::NEG_INFINITY);
+    }
+    if p == 1.0 {
+        return Ok(f64::INFINITY);
+    }
+    // Coefficients of the Acklam approximation.
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_690e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley refinement step drives the error to ~machine precision.
+    let e = std_normal_cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    Ok(x - u / (1.0 + x * u / 2.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(actual: f64, expected: f64, tol: f64) {
+        assert!(
+            (actual - expected).abs() <= tol,
+            "expected {expected}, got {actual} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n-1)! for integer n.
+        let mut factorial = 1.0f64;
+        for n in 1..15u32 {
+            if n > 1 {
+                factorial *= (n - 1) as f64;
+            }
+            assert_close(ln_gamma(n as f64), factorial.ln(), 1e-10);
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half_integer() {
+        // Γ(1/2) = sqrt(pi).
+        assert_close(ln_gamma(0.5), std::f64::consts::PI.sqrt().ln(), 1e-12);
+        // Γ(3/2) = sqrt(pi)/2.
+        assert_close(ln_gamma(1.5), (std::f64::consts::PI.sqrt() / 2.0).ln(), 1e-12);
+    }
+
+    #[test]
+    fn erf_reference_values() {
+        // Reference values from Abramowitz & Stegun tables.
+        assert_close(erf(0.0), 0.0, 1e-15);
+        assert_close(erf(0.5), 0.520_499_877_813_046_5, 1e-10);
+        assert_close(erf(1.0), 0.842_700_792_949_714_9, 1e-10);
+        assert_close(erf(2.0), 0.995_322_265_018_952_7, 1e-10);
+        assert_close(erf(-1.0), -0.842_700_792_949_714_9, 1e-10);
+    }
+
+    #[test]
+    fn erfc_complements_erf() {
+        for &x in &[0.1, 0.5, 1.0, 2.0, 3.0] {
+            assert_close(erfc(x), 1.0 - erf(x), 1e-12);
+        }
+    }
+
+    #[test]
+    fn gamma_p_boundaries() {
+        assert_close(gamma_p(2.0, 0.0).unwrap(), 0.0, 1e-15);
+        assert_close(gamma_p(2.0, 1e6).unwrap(), 1.0, 1e-12);
+        // P(1, x) = 1 - exp(-x) for the unit exponential.
+        for &x in &[0.1, 1.0, 2.5, 7.0] {
+            assert_close(gamma_p(1.0, x).unwrap(), 1.0 - (-x_f(x)).exp(), 1e-12);
+        }
+        fn x_f(x: f64) -> f64 {
+            x
+        }
+    }
+
+    #[test]
+    fn gamma_p_rejects_bad_args() {
+        assert!(gamma_p(-1.0, 1.0).is_err());
+        assert!(gamma_p(1.0, -1.0).is_err());
+        assert!(gamma_p(0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn beta_inc_symmetry() {
+        // I_x(a, b) = 1 - I_{1-x}(b, a).
+        for &(a, b, x) in &[(2.0, 3.0, 0.3), (0.5, 0.5, 0.7), (5.0, 1.5, 0.2)] {
+            let lhs = beta_inc(a, b, x).unwrap();
+            let rhs = 1.0 - beta_inc(b, a, 1.0 - x).unwrap();
+            assert_close(lhs, rhs, 1e-12);
+        }
+    }
+
+    #[test]
+    fn beta_inc_uniform_case() {
+        // I_x(1, 1) = x (Beta(1,1) is uniform).
+        for &x in &[0.0, 0.25, 0.5, 0.75, 1.0] {
+            assert_close(beta_inc(1.0, 1.0, x).unwrap(), x, 1e-12);
+        }
+    }
+
+    #[test]
+    fn beta_inc_reference_value() {
+        // I_{0.5}(2, 2) = 0.5 by symmetry.
+        assert_close(beta_inc(2.0, 2.0, 0.5).unwrap(), 0.5, 1e-12);
+        // Beta(2,1): cdf = x^2.
+        assert_close(beta_inc(2.0, 1.0, 0.6).unwrap(), 0.36, 1e-12);
+    }
+
+    #[test]
+    fn probit_round_trips_cdf() {
+        for &p in &[0.001, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 0.999] {
+            let x = std_normal_quantile(p).unwrap();
+            assert_close(std_normal_cdf(x), p, 1e-10);
+        }
+    }
+
+    #[test]
+    fn probit_extremes() {
+        assert_eq!(std_normal_quantile(0.0).unwrap(), f64::NEG_INFINITY);
+        assert_eq!(std_normal_quantile(1.0).unwrap(), f64::INFINITY);
+        assert!(std_normal_quantile(-0.1).is_err());
+        assert!(std_normal_quantile(1.1).is_err());
+    }
+
+    #[test]
+    fn std_normal_pdf_peak() {
+        assert_close(std_normal_pdf(0.0), 0.398_942_280_401_432_7, 1e-12);
+    }
+}

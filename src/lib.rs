@@ -1,0 +1,19 @@
+//! # bns — Bayesian Negative Sampling for Recommendation
+//!
+//! Facade crate re-exporting the full reproduction of
+//! *"Bayesian Negative Sampling for Recommendation"* (Liu & Wang,
+//! ICDE 2023 / arXiv:2204.06520):
+//!
+//! * [`stats`] — statistics substrate (ECDF, distributions, order statistics).
+//! * [`data`] — datasets: loaders, synthetic generators, splits.
+//! * [`model`] — BPR-trained MF and LightGCN recommendation models.
+//! * [`core`] — the BNS sampler and all baseline samplers.
+//! * [`eval`] — ranking metrics and sampling-quality trackers.
+//!
+//! See `examples/quickstart.rs` for an end-to-end walkthrough.
+
+pub use bns_core as core;
+pub use bns_data as data;
+pub use bns_eval as eval;
+pub use bns_model as model;
+pub use bns_stats as stats;

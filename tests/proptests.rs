@@ -1,0 +1,206 @@
+//! Property-based tests over the core invariants, spanning crates.
+//!
+//! Each property encodes a law from the paper or a structural invariant of
+//! a substrate: Eq. (15)'s range/monotonicity, Eq. (31)/(32) equivalence,
+//! Proposition 0.1, CSR round-trips, split partitioning, metric bounds and
+//! top-k correctness.
+
+use bns::core::bns::risk::{conditional_risk, selection_value};
+use bns::core::bns::unbias::unbias;
+use bns::data::serialize::{decode_interactions, encode_interactions};
+use bns::data::{split_random, Interactions, SplitConfig};
+use bns::eval::{ndcg_at_k, precision_at_k, recall_at_k, top_k_masked};
+use bns::model::loss::{bpr_log_likelihood, info, sigmoid};
+use bns::stats::dist::Continuous;
+use bns::stats::{Ecdf, Normal, Welford};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    // ---------- Eq. (15): the unbias posterior ----------
+
+    #[test]
+    fn unbias_is_a_probability(f in 0.0f64..=1.0, p in 0.0f64..=1.0) {
+        let u = unbias(f, p);
+        prop_assert!((0.0..=1.0).contains(&u));
+    }
+
+    #[test]
+    fn unbias_monotone_decreasing_in_f(
+        f1 in 0.0f64..=1.0,
+        f2 in 0.0f64..=1.0,
+        p in 0.01f64..=0.99,
+    ) {
+        let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+        prop_assert!(unbias(lo, p) + 1e-12 >= unbias(hi, p));
+    }
+
+    #[test]
+    fn unbias_monotone_decreasing_in_prior(
+        f in 0.01f64..=0.99,
+        p1 in 0.0f64..=1.0,
+        p2 in 0.0f64..=1.0,
+    ) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(unbias(f, lo) + 1e-12 >= unbias(f, hi));
+    }
+
+    #[test]
+    fn unbias_complement_symmetry(f in 0.0f64..=1.0, p in 0.0f64..=1.0) {
+        // Swapping F ↔ 1−F and P ↔ 1−P flips the posterior.
+        let a = unbias(f, p);
+        let b = unbias(1.0 - f, 1.0 - p);
+        prop_assert!((a + b - 1.0).abs() < 1e-9);
+    }
+
+    // ---------- Eq. (31)/(32): sampling risk ----------
+
+    #[test]
+    fn risk_forms_are_identical(
+        info_v in 0.0f64..=1.0,
+        unb in 0.0f64..=1.0,
+        lambda in 0.0f64..=50.0,
+    ) {
+        let a = conditional_risk(info_v, unb, lambda);
+        let b = selection_value(info_v, unb, lambda);
+        prop_assert!((a - b).abs() < 1e-10);
+    }
+
+    #[test]
+    fn risk_bounds(info_v in 0.0f64..=1.0, unb in 0.0f64..=1.0, lambda in 0.0f64..=50.0) {
+        // R ∈ [−λ·info, +info].
+        let r = conditional_risk(info_v, unb, lambda);
+        prop_assert!(r <= info_v + 1e-12);
+        prop_assert!(r >= -lambda * info_v - 1e-12);
+    }
+
+    // ---------- loss functions ----------
+
+    #[test]
+    fn sigmoid_in_unit_interval_and_monotone(a in -50.0f32..50.0, b in -50.0f32..50.0) {
+        let (sa, sb) = (sigmoid(a), sigmoid(b));
+        prop_assert!((0.0..=1.0).contains(&sa));
+        if a < b {
+            prop_assert!(sa <= sb);
+        }
+    }
+
+    #[test]
+    fn info_is_one_minus_sigmoid(pos in -20.0f32..20.0, neg in -20.0f32..20.0) {
+        let i = info(pos, neg);
+        prop_assert!((i - (1.0 - sigmoid(pos - neg))).abs() < 1e-6);
+        prop_assert!((0.0..=1.0).contains(&i));
+    }
+
+    #[test]
+    fn bpr_ll_is_nonpositive(pos in -20.0f32..20.0, neg in -20.0f32..20.0) {
+        prop_assert!(bpr_log_likelihood(pos, neg) <= 1e-6);
+    }
+
+    // ---------- stats substrate ----------
+
+    #[test]
+    fn ecdf_is_monotone_step_function(mut xs in prop::collection::vec(-100.0f64..100.0, 1..60)) {
+        let e = Ecdf::new(&xs).unwrap();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = 0.0;
+        for &x in &xs {
+            let v = e.eval(x);
+            prop_assert!((0.0..=1.0).contains(&v));
+            prop_assert!(v >= prev - 1e-12);
+            prev = v;
+        }
+        prop_assert!((e.eval(xs[xs.len() - 1]) - 1.0).abs() < 1e-12);
+        prop_assert!(e.eval(xs[0] - 1.0) == 0.0);
+    }
+
+    #[test]
+    fn welford_matches_two_pass(xs in prop::collection::vec(-1e3f64..1e3, 1..50)) {
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        prop_assert!((w.mean() - mean).abs() < 1e-6);
+        prop_assert!((w.variance() - var).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normal_cdf_monotone_and_bounded(mu in -5.0f64..5.0, sigma in 0.1f64..5.0, x in -20.0f64..20.0) {
+        let n = Normal::new(mu, sigma).unwrap();
+        let c = n.cdf(x);
+        prop_assert!((0.0..=1.0).contains(&c));
+        prop_assert!(n.cdf(x + 0.5) >= c);
+        prop_assert!(n.pdf(x) >= 0.0);
+    }
+
+    // ---------- data substrate ----------
+
+    #[test]
+    fn interactions_round_trip_serialization(
+        pairs in prop::collection::vec((0u32..20, 0u32..30), 0..200),
+    ) {
+        let x = Interactions::from_pairs(20, 30, &pairs).unwrap();
+        let decoded = decode_interactions(&encode_interactions(&x)).unwrap();
+        prop_assert_eq!(x, decoded);
+    }
+
+    #[test]
+    fn split_is_partition_with_train_guarantee(
+        pairs in prop::collection::vec((0u32..15, 0u32..25), 1..300),
+        seed in 0u64..1000,
+    ) {
+        let all = Interactions::from_pairs(15, 25, &pairs).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (train, test) = split_random(&all, SplitConfig::default(), &mut rng).unwrap();
+        prop_assert_eq!(train.len() + test.len(), all.len());
+        for (u, i) in test.iter_pairs() {
+            prop_assert!(all.contains(u, i));
+            prop_assert!(!train.contains(u, i));
+        }
+        for u in 0..15u32 {
+            if all.degree(u) > 0 {
+                prop_assert!(train.degree(u) >= 1, "user {} lost all train items", u);
+            }
+        }
+    }
+
+    // ---------- evaluation substrate ----------
+
+    #[test]
+    fn topk_matches_sort_reference(
+        scores in prop::collection::vec(-100.0f32..100.0, 1..80),
+        k in 1usize..20,
+    ) {
+        let got = top_k_masked(&scores, &[], k);
+        let mut reference: Vec<(f32, u32)> =
+            scores.iter().enumerate().map(|(i, &s)| (s, i as u32)).collect();
+        reference.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        let expected: Vec<u32> =
+            reference.into_iter().take(k).map(|(_, i)| i).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn metric_bounds_and_recall_monotonicity(
+        ranked_len in 1usize..40,
+        relevant in prop::collection::btree_set(0u32..60, 1..20),
+    ) {
+        let ranked: Vec<u32> = (0..ranked_len as u32).collect();
+        let relevant: Vec<u32> = relevant.into_iter().collect();
+        let mut prev_recall = 0.0;
+        for k in 1..=ranked_len {
+            let p = precision_at_k(&ranked, &relevant, k);
+            let r = recall_at_k(&ranked, &relevant, k);
+            let n = ndcg_at_k(&ranked, &relevant, k);
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert!((0.0..=1.0).contains(&r));
+            prop_assert!((0.0..=1.0).contains(&n));
+            prop_assert!(r + 1e-12 >= prev_recall, "recall decreased with k");
+            prev_recall = r;
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Integration tests of sampling quality: the TNR orderings the paper's
+//! Fig. 4 reports, measured through the real training loop.
+
+use bns::core::{
+    build_sampler, train, BnsConfig, Criterion, PriorKind, SamplerConfig, TrainConfig,
+};
+use bns::data::synthetic::{generate, SyntheticConfig};
+use bns::data::{split_random, Dataset, SplitConfig};
+use bns::eval::QualityTracker;
+use bns::model::MatrixFactorization;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dataset(seed: u64) -> Dataset {
+    let cfg = SyntheticConfig {
+        n_users: 100,
+        n_items: 200,
+        target_interactions: 5_000,
+        seed,
+        ..SyntheticConfig::default()
+    };
+    let synthetic = generate(&cfg).expect("generation succeeds");
+    let mut rng = StdRng::seed_from_u64(seed ^ 1);
+    let (train_set, test_set) =
+        split_random(&synthetic.interactions, SplitConfig::default(), &mut rng)
+            .expect("split succeeds");
+    Dataset::new("quality", train_set, test_set).expect("valid dataset")
+}
+
+fn tail_tnr(dataset: &Dataset, cfg: &SamplerConfig, epochs: usize) -> f64 {
+    let mut model_rng = StdRng::seed_from_u64(7);
+    let mut model =
+        MatrixFactorization::new(dataset.n_users(), dataset.n_items(), 16, 0.1, &mut model_rng)
+            .expect("valid model");
+    let mut sampler = build_sampler(cfg, dataset, None).expect("valid sampler");
+    let mut tracker = QualityTracker::new(dataset);
+    train(
+        &mut model,
+        dataset,
+        sampler.as_mut(),
+        &TrainConfig::paper_mf(epochs, 42),
+        &mut tracker,
+    )
+    .expect("training succeeds");
+    tracker.tail_tnr(epochs / 4)
+}
+
+#[test]
+fn oracle_bns_approaches_perfect_tnr() {
+    let d = dataset(500);
+    let oracle = SamplerConfig::Bns {
+        config: BnsConfig { criterion: Criterion::PosteriorMax, ..BnsConfig::default() },
+        prior: PriorKind::Oracle { p_if_fn: 0.64, p_if_tn: 0.04 },
+    };
+    let tnr = tail_tnr(&d, &oracle, 16);
+    assert!(tnr > 0.99, "oracle-prior BNS tail TNR {tnr:.4} not ≈ 1");
+}
+
+#[test]
+fn posterior_criterion_beats_uniform_on_tnr() {
+    let d = dataset(600);
+    let bns_post = SamplerConfig::Bns {
+        config: BnsConfig { criterion: Criterion::PosteriorMax, ..BnsConfig::default() },
+        prior: PriorKind::Popularity,
+    };
+    let bns = tail_tnr(&d, &bns_post, 20);
+    let rns = tail_tnr(&d, &SamplerConfig::Rns, 20);
+    assert!(
+        bns >= rns - 0.005,
+        "posterior-criterion BNS TNR {bns:.4} fell below RNS {rns:.4}"
+    );
+}
+
+#[test]
+fn hard_negative_samplers_pay_in_tnr() {
+    // The paper's Fig. 4 finding: greedy hard samplers have the worst TNR
+    // once the model has learned to rank false negatives high.
+    let d = dataset(700);
+    let rns = tail_tnr(&d, &SamplerConfig::Rns, 24);
+    let dns = tail_tnr(&d, &SamplerConfig::Dns { m: 5 }, 24);
+    let aobpr = tail_tnr(&d, &SamplerConfig::Aobpr { lambda_frac: 0.05 }, 24);
+    assert!(
+        dns < rns && aobpr < rns,
+        "hard samplers not below RNS: DNS {dns:.4}, AOBPR {aobpr:.4}, RNS {rns:.4}"
+    );
+}
+
+#[test]
+fn quality_tracker_sees_full_epoch_counts() {
+    let d = dataset(800);
+    let mut model_rng = StdRng::seed_from_u64(9);
+    let mut model =
+        MatrixFactorization::new(d.n_users(), d.n_items(), 8, 0.1, &mut model_rng)
+            .expect("valid model");
+    let mut sampler = build_sampler(&SamplerConfig::Rns, &d, None).expect("valid sampler");
+    let mut tracker = QualityTracker::new(&d);
+    let stats = train(
+        &mut model,
+        &d,
+        sampler.as_mut(),
+        &TrainConfig::paper_mf(3, 42),
+        &mut tracker,
+    )
+    .expect("training succeeds");
+    let counted: usize = tracker.history().iter().map(|q| q.tn + q.fn_).sum();
+    assert_eq!(counted, stats.triples);
+    assert_eq!(tracker.history().len(), 3);
+}
