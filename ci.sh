@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# CI gate for the bns workspace. Mirrors the tier-1 verify plus hygiene:
+#   build (release) → tests → fmt → clippy → benches compile.
+# Runs fully offline; all dependencies are path crates (see vendor/).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --release --workspace --offline
+run cargo test -q --workspace --offline
+run cargo fmt --all --check
+run cargo clippy --workspace --all-targets --offline -- -D warnings
+run cargo bench --no-run --workspace --offline
+
+echo "CI green."

@@ -2,16 +2,22 @@
 
 use bns_core::{BnsConfig, LambdaSchedule, PriorKind, SamplerConfig};
 use bns_data::DatasetPreset;
+use bns_eval::{QualityTracker, ScoreDistributionProbe};
 use bns_experiments::common::cli::HarnessArgs;
 use bns_experiments::common::config::{ModelKind, RunConfig};
 use bns_experiments::common::runner::{prepare_dataset, train_and_eval, train_model};
 use bns_experiments::experiments::{fig2, fig3};
-use bns_eval::{QualityTracker, ScoreDistributionProbe};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_cfg() -> RunConfig {
-    RunConfig { scale: 0.06, epochs: 4, dim: 16, threads: 2, ..RunConfig::default() }
+    RunConfig {
+        scale: 0.06,
+        epochs: 4,
+        dim: 16,
+        threads: 2,
+        ..RunConfig::default()
+    }
 }
 
 fn fig1_distribution_probe(c: &mut Criterion) {
@@ -21,8 +27,7 @@ fn fig1_distribution_probe(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("train_with_score_probe", |b| {
         b.iter(|| {
-            let mut probe =
-                ScoreDistributionProbe::new(&prepared.dataset, vec![0, cfg.epochs - 1]);
+            let mut probe = ScoreDistributionProbe::new(&prepared.dataset, vec![0, cfg.epochs - 1]);
             train_model(
                 &prepared,
                 DatasetPreset::Ml100k,
@@ -77,7 +82,10 @@ fn fig5_sweep_cell(c: &mut Criterion) {
     let cfg = bench_cfg();
     let prepared = prepare_dataset(DatasetPreset::Ml100k, &cfg);
     let sampler = SamplerConfig::Bns {
-        config: BnsConfig { lambda: LambdaSchedule::Constant(5.0), ..BnsConfig::default() },
+        config: BnsConfig {
+            lambda: LambdaSchedule::Constant(5.0),
+            ..BnsConfig::default()
+        },
         prior: PriorKind::Popularity,
     };
     let mut group = c.benchmark_group("fig5");

@@ -6,9 +6,9 @@
 //! subsampled variant and compares per-draw cost across all six samplers.
 
 use bns_bench::fixture;
+use bns_core::bns::EcdfStrategy;
 use bns_core::sampler::SampleContext;
 use bns_core::{build_sampler, BnsConfig, NegativeSampler, PriorKind, SamplerConfig};
-use bns_core::bns::EcdfStrategy;
 use bns_model::Scorer;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
@@ -79,7 +79,10 @@ fn bns_cost_vs_candidate_size(c: &mut Criterion) {
     group.sample_size(25);
     for &m in &[1usize, 5, 20, 100] {
         let cfg = SamplerConfig::Bns {
-            config: BnsConfig { m, ..BnsConfig::default() },
+            config: BnsConfig {
+                m,
+                ..BnsConfig::default()
+            },
             prior: PriorKind::Popularity,
         };
         let mut sampler = build_sampler(&cfg, &fx.dataset, None).expect("valid sampler");
@@ -103,7 +106,10 @@ fn ecdf_exact_vs_subsample(c: &mut Criterion) {
         ("subsample_256", EcdfStrategy::Subsample(256)),
     ] {
         let cfg = SamplerConfig::Bns {
-            config: BnsConfig { ecdf: strategy, ..BnsConfig::default() },
+            config: BnsConfig {
+                ecdf: strategy,
+                ..BnsConfig::default()
+            },
             prior: PriorKind::Popularity,
         };
         let mut sampler = build_sampler(&cfg, &fx.dataset, None).expect("valid sampler");

@@ -86,29 +86,46 @@ fn order_statistic_densities(c: &mut Criterion) {
         let mut x = -3.0f64;
         b.iter(|| {
             x += 1e-5;
-            black_box(bns_stats::order::OrderStatisticDensity::density(&normal, x % 3.0))
+            black_box(bns_stats::order::OrderStatisticDensity::density(
+                &normal,
+                x % 3.0,
+            ))
         })
     });
     group.bench_function("student_g", |b| {
         let mut x = -3.0f64;
         b.iter(|| {
             x += 1e-5;
-            black_box(bns_stats::order::OrderStatisticDensity::density(&student, x % 3.0))
+            black_box(bns_stats::order::OrderStatisticDensity::density(
+                &student,
+                x % 3.0,
+            ))
         })
     });
     group.bench_function("gamma_g", |b| {
         let mut x = 0.0f64;
         b.iter(|| {
             x += 1e-5;
-            black_box(bns_stats::order::OrderStatisticDensity::density(&gamma, x % 8.0))
+            black_box(bns_stats::order::OrderStatisticDensity::density(
+                &gamma,
+                x % 8.0,
+            ))
         })
     });
     // Sampling throughput feeding the synthetic generator.
     let mut rng = StdRng::seed_from_u64(3);
     let n = Normal::standard();
-    group.bench_function("normal_sample", |b| b.iter(|| black_box(n.sample(&mut rng))));
+    group.bench_function("normal_sample", |b| {
+        b.iter(|| black_box(n.sample(&mut rng)))
+    });
     group.finish();
 }
 
-criterion_group!(benches, special_functions, ecdf_variants, alias_sampling, order_statistic_densities);
+criterion_group!(
+    benches,
+    special_functions,
+    ecdf_variants,
+    alias_sampling,
+    order_statistic_densities
+);
 criterion_main!(benches);

@@ -11,7 +11,13 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_cfg() -> RunConfig {
-    RunConfig { scale: 0.06, epochs: 4, dim: 16, threads: 2, ..RunConfig::default() }
+    RunConfig {
+        scale: 0.06,
+        epochs: 4,
+        dim: 16,
+        threads: 2,
+        ..RunConfig::default()
+    }
 }
 
 fn table1_dataset_statistics(c: &mut Criterion) {
@@ -31,7 +37,10 @@ fn table2_one_cell(c: &mut Criterion) {
     group.sample_size(10);
     for sampler in [
         SamplerConfig::Rns,
-        SamplerConfig::Bns { config: BnsConfig::default(), prior: PriorKind::Popularity },
+        SamplerConfig::Bns {
+            config: BnsConfig::default(),
+            prior: PriorKind::Popularity,
+        },
     ] {
         group.bench_function(sampler.display_name(), |b| {
             b.iter(|| {
@@ -75,8 +84,14 @@ fn table4_oracle_cell(c: &mut Criterion) {
     let cfg = bench_cfg();
     let prepared = prepare_dataset(DatasetPreset::Ml100k, &cfg);
     let sampler = SamplerConfig::Bns {
-        config: BnsConfig { m: 10, ..BnsConfig::default() },
-        prior: PriorKind::Oracle { p_if_fn: 0.64, p_if_tn: 0.04 },
+        config: BnsConfig {
+            m: 10,
+            ..BnsConfig::default()
+        },
+        prior: PriorKind::Oracle {
+            p_if_fn: 0.64,
+            p_if_tn: 0.04,
+        },
     };
     let mut group = c.benchmark_group("table4_cell");
     group.sample_size(10);

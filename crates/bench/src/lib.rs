@@ -42,10 +42,19 @@ pub fn fixture(n_users: u32, n_items: u32, seed: u64) -> BenchFixture {
             .expect("bench split");
     let dataset = Dataset::new("bench", train_set, test_set).expect("valid bench dataset");
     let mut model_rng = StdRng::seed_from_u64(seed ^ 0xF0);
-    let model =
-        MatrixFactorization::new(dataset.n_users(), dataset.n_items(), 32, 0.1, &mut model_rng)
-            .expect("valid bench model");
-    BenchFixture { dataset, occupations: synthetic.occupations, model }
+    let model = MatrixFactorization::new(
+        dataset.n_users(),
+        dataset.n_items(),
+        32,
+        0.1,
+        &mut model_rng,
+    )
+    .expect("valid bench model");
+    BenchFixture {
+        dataset,
+        occupations: synthetic.occupations,
+        model,
+    }
 }
 
 #[cfg(test)]

@@ -28,12 +28,15 @@ impl Aobpr {
     /// Creates AOBPR with `λ = lambda_frac · n_items` (default 0.05 — the
     /// mass concentrates on the top ~5% of ranks).
     pub fn new(lambda_frac: f64) -> Result<Self> {
-        if !(lambda_frac > 0.0) || !lambda_frac.is_finite() {
+        if lambda_frac <= 0.0 || !lambda_frac.is_finite() {
             return Err(CoreError::InvalidConfig(
                 "AOBPR lambda fraction must be finite and > 0".into(),
             ));
         }
-        Ok(Self { lambda_frac, scratch: Vec::new() })
+        Ok(Self {
+            lambda_frac,
+            scratch: Vec::new(),
+        })
     }
 
     /// The configured λ fraction.
@@ -173,8 +176,7 @@ mod tests {
 
     #[test]
     fn saturated_user_returns_none() {
-        let (train, pop, scorer, user_scores) =
-            context_fixture(2, &[(0, 0), (0, 1)]);
+        let (train, pop, scorer, user_scores) = context_fixture(2, &[(0, 0), (0, 1)]);
         let ctx = SampleContext {
             scorer: &scorer,
             train: &train,

@@ -117,13 +117,17 @@ impl Default for BnsConfig {
 impl BnsConfig {
     fn validate(&self) -> Result<()> {
         if self.m == 0 {
-            return Err(CoreError::InvalidConfig("BNS candidate size must be > 0".into()));
+            return Err(CoreError::InvalidConfig(
+                "BNS candidate size must be > 0".into(),
+            ));
         }
         if !self.lambda.is_valid() {
             return Err(CoreError::InvalidConfig("invalid λ schedule".into()));
         }
         if let EcdfStrategy::Subsample(0) = self.ecdf {
-            return Err(CoreError::InvalidConfig("ECDF subsample size must be > 0".into()));
+            return Err(CoreError::InvalidConfig(
+                "ECDF subsample size must be > 0".into(),
+            ));
         }
         if let Criterion::ExploreExploit { epsilon } = self.criterion {
             if !(0.0..=1.0).contains(&epsilon) || !epsilon.is_finite() {
@@ -259,7 +263,14 @@ impl BnsSampler {
         let unb = unbias(f_hat, p_fn);
         let risk =
             risk::selection_value_ordered(info, unb, self.lambda_now, self.config.risk_order);
-        CandidateSignal { item, info, f_hat, p_fn, unbias: unb, risk }
+        CandidateSignal {
+            item,
+            info,
+            f_hat,
+            p_fn,
+            unbias: unb,
+            risk,
+        }
     }
 
     /// Fills `self.candidates` with the candidate set: either `m` uniform
@@ -403,7 +414,12 @@ mod tests {
             });
             let mut user_scores = vec![0.0f32; n as usize];
             scorer.score_all(0, &mut user_scores);
-            Self { train, pop, scorer, user_scores }
+            Self {
+                train,
+                pop,
+                scorer,
+                user_scores,
+            }
         }
 
         fn ctx(&self) -> SampleContext<'_> {
@@ -424,11 +440,20 @@ mod tests {
     #[test]
     fn config_validation() {
         let fx = Fixture::new(20);
-        let bad = BnsConfig { m: 0, ..BnsConfig::default() };
+        let bad = BnsConfig {
+            m: 0,
+            ..BnsConfig::default()
+        };
         assert!(BnsSampler::new(bad, Box::new(PopularityPrior::new(&fx.pop))).is_err());
-        let bad = BnsConfig { lambda: LambdaSchedule::Constant(-1.0), ..BnsConfig::default() };
+        let bad = BnsConfig {
+            lambda: LambdaSchedule::Constant(-1.0),
+            ..BnsConfig::default()
+        };
         assert!(BnsSampler::new(bad, Box::new(PopularityPrior::new(&fx.pop))).is_err());
-        let bad = BnsConfig { ecdf: EcdfStrategy::Subsample(0), ..BnsConfig::default() };
+        let bad = BnsConfig {
+            ecdf: EcdfStrategy::Subsample(0),
+            ..BnsConfig::default()
+        };
         assert!(BnsSampler::new(bad, Box::new(PopularityPrior::new(&fx.pop))).is_err());
     }
 
@@ -463,7 +488,10 @@ mod tests {
         let fx = Fixture::new(500);
         let exact = sampler(BnsConfig::default(), &fx);
         let sub = sampler(
-            BnsConfig { ecdf: EcdfStrategy::Subsample(100), ..BnsConfig::default() },
+            BnsConfig {
+                ecdf: EcdfStrategy::Subsample(100),
+                ..BnsConfig::default()
+            },
             &fx,
         );
         let ctx = fx.ctx();
@@ -486,9 +514,7 @@ mod tests {
         assert!((0.0..=1.0).contains(&sig.f_hat));
         assert!((0.0..=1.0).contains(&sig.p_fn));
         assert!((0.0..=1.0).contains(&sig.unbias));
-        assert!(
-            (sig.risk - risk::selection_value(sig.info, sig.unbias, 5.0)).abs() < 1e-12
-        );
+        assert!((sig.risk - risk::selection_value(sig.info, sig.unbias, 5.0)).abs() < 1e-12);
     }
 
     #[test]
@@ -497,7 +523,10 @@ mod tests {
         // the posterior criterion must essentially never choose it, while
         // plain DNS-style max-score always would.
         let fx = Fixture::new(20);
-        let cfg = BnsConfig { criterion: Criterion::PosteriorMax, ..BnsConfig::default() };
+        let cfg = BnsConfig {
+            criterion: Criterion::PosteriorMax,
+            ..BnsConfig::default()
+        };
         let mut s = sampler(cfg, &fx);
         let ctx = fx.ctx();
         let mut rng = StdRng::seed_from_u64(1);
@@ -507,7 +536,10 @@ mod tests {
                 picked_popular += 1;
             }
         }
-        assert!(picked_popular < 5, "picked the popular top item {picked_popular} times");
+        assert!(
+            picked_popular < 5,
+            "picked the popular top item {picked_popular} times"
+        );
     }
 
     #[test]
@@ -515,7 +547,10 @@ mod tests {
         // m = MAX → h*: the argmin over every negative; the same draw must
         // come out every time regardless of RNG.
         let fx = Fixture::new(25);
-        let cfg = BnsConfig { m: usize::MAX, ..BnsConfig::default() };
+        let cfg = BnsConfig {
+            m: usize::MAX,
+            ..BnsConfig::default()
+        };
         let mut s = sampler(cfg, &fx);
         s.on_epoch_start(0);
         let ctx = fx.ctx();
@@ -536,7 +571,10 @@ mod tests {
     #[test]
     fn warmup_reduces_to_uniform() {
         let fx = Fixture::new(20);
-        let cfg = BnsConfig { warmup_epochs: 3, ..BnsConfig::default() };
+        let cfg = BnsConfig {
+            warmup_epochs: 3,
+            ..BnsConfig::default()
+        };
         let mut s = sampler(cfg, &fx);
         s.on_epoch_start(0); // inside warmup
         let ctx = fx.ctx();
@@ -547,7 +585,11 @@ mod tests {
         for _ in 0..400 {
             distinct.insert(s.sample(0, 0, &ctx, &mut rng).unwrap());
         }
-        assert!(distinct.len() > 15, "warmup draws not uniform: {}", distinct.len());
+        assert!(
+            distinct.len() > 15,
+            "warmup draws not uniform: {}",
+            distinct.len()
+        );
         // After warmup ends, the Bayesian rule activates.
         s.on_epoch_start(3);
         assert_eq!(s.lambda_now(), 5.0);
@@ -556,7 +598,10 @@ mod tests {
     #[test]
     fn lambda_schedule_advances_with_epochs() {
         let fx = Fixture::new(20);
-        let cfg = BnsConfig { lambda: LambdaSchedule::paper_warm_start(), ..BnsConfig::default() };
+        let cfg = BnsConfig {
+            lambda: LambdaSchedule::paper_warm_start(),
+            ..BnsConfig::default()
+        };
         let mut s = sampler(cfg, &fx);
         s.on_epoch_start(0);
         assert!((s.lambda_now() - 10.0).abs() < 1e-12);
@@ -591,16 +636,16 @@ mod tests {
         // model scores false negatives *high*, so mark the top-scored items
         // 11..19 as the test positives.
         let train = Interactions::from_pairs(1, 20, &[(0, 0)]).unwrap();
-        let test = Interactions::from_pairs(
-            1,
-            20,
-            &(11..20u32).map(|i| (0, i)).collect::<Vec<_>>(),
-        )
-        .unwrap();
+        let test =
+            Interactions::from_pairs(1, 20, &(11..20u32).map(|i| (0, i)).collect::<Vec<_>>())
+                .unwrap();
         let pop = Popularity::from_interactions(&train);
         let scores: Vec<f32> = (0..20).map(|i| i as f32 * 0.01).collect();
         let scorer = FixedScorer::new(1, 20, scores.clone());
-        let cfg = BnsConfig { criterion: Criterion::PosteriorMax, ..BnsConfig::default() };
+        let cfg = BnsConfig {
+            criterion: Criterion::PosteriorMax,
+            ..BnsConfig::default()
+        };
         let mut s = BnsSampler::new(cfg, Box::new(OraclePrior::paper(test.clone()))).unwrap();
         let ctx = SampleContext {
             scorer: &scorer,
@@ -620,6 +665,9 @@ mod tests {
         }
         // Random sampling would hit false negatives ~47% of the time
         // (9 of 19 negatives); the oracle-informed posterior nearly never.
-        assert!(fn_hits < trials / 10, "false-negative hits: {fn_hits}/{trials}");
+        assert!(
+            fn_hits < trials / 10,
+            "false-negative hits: {fn_hits}/{trials}"
+        );
     }
 }

@@ -58,7 +58,13 @@ pub struct NonInformativePrior {
 impl NonInformativePrior {
     /// Uniform prior over `n_items` items.
     pub fn new(n_items: u32) -> Self {
-        Self { p: if n_items == 0 { 0.0 } else { 1.0 / n_items as f64 } }
+        Self {
+            p: if n_items == 0 {
+                0.0
+            } else {
+                1.0 / n_items as f64
+            },
+        }
     }
 }
 
@@ -87,7 +93,11 @@ impl OccupationPrior {
     /// occupation×item counts derived from **training** interactions.
     pub fn new(pop: &Popularity, train: &Interactions, occupations: Occupations) -> Self {
         let counts = OccupationItemCounts::build(train, &occupations);
-        Self { base: PopularityPrior::new(pop), occupations, counts }
+        Self {
+            base: PopularityPrior::new(pop),
+            occupations,
+            counts,
+        }
     }
 }
 

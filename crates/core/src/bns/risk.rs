@@ -66,12 +66,7 @@ pub fn empirical_risk(risks: &[f64]) -> f64 {
 /// Eq. (32)'s selection value at a configurable expansion order:
 /// `sampling_loss(info) · [1 − (1 + λ)·unbias]`.
 #[inline]
-pub fn selection_value_ordered(
-    info: f64,
-    unbias: f64,
-    lambda: f64,
-    order: RiskOrder,
-) -> f64 {
+pub fn selection_value_ordered(info: f64, unbias: f64, lambda: f64, order: RiskOrder) -> f64 {
     sampling_loss(info, order) * (1.0 - (1.0 + lambda) * unbias)
 }
 
@@ -90,7 +85,10 @@ mod tests {
             let lambda: f64 = rng.random_range(0.0..20.0);
             let a = conditional_risk(info, unbias, lambda);
             let b = selection_value(info, unbias, lambda);
-            assert!((a - b).abs() < 1e-12, "mismatch at ({info}, {unbias}, {lambda})");
+            assert!(
+                (a - b).abs() < 1e-12,
+                "mismatch at ({info}, {unbias}, {lambda})"
+            );
         }
     }
 
@@ -183,7 +181,7 @@ mod tests {
                 .collect();
             greedy_total += risks.iter().cloned().fold(f64::INFINITY, f64::min);
             random_total += risks[0]; // a fixed arbitrary policy
-            // "hardest": max info policy.
+                                      // "hardest": max info policy.
             let hardest = candidates
                 .iter()
                 .zip(&risks)

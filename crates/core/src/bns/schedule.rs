@@ -33,7 +33,11 @@ impl LambdaSchedule {
 
     /// The paper's BNS-1 warm start: `max(10 − 0.1·epoch, 2)`.
     pub fn paper_warm_start() -> Self {
-        LambdaSchedule::WarmStart { init: 10.0, slope: 0.1, floor: 2.0 }
+        LambdaSchedule::WarmStart {
+            init: 10.0,
+            slope: 0.1,
+            floor: 2.0,
+        }
     }
 
     /// λ at a 0-based epoch.
@@ -89,9 +93,12 @@ mod tests {
     fn validation() {
         assert!(!LambdaSchedule::Constant(f64::NAN).is_valid());
         assert!(!LambdaSchedule::Constant(-1.0).is_valid());
-        assert!(
-            !LambdaSchedule::WarmStart { init: 10.0, slope: -0.1, floor: 2.0 }.is_valid()
-        );
+        assert!(!LambdaSchedule::WarmStart {
+            init: 10.0,
+            slope: -0.1,
+            floor: 2.0
+        }
+        .is_valid());
         assert!(LambdaSchedule::paper_default().is_valid());
         assert!(LambdaSchedule::paper_warm_start().is_valid());
     }

@@ -37,7 +37,14 @@ pub struct ContrastiveConfig {
 
 impl Default for ContrastiveConfig {
     fn default() -> Self {
-        Self { epochs: 40, k_negatives: 8, temperature: 0.5, lr: 0.05, reg: 1e-4, seed: 42 }
+        Self {
+            epochs: 40,
+            k_negatives: 8,
+            temperature: 0.5,
+            lr: 0.05,
+            reg: 1e-4,
+            seed: 42,
+        }
     }
 }
 
@@ -48,11 +55,15 @@ impl ContrastiveConfig {
                 "contrastive training requires epochs > 0 and k_negatives > 0".into(),
             ));
         }
-        if !(self.temperature > 0.0) || !self.temperature.is_finite() {
-            return Err(CoreError::InvalidConfig("temperature must be finite and > 0".into()));
+        if self.temperature <= 0.0 || !self.temperature.is_finite() {
+            return Err(CoreError::InvalidConfig(
+                "temperature must be finite and > 0".into(),
+            ));
         }
-        if !(self.lr > 0.0) || !(self.reg >= 0.0) {
-            return Err(CoreError::InvalidConfig("lr must be > 0 and reg >= 0".into()));
+        if self.lr <= 0.0 || !self.lr.is_finite() || self.reg < 0.0 || !self.reg.is_finite() {
+            return Err(CoreError::InvalidConfig(
+                "lr must be > 0 and reg >= 0".into(),
+            ));
         }
         Ok(())
     }
@@ -131,21 +142,17 @@ pub fn train_contrastive(
                 stats.skipped += 1;
                 continue;
             }
-            let loss = model.infonce_update(
-                u,
-                pos,
-                &negs,
-                config.lr,
-                config.reg,
-                config.temperature,
-            );
+            let loss =
+                model.infonce_update(u, pos, &negs, config.lr, config.reg, config.temperature);
             loss_sum += loss as f64;
             loss_count += 1;
             stats.anchors += 1;
         }
-        stats
-            .loss_per_epoch
-            .push(if loss_count == 0 { 0.0 } else { loss_sum / loss_count as f64 });
+        stats.loss_per_epoch.push(if loss_count == 0 {
+            0.0
+        } else {
+            loss_sum / loss_count as f64
+        });
     }
     Ok(stats)
 }
@@ -187,11 +194,26 @@ mod tests {
         let mut m = mf(&d, 0);
         let mut s = Rns;
         for bad in [
-            ContrastiveConfig { epochs: 0, ..Default::default() },
-            ContrastiveConfig { k_negatives: 0, ..Default::default() },
-            ContrastiveConfig { temperature: 0.0, ..Default::default() },
-            ContrastiveConfig { lr: 0.0, ..Default::default() },
-            ContrastiveConfig { reg: -1.0, ..Default::default() },
+            ContrastiveConfig {
+                epochs: 0,
+                ..Default::default()
+            },
+            ContrastiveConfig {
+                k_negatives: 0,
+                ..Default::default()
+            },
+            ContrastiveConfig {
+                temperature: 0.0,
+                ..Default::default()
+            },
+            ContrastiveConfig {
+                lr: 0.0,
+                ..Default::default()
+            },
+            ContrastiveConfig {
+                reg: -1.0,
+                ..Default::default()
+            },
         ] {
             assert!(train_contrastive(&mut m, &d, &mut s, &bad).is_err());
         }
@@ -202,7 +224,11 @@ mod tests {
         let d = tiny_dataset();
         let mut m = mf(&d, 1);
         let mut s = Rns;
-        let cfg = ContrastiveConfig { epochs: 30, k_negatives: 4, ..Default::default() };
+        let cfg = ContrastiveConfig {
+            epochs: 30,
+            k_negatives: 4,
+            ..Default::default()
+        };
         let stats = train_contrastive(&mut m, &d, &mut s, &cfg).unwrap();
         assert_eq!(stats.loss_per_epoch.len(), 30);
         assert!(stats.anchors > 0);
@@ -216,12 +242,19 @@ mod tests {
         let d = tiny_dataset();
         let mut m = mf(&d, 2);
         let mut s = Rns;
-        let cfg = ContrastiveConfig { epochs: 60, k_negatives: 4, ..Default::default() };
+        let cfg = ContrastiveConfig {
+            epochs: 60,
+            k_negatives: 4,
+            ..Default::default()
+        };
         train_contrastive(&mut m, &d, &mut s, &cfg).unwrap();
         // Users 0, 1 prefer items 0..4; users 2, 3 prefer 4..8.
         let own: f32 = (0..4).map(|i| m.score(0, i)).sum();
         let other: f32 = (4..8).map(|i| m.score(0, i)).sum();
-        assert!(own > other, "contrastive training failed to separate blocks");
+        assert!(
+            own > other,
+            "contrastive training failed to separate blocks"
+        );
     }
 
     #[test]
@@ -230,9 +263,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let mut wrong = MatrixFactorization::new(2, 8, 4, 0.1, &mut rng).unwrap();
         let mut s = Rns;
-        assert!(
-            train_contrastive(&mut wrong, &d, &mut s, &ContrastiveConfig::default()).is_err()
-        );
+        assert!(train_contrastive(&mut wrong, &d, &mut s, &ContrastiveConfig::default()).is_err());
     }
 
     #[test]
@@ -242,7 +273,10 @@ mod tests {
         let mut m2 = mf(&d, 4);
         let mut s1 = Rns;
         let mut s2 = Rns;
-        let cfg = ContrastiveConfig { epochs: 5, ..Default::default() };
+        let cfg = ContrastiveConfig {
+            epochs: 5,
+            ..Default::default()
+        };
         let a = train_contrastive(&mut m1, &d, &mut s1, &cfg).unwrap();
         let b = train_contrastive(&mut m2, &d, &mut s2, &cfg).unwrap();
         assert_eq!(a, b);

@@ -21,9 +21,14 @@ impl Dns {
     /// Creates DNS with candidate-set size `m` (the paper fixes 5).
     pub fn new(m: usize) -> Result<Self> {
         if m == 0 {
-            return Err(CoreError::InvalidConfig("DNS candidate size must be > 0".into()));
+            return Err(CoreError::InvalidConfig(
+                "DNS candidate size must be > 0".into(),
+            ));
         }
-        Ok(Self { m, candidates: Vec::with_capacity(m) })
+        Ok(Self {
+            m,
+            candidates: Vec::with_capacity(m),
+        })
     }
 
     /// Candidate-set size.
@@ -48,14 +53,11 @@ impl NegativeSampler for Dns {
             return None;
         }
         debug_assert_eq!(ctx.user_scores.len(), ctx.n_items() as usize);
-        self.candidates
-            .iter()
-            .copied()
-            .max_by(|&a, &b| {
-                ctx.user_scores[a as usize]
-                    .partial_cmp(&ctx.user_scores[b as usize])
-                    .expect("scores are finite")
-            })
+        self.candidates.iter().copied().max_by(|&a, &b| {
+            ctx.user_scores[a as usize]
+                .partial_cmp(&ctx.user_scores[b as usize])
+                .expect("scores are finite")
+        })
     }
 
     fn needs_user_scores(&self) -> bool {

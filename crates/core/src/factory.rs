@@ -61,8 +61,15 @@ impl SamplerConfig {
             SamplerConfig::Pns,
             SamplerConfig::Aobpr { lambda_frac: 0.05 },
             SamplerConfig::Dns { m: 5 },
-            SamplerConfig::Srns { s1: 20, s2: 5, alpha: 1.0 },
-            SamplerConfig::Bns { config: BnsConfig::default(), prior: PriorKind::Popularity },
+            SamplerConfig::Srns {
+                s1: 20,
+                s2: 5,
+                alpha: 1.0,
+            },
+            SamplerConfig::Bns {
+                config: BnsConfig::default(),
+                prior: PriorKind::Popularity,
+            },
         ]
     }
 
@@ -87,14 +94,10 @@ pub fn build_prior(
 ) -> Result<Box<dyn Prior>> {
     match kind {
         PriorKind::Popularity => Ok(Box::new(PopularityPrior::new(dataset.popularity()))),
-        PriorKind::NonInformative => {
-            Ok(Box::new(NonInformativePrior::new(dataset.n_items())))
-        }
+        PriorKind::NonInformative => Ok(Box::new(NonInformativePrior::new(dataset.n_items()))),
         PriorKind::Occupation => {
             let occ = occupations.ok_or_else(|| {
-                CoreError::InvalidConfig(
-                    "occupation prior requires occupation labels".into(),
-                )
+                CoreError::InvalidConfig("occupation prior requires occupation labels".into())
             })?;
             Ok(Box::new(OccupationPrior::new(
                 dataset.popularity(),
@@ -102,9 +105,11 @@ pub fn build_prior(
                 occ.clone(),
             )))
         }
-        PriorKind::Oracle { p_if_fn, p_if_tn } => {
-            Ok(Box::new(OraclePrior::new(dataset.test().clone(), p_if_fn, p_if_tn)))
-        }
+        PriorKind::Oracle { p_if_fn, p_if_tn } => Ok(Box::new(OraclePrior::new(
+            dataset.test().clone(),
+            p_if_fn,
+            p_if_tn,
+        ))),
     }
 }
 
@@ -119,9 +124,7 @@ pub fn build_sampler(
         SamplerConfig::Pns => Ok(Box::new(Pns::new(dataset.popularity())?)),
         SamplerConfig::Aobpr { lambda_frac } => Ok(Box::new(Aobpr::new(lambda_frac)?)),
         SamplerConfig::Dns { m } => Ok(Box::new(Dns::new(m)?)),
-        SamplerConfig::Srns { s1, s2, alpha } => {
-            Ok(Box::new(Srns::new(s1, s2, alpha, 0.2)?))
-        }
+        SamplerConfig::Srns { s1, s2, alpha } => Ok(Box::new(Srns::new(s1, s2, alpha, 0.2)?)),
         SamplerConfig::Bns { config, prior } => {
             let prior = build_prior(prior, dataset, occupations)?;
             Ok(Box::new(BnsSampler::new(config, prior)?))
@@ -137,8 +140,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn dataset() -> Dataset {
-        let train =
-            Interactions::from_pairs(3, 6, &[(0, 0), (0, 1), (1, 2), (2, 3)]).unwrap();
+        let train = Interactions::from_pairs(3, 6, &[(0, 0), (0, 1), (1, 2), (2, 3)]).unwrap();
         let test = Interactions::from_pairs(3, 6, &[(0, 4), (1, 5)]).unwrap();
         Dataset::new("f", train, test).unwrap()
     }
@@ -175,8 +177,15 @@ mod tests {
     #[test]
     fn oracle_prior_reads_test_labels() {
         let d = dataset();
-        let prior =
-            build_prior(PriorKind::Oracle { p_if_fn: 0.64, p_if_tn: 0.04 }, &d, None).unwrap();
+        let prior = build_prior(
+            PriorKind::Oracle {
+                p_if_fn: 0.64,
+                p_if_tn: 0.04,
+            },
+            &d,
+            None,
+        )
+        .unwrap();
         assert_eq!(prior.p_fn(0, 4), 0.64); // test positive
         assert_eq!(prior.p_fn(0, 3), 0.04);
     }
@@ -185,11 +194,13 @@ mod tests {
     fn invalid_nested_config_propagates() {
         let d = dataset();
         assert!(build_sampler(&SamplerConfig::Dns { m: 0 }, &d, None).is_err());
-        assert!(
-            build_sampler(&SamplerConfig::Aobpr { lambda_frac: -1.0 }, &d, None).is_err()
-        );
+        assert!(build_sampler(&SamplerConfig::Aobpr { lambda_frac: -1.0 }, &d, None).is_err());
         assert!(build_sampler(
-            &SamplerConfig::Srns { s1: 2, s2: 5, alpha: 1.0 },
+            &SamplerConfig::Srns {
+                s1: 2,
+                s2: 5,
+                alpha: 1.0
+            },
             &d,
             None
         )

@@ -61,7 +61,10 @@ impl std::fmt::Display for CoreError {
         match self {
             CoreError::InvalidConfig(m) => write!(f, "invalid sampler config: {m}"),
             CoreError::NoNegatives { user } => {
-                write!(f, "user {user} has interacted with every item; nothing to sample")
+                write!(
+                    f,
+                    "user {user} has interacted with every item; nothing to sample"
+                )
             }
             CoreError::Model(e) => write!(f, "model error: {e}"),
             CoreError::Data(e) => write!(f, "data error: {e}"),

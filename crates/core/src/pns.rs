@@ -24,9 +24,8 @@ impl Pns {
     /// Builds the `r^0.75` alias table from training popularity.
     pub fn new(popularity: &Popularity) -> Result<Self> {
         let weights = popularity.pns_weights();
-        let table = AliasTable::new(&weights).map_err(|e| {
-            CoreError::InvalidConfig(format!("PNS weight table: {e}"))
-        })?;
+        let table = AliasTable::new(&weights)
+            .map_err(|e| CoreError::InvalidConfig(format!("PNS weight table: {e}")))?;
         Ok(Self { table })
     }
 }
@@ -72,12 +71,7 @@ mod tests {
 
     fn setup() -> (Interactions, Popularity) {
         // Item popularity: item 0 → 3 interactions, item 1 → 1, items 2,3 → 0.
-        let train = Interactions::from_pairs(
-            4,
-            4,
-            &[(0, 0), (1, 0), (2, 0), (3, 1)],
-        )
-        .unwrap();
+        let train = Interactions::from_pairs(4, 4, &[(0, 0), (1, 0), (2, 0), (3, 1)]).unwrap();
         let pop = Popularity::from_interactions(&train);
         (train, pop)
     }

@@ -51,13 +51,23 @@ impl Srns {
                 "SRNS requires 0 < sample_size <= memory_size".into(),
             ));
         }
-        if !(alpha >= 0.0) || !alpha.is_finite() {
-            return Err(CoreError::InvalidConfig("SRNS alpha must be finite and >= 0".into()));
+        if alpha < 0.0 || !alpha.is_finite() {
+            return Err(CoreError::InvalidConfig(
+                "SRNS alpha must be finite and >= 0".into(),
+            ));
         }
         if !(0.0..=1.0).contains(&refresh_prob) {
-            return Err(CoreError::InvalidConfig("SRNS refresh_prob must be in [0, 1]".into()));
+            return Err(CoreError::InvalidConfig(
+                "SRNS refresh_prob must be in [0, 1]".into(),
+            ));
         }
-        Ok(Self { memory_size: s1, sample_size: s2, alpha, refresh_prob, memories: Vec::new() })
+        Ok(Self {
+            memory_size: s1,
+            sample_size: s2,
+            alpha,
+            refresh_prob,
+            memories: Vec::new(),
+        })
     }
 
     /// The paper-aligned default: S₁ = 20, S₂ = 5, α = 1, 20% refresh.
@@ -116,8 +126,7 @@ impl NegativeSampler for Srns {
         for _ in 0..sample_size {
             let slot = rng.random_range(0..memory_size);
             let item = mem.items[slot];
-            let value =
-                ctx.user_scores[item as usize] as f64 + alpha * mem.stats[slot].std_dev();
+            let value = ctx.user_scores[item as usize] as f64 + alpha * mem.stats[slot].std_dev();
             if best.map(|(v, _)| value > v).unwrap_or(true) {
                 best = Some((value, item));
             }

@@ -31,12 +31,22 @@ pub struct TrainConfig {
 impl TrainConfig {
     /// The paper's MF setup at `epochs` epochs.
     pub fn paper_mf(epochs: usize, seed: u64) -> Self {
-        Self { epochs, batch_size: 1, sgd: bns_model::SgdConfig::paper_mf(), seed }
+        Self {
+            epochs,
+            batch_size: 1,
+            sgd: bns_model::SgdConfig::paper_mf(),
+            seed,
+        }
     }
 
     /// The paper's LightGCN setup at `epochs` epochs.
     pub fn paper_lightgcn(epochs: usize, batch_size: usize, seed: u64) -> Self {
-        Self { epochs, batch_size, sgd: bns_model::SgdConfig::paper_lightgcn(), seed }
+        Self {
+            epochs,
+            batch_size,
+            sgd: bns_model::SgdConfig::paper_lightgcn(),
+            seed,
+        }
     }
 
     fn validate(&self) -> Result<()> {
@@ -163,9 +173,11 @@ pub fn train<M: PairwiseModel>(
             model.end_batch(lr, config.sgd.reg);
         }
 
-        stats
-            .mean_info_per_epoch
-            .push(if info_count == 0 { 0.0 } else { info_sum / info_count as f64 });
+        stats.mean_info_per_epoch.push(if info_count == 0 {
+            0.0
+        } else {
+            info_sum / info_count as f64
+        });
         observer.on_epoch_end(epoch, model as &dyn Scorer);
     }
 
@@ -218,9 +230,15 @@ mod tests {
         let d = tiny_dataset();
         let mut m = mf(0, &d);
         let mut s = Rns;
-        let bad = TrainConfig { epochs: 0, ..TrainConfig::paper_mf(1, 0) };
+        let bad = TrainConfig {
+            epochs: 0,
+            ..TrainConfig::paper_mf(1, 0)
+        };
         assert!(train(&mut m, &d, &mut s, &bad, &mut NoopObserver).is_err());
-        let bad = TrainConfig { batch_size: 0, ..TrainConfig::paper_mf(1, 0) };
+        let bad = TrainConfig {
+            batch_size: 0,
+            ..TrainConfig::paper_mf(1, 0)
+        };
         assert!(train(&mut m, &d, &mut s, &bad, &mut NoopObserver).is_err());
     }
 
@@ -230,8 +248,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mut wrong = MatrixFactorization::new(2, 8, 4, 0.1, &mut rng).unwrap();
         let mut s = Rns;
-        assert!(train(&mut wrong, &d, &mut s, &TrainConfig::paper_mf(1, 0), &mut NoopObserver)
-            .is_err());
+        assert!(train(
+            &mut wrong,
+            &d,
+            &mut s,
+            &TrainConfig::paper_mf(1, 0),
+            &mut NoopObserver
+        )
+        .is_err());
     }
 
     #[test]
@@ -280,7 +304,10 @@ mod tests {
         let d = tiny_dataset();
         let mut m = mf(3, &d);
         let mut s = Rns;
-        let mut obs = Counter { triples: 0, epochs: 0 };
+        let mut obs = Counter {
+            triples: 0,
+            epochs: 0,
+        };
         let cfg = TrainConfig::paper_mf(3, 11);
         let stats = train(&mut m, &d, &mut s, &cfg, &mut obs).unwrap();
         assert_eq!(obs.triples, stats.triples);

@@ -22,7 +22,9 @@ fn fixture(n_items: u32, seed_scores: u64) -> (Interactions, Popularity, FixedSc
     // Deterministic pseudo-random distinct scores.
     let scores: Vec<f32> = (0..n_items)
         .map(|i| {
-            let h = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed_scores);
+            let h = (i as u64)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(seed_scores);
             ((h >> 33) as f32) / (u32::MAX as f32) + i as f32 * 1e-7
         })
         .collect();
@@ -67,11 +69,8 @@ fn under_noninformative_prior_bns_ranks_by_f_only() {
     // alone, so candidate ordering by unbias equals ordering by −F — the
     // §IV-D degeneration to DNS-style rank information.
     let (train, pop, scorer, user_scores) = fixture(60, 7);
-    let sampler = BnsSampler::new(
-        BnsConfig::default(),
-        Box::new(NonInformativePrior::new(60)),
-    )
-    .unwrap();
+    let sampler =
+        BnsSampler::new(BnsConfig::default(), Box::new(NonInformativePrior::new(60))).unwrap();
     let ctx = SampleContext {
         scorer: &scorer,
         train: &train,

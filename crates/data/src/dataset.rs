@@ -36,7 +36,12 @@ impl Dataset {
             }
         }
         let popularity = Popularity::from_interactions(&train);
-        Ok(Self { name: name.into(), train, test, popularity })
+        Ok(Self {
+            name: name.into(),
+            train,
+            test,
+            popularity,
+        })
     }
 
     /// Training interactions.

@@ -94,7 +94,12 @@ pub fn k_core(x: &Interactions, k: u32) -> Result<KCoreResult> {
             builder.push(nu, ni)?;
         }
     }
-    Ok(KCoreResult { interactions: builder.build()?, user_map, item_map, rounds })
+    Ok(KCoreResult {
+        interactions: builder.build()?,
+        user_map,
+        item_map,
+        rounds,
+    })
 }
 
 #[cfg(test)]
@@ -119,12 +124,7 @@ mod tests {
     fn two_core_drops_degree_one_nodes() {
         // Users 0, 1 share items 0, 1 (degree 2 everywhere); user 2 has a
         // single interaction with its own item 2.
-        let x = Interactions::from_pairs(
-            3,
-            3,
-            &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 2)],
-        )
-        .unwrap();
+        let x = Interactions::from_pairs(3, 3, &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 2)]).unwrap();
         let r = k_core(&x, 2).unwrap();
         assert_eq!(r.interactions.n_users(), 2);
         assert_eq!(r.interactions.n_items(), 2);
@@ -139,24 +139,15 @@ mod tests {
         // {2}. 2-core: user 2 dies → item 2 drops to degree 1 → dies →
         // user 1 drops to degree 1 → dies → item 1 drops to degree 1 →
         // dies → user 0 drops to degree 1 → everything dies.
-        let x = Interactions::from_pairs(
-            3,
-            3,
-            &[(0, 0), (0, 1), (1, 1), (1, 2), (2, 2)],
-        )
-        .unwrap();
+        let x = Interactions::from_pairs(3, 3, &[(0, 0), (0, 1), (1, 1), (1, 2), (2, 2)]).unwrap();
         let err = k_core(&x, 2).unwrap_err();
         assert!(err.to_string().contains("removed the entire dataset"));
     }
 
     #[test]
     fn id_maps_are_consistent() {
-        let x = Interactions::from_pairs(
-            4,
-            4,
-            &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 3), (3, 3)],
-        )
-        .unwrap();
+        let x = Interactions::from_pairs(4, 4, &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 3), (3, 3)])
+            .unwrap();
         let r = k_core(&x, 2).unwrap();
         // Survivors: users 0, 1 and items 0, 1 (item 3 has degree 2 but its
         // users 2, 3 have degree 1 and die, killing it too).

@@ -79,9 +79,7 @@ impl Interactions {
 
     /// Iterates all `(user, item)` pairs in row order.
     pub fn iter_pairs(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
-        (0..self.n_users).flat_map(move |u| {
-            self.items_of(u).iter().map(move |&i| (u, i))
-        })
+        (0..self.n_users).flat_map(move |u| self.items_of(u).iter().map(move |&i| (u, i)))
     }
 
     /// Per-item interaction counts (`popₗ` of Eq. 17).
@@ -120,7 +118,9 @@ impl Interactions {
             )));
         }
         if offsets[0] != 0 || *offsets.last().expect("non-empty") as usize != items.len() {
-            return Err(DataError::Invalid("offsets must start at 0 and end at items.len()".into()));
+            return Err(DataError::Invalid(
+                "offsets must start at 0 and end at items.len()".into(),
+            ));
         }
         for w in offsets.windows(2) {
             if w[0] > w[1] {
@@ -128,13 +128,20 @@ impl Interactions {
             }
             let row = &items[w[0] as usize..w[1] as usize];
             if !row.windows(2).all(|p| p[0] < p[1]) {
-                return Err(DataError::Invalid("row items must be strictly ascending".into()));
+                return Err(DataError::Invalid(
+                    "row items must be strictly ascending".into(),
+                ));
             }
             if row.iter().any(|&i| i >= n_items) {
                 return Err(DataError::Invalid("item id out of range".into()));
             }
         }
-        Ok(Self { n_users, n_items, offsets, items })
+        Ok(Self {
+            n_users,
+            n_items,
+            offsets,
+            items,
+        })
     }
 
     /// Merges two interaction sets over the same id space (used to rebuild
@@ -162,12 +169,20 @@ pub struct InteractionsBuilder {
 impl InteractionsBuilder {
     /// Starts an empty builder over the given id space.
     pub fn new(n_users: u32, n_items: u32) -> Self {
-        Self { n_users, n_items, pairs: Vec::new() }
+        Self {
+            n_users,
+            n_items,
+            pairs: Vec::new(),
+        }
     }
 
     /// Pre-allocates capacity for `n` pairs.
     pub fn with_capacity(n_users: u32, n_items: u32, n: usize) -> Self {
-        Self { n_users, n_items, pairs: Vec::with_capacity(n) }
+        Self {
+            n_users,
+            n_items,
+            pairs: Vec::with_capacity(n),
+        }
     }
 
     /// Adds one `(user, item)` pair; range-checked.
@@ -228,8 +243,7 @@ mod tests {
     use super::*;
 
     fn sample() -> Interactions {
-        Interactions::from_pairs(3, 5, &[(0, 1), (0, 3), (1, 0), (1, 1), (1, 4), (2, 2)])
-            .unwrap()
+        Interactions::from_pairs(3, 5, &[(0, 1), (0, 3), (1, 0), (1, 1), (1, 4), (2, 2)]).unwrap()
     }
 
     #[test]

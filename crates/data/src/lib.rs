@@ -34,11 +34,11 @@ pub mod stats;
 pub mod synthetic;
 
 pub use dataset::Dataset;
+pub use filter::{k_core, KCoreResult};
 pub use interactions::{Interactions, InteractionsBuilder};
 pub use occupation::Occupations;
 pub use popularity::Popularity;
 pub use presets::{DatasetPreset, Scale};
-pub use filter::{k_core, KCoreResult};
 pub use split::{split_leave_one_out, split_random, SplitConfig};
 pub use stats::DatasetStats;
 pub use synthetic::{SyntheticConfig, SyntheticDataset};
@@ -62,7 +62,9 @@ pub enum DataError {
 impl std::fmt::Display for DataError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            DataError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            DataError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
             DataError::Io(e) => write!(f, "i/o error: {e}"),
             DataError::Invalid(msg) => write!(f, "invalid data: {msg}"),
         }

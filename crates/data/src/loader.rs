@@ -178,7 +178,10 @@ mod tests {
 
     #[test]
     fn double_colon_line_parses() {
-        assert_eq!(parse_double_colon_line("1::1193::5::978300760", 1).unwrap(), (1, 1193));
+        assert_eq!(
+            parse_double_colon_line("1::1193::5::978300760", 1).unwrap(),
+            (1, 1193)
+        );
         assert!(parse_double_colon_line("1::", 1).is_err());
     }
 

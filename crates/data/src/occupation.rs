@@ -21,7 +21,9 @@ impl Occupations {
     /// Assigns each user a uniform-random group.
     pub fn random<R: Rng + ?Sized>(n_users: u32, n_groups: u32, rng: &mut R) -> Self {
         assert!(n_groups > 0, "need at least one occupation group");
-        let labels = (0..n_users).map(|_| rng.random_range(0..n_groups)).collect();
+        let labels = (0..n_users)
+            .map(|_| rng.random_range(0..n_groups))
+            .collect();
         Self { labels, n_groups }
     }
 
@@ -93,7 +95,13 @@ impl OccupationItemCounts {
             mean_per_item[i] = sum as f64 / n_groups as f64;
             max_per_item[i] = max.max(1);
         }
-        Self { n_groups, n_items, counts, mean_per_item, max_per_item }
+        Self {
+            n_groups,
+            n_items,
+            counts,
+            mean_per_item,
+            max_per_item,
+        }
     }
 
     /// Count `oᵤₗ` for a group/item pair.
@@ -143,8 +151,7 @@ mod tests {
     fn counts_accumulate_by_group() {
         // Users 0,1 in group 0; user 2 in group 1.
         let occ = Occupations::from_labels(vec![0, 0, 1], 2);
-        let train =
-            Interactions::from_pairs(3, 2, &[(0, 0), (1, 0), (2, 0), (2, 1)]).unwrap();
+        let train = Interactions::from_pairs(3, 2, &[(0, 0), (1, 0), (2, 0), (2, 1)]).unwrap();
         let c = OccupationItemCounts::build(&train, &occ);
         assert_eq!(c.count(0, 0), 2);
         assert_eq!(c.count(1, 0), 1);

@@ -64,7 +64,10 @@ impl Popularity {
 
     /// PNS sampling weights `r^0.75` (unnormalized).
     pub fn pns_weights(&self) -> Vec<f64> {
-        self.counts.iter().map(|&c| (c as f64).powf(PNS_EXPONENT)).collect()
+        self.counts
+            .iter()
+            .map(|&c| (c as f64).powf(PNS_EXPONENT))
+            .collect()
     }
 
     /// Gini coefficient of the popularity distribution — a skew summary

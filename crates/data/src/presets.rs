@@ -55,8 +55,11 @@ pub enum DatasetPreset {
 
 impl DatasetPreset {
     /// All presets in the paper's order.
-    pub const ALL: [DatasetPreset; 3] =
-        [DatasetPreset::Ml100k, DatasetPreset::Ml1m, DatasetPreset::YahooR3];
+    pub const ALL: [DatasetPreset; 3] = [
+        DatasetPreset::Ml100k,
+        DatasetPreset::Ml1m,
+        DatasetPreset::YahooR3,
+    ];
 
     /// Display name used in tables.
     pub fn name(&self) -> &'static str {
@@ -122,8 +125,14 @@ mod tests {
     #[test]
     fn paper_counts_match_table_one() {
         assert_eq!(DatasetPreset::Ml100k.paper_counts(), (943, 1_682, 100_000));
-        assert_eq!(DatasetPreset::Ml1m.paper_counts(), (6_040, 3_952, 1_000_209));
-        assert_eq!(DatasetPreset::YahooR3.paper_counts(), (5_400, 1_000, 182_954));
+        assert_eq!(
+            DatasetPreset::Ml1m.paper_counts(),
+            (6_040, 3_952, 1_000_209)
+        );
+        assert_eq!(
+            DatasetPreset::YahooR3.paper_counts(),
+            (5_400, 1_000, 182_954)
+        );
     }
 
     #[test]

@@ -43,7 +43,9 @@ pub fn encode_interactions(x: &Interactions) -> Bytes {
 pub fn decode_interactions(mut buf: &[u8]) -> Result<Interactions> {
     let need = |buf: &&[u8], n: usize, what: &str| -> Result<()> {
         if buf.remaining() < n {
-            Err(DataError::Invalid(format!("truncated buffer while reading {what}")))
+            Err(DataError::Invalid(format!(
+                "truncated buffer while reading {what}"
+            )))
         } else {
             Ok(())
         }

@@ -24,7 +24,10 @@ pub struct SplitConfig {
 
 impl Default for SplitConfig {
     fn default() -> Self {
-        Self { test_fraction: 0.2, min_train_per_user: 1 }
+        Self {
+            test_fraction: 0.2,
+            min_train_per_user: 1,
+        }
     }
 }
 
@@ -35,19 +38,13 @@ pub fn split_random<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<(Interactions, Interactions)> {
     if !(0.0..1.0).contains(&config.test_fraction) {
-        return Err(DataError::Invalid(
-            "test_fraction must be in [0, 1)".into(),
-        ));
+        return Err(DataError::Invalid("test_fraction must be in [0, 1)".into()));
     }
     if all.is_empty() {
         return Err(DataError::Invalid("cannot split an empty dataset".into()));
     }
 
-    let mut train = InteractionsBuilder::with_capacity(
-        all.n_users(),
-        all.n_items(),
-        all.len(),
-    );
+    let mut train = InteractionsBuilder::with_capacity(all.n_users(), all.n_items(), all.len());
     let mut test = InteractionsBuilder::new(all.n_users(), all.n_items());
 
     // Split per user so the min-train guarantee is local and exact.
@@ -87,11 +84,7 @@ pub fn split_leave_one_out<R: Rng + ?Sized>(
     if all.is_empty() {
         return Err(DataError::Invalid("cannot split an empty dataset".into()));
     }
-    let mut train = InteractionsBuilder::with_capacity(
-        all.n_users(),
-        all.n_items(),
-        all.len(),
-    );
+    let mut train = InteractionsBuilder::with_capacity(all.n_users(), all.n_items(), all.len());
     let mut test = InteractionsBuilder::new(all.n_users(), all.n_items());
     for u in 0..all.n_users() {
         let items = all.items_of(u);
@@ -159,7 +152,10 @@ mod tests {
         // Users with a single interaction must keep it in train.
         let all = Interactions::from_pairs(3, 3, &[(0, 0), (1, 1), (2, 2)]).unwrap();
         let mut rng = StdRng::seed_from_u64(2);
-        let cfg = SplitConfig { test_fraction: 0.9, min_train_per_user: 1 };
+        let cfg = SplitConfig {
+            test_fraction: 0.9,
+            min_train_per_user: 1,
+        };
         let (train, test) = split_random(&all, cfg, &mut rng).unwrap();
         assert_eq!(train.len(), 3);
         assert_eq!(test.len(), 0);
@@ -172,7 +168,10 @@ mod tests {
     fn rejects_bad_fraction() {
         let all = dense(2, 2, 1);
         let mut rng = StdRng::seed_from_u64(3);
-        let cfg = SplitConfig { test_fraction: 1.0, min_train_per_user: 1 };
+        let cfg = SplitConfig {
+            test_fraction: 1.0,
+            min_train_per_user: 1,
+        };
         assert!(split_random(&all, cfg, &mut rng).is_err());
     }
 

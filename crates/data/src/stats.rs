@@ -53,8 +53,7 @@ mod tests {
 
     #[test]
     fn computes_basic_counts() {
-        let train =
-            Interactions::from_pairs(2, 4, &[(0, 0), (0, 1), (1, 2)]).unwrap();
+        let train = Interactions::from_pairs(2, 4, &[(0, 0), (0, 1), (1, 2)]).unwrap();
         let test = Interactions::from_pairs(2, 4, &[(0, 2)]).unwrap();
         let d = Dataset::new("t", train, test).unwrap();
         let s = DatasetStats::of(&d);
@@ -69,8 +68,7 @@ mod tests {
     #[test]
     fn gini_reflects_skew() {
         // All mass on one item → high gini.
-        let train =
-            Interactions::from_pairs(3, 3, &[(0, 0), (1, 0), (2, 0)]).unwrap();
+        let train = Interactions::from_pairs(3, 3, &[(0, 0), (1, 0), (2, 0)]).unwrap();
         let test = Interactions::from_pairs(3, 3, &[(0, 1)]).unwrap();
         let d = Dataset::new("skewed", train, test).unwrap();
         let s = DatasetStats::of(&d);

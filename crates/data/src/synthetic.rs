@@ -86,7 +86,9 @@ impl Default for SyntheticConfig {
 impl SyntheticConfig {
     fn validate(&self) -> Result<()> {
         if self.n_users == 0 || self.n_items == 0 {
-            return Err(DataError::Invalid("need at least one user and one item".into()));
+            return Err(DataError::Invalid(
+                "need at least one user and one item".into(),
+            ));
         }
         if self.latent_dim == 0 {
             return Err(DataError::Invalid("latent_dim must be > 0".into()));
@@ -95,7 +97,9 @@ impl SyntheticConfig {
             return Err(DataError::Invalid("target_interactions must be > 0".into()));
         }
         if !(0.0..1.0).contains(&self.occupation_mix) {
-            return Err(DataError::Invalid("occupation_mix must be in [0, 1)".into()));
+            return Err(DataError::Invalid(
+                "occupation_mix must be in [0, 1)".into(),
+            ));
         }
         if self.n_occupations == 0 {
             return Err(DataError::Invalid("n_occupations must be > 0".into()));
@@ -180,15 +184,13 @@ pub fn generate(config: &SyntheticConfig) -> Result<SyntheticDataset> {
     ranks.shuffle(&mut rng);
     let mut pop_logit = vec![0f64; n_items];
     for (rank_pos, &item) in ranks.iter().enumerate() {
-        pop_logit[item as usize] =
-            -config.popularity_exponent * ((rank_pos + 1) as f64).ln();
+        pop_logit[item as usize] = -config.popularity_exponent * ((rank_pos + 1) as f64).ln();
     }
 
     // Per-user activity from a log-normal calibrated to the target total:
     // if n_u = exp(N(μ, σ)) then E[n_u] = exp(μ + σ²/2).
     let sigma = config.activity_sigma;
-    let mu = (config.target_interactions as f64 / config.n_users as f64).ln()
-        - sigma * sigma / 2.0;
+    let mu = (config.target_interactions as f64 / config.n_users as f64).ln() - sigma * sigma / 2.0;
     let activity_prior = Normal::new(mu, sigma.max(1e-9)).expect("valid sigma");
     let max_per_user = (n_items as u32).saturating_sub(1).max(1);
     let activities: Vec<u32> = (0..n_users)

@@ -46,7 +46,11 @@ pub fn beyond_accuracy(model: &dyn Scorer, dataset: &Dataset, k: usize) -> Beyon
     BeyondAccuracy {
         k,
         catalog_coverage: covered as f64 / n_items.max(1) as f64,
-        mean_popularity: if rec_count == 0 { 0.0 } else { pop_sum / rec_count as f64 },
+        mean_popularity: if rec_count == 0 {
+            0.0
+        } else {
+            pop_sum / rec_count as f64
+        },
         exposure_gini: gini_u64(&exposure),
     }
 }
@@ -115,8 +119,7 @@ mod tests {
     #[test]
     fn popularity_reflects_training_counts() {
         // Item popularity from train: item 0 → 1, item 1 → 3.
-        let train =
-            Interactions::from_pairs(3, 4, &[(0, 0), (0, 1), (1, 1), (2, 1)]).unwrap();
+        let train = Interactions::from_pairs(3, 4, &[(0, 0), (0, 1), (1, 1), (2, 1)]).unwrap();
         let test = Interactions::from_pairs(3, 4, &[(0, 2), (1, 2), (2, 2)]).unwrap();
         let d = Dataset::new("pop", train, test).unwrap();
         let model = FixedScorer::new(

@@ -60,7 +60,10 @@ impl<'a> LearningCurve<'a> {
     pub fn epochs_to_fraction(&self, fraction: f64) -> Option<usize> {
         let last = self.points.last()?.ndcg;
         let target = last * fraction;
-        self.points.iter().find(|p| p.ndcg >= target).map(|p| p.epoch)
+        self.points
+            .iter()
+            .find(|p| p.ndcg >= target)
+            .map(|p| p.epoch)
     }
 }
 
@@ -74,7 +77,11 @@ impl TrainObserver for LearningCurve<'_> {
         // The trainer hands us a &dyn Scorer, which is not Sync; evaluate
         // sequentially through a shim (the parallel path needs Sync).
         let report = evaluate_sequential(model, self.dataset, self.k);
-        self.points.push(CurvePoint { epoch, ndcg: report.0, recall: report.1 });
+        self.points.push(CurvePoint {
+            epoch,
+            ndcg: report.0,
+            recall: report.1,
+        });
         let _ = self.threads;
     }
 }
@@ -128,11 +135,7 @@ mod tests {
     #[test]
     fn sequential_matches_parallel_protocol() {
         let d = dataset();
-        let model = FixedScorer::new(
-            2,
-            5,
-            vec![0.0, 0.9, 0.1, 0.2, 0.0, 0.0, 0.1, 0.2, 0.9, 0.0],
-        );
+        let model = FixedScorer::new(2, 5, vec![0.0, 0.9, 0.1, 0.2, 0.0, 0.0, 0.1, 0.2, 0.9, 0.0]);
         let (ndcg, recall) = evaluate_sequential(&model, &d, 2);
         let report = evaluate_ranking(&model, &d, &[2], 2);
         let row = report.at(2).unwrap();
@@ -147,8 +150,7 @@ mod tests {
         // Simulate an improving model: at epoch 0 the relevant items are
         // buried; by epoch 2 they rank on top.
         let bad = FixedScorer::new(2, 5, vec![0.9, 0.0, 0.1, 0.0, 0.8, 0.9, 0.1, 0.0, 0.0, 0.8]);
-        let good =
-            FixedScorer::new(2, 5, vec![0.0, 0.9, 0.1, 0.0, 0.0, 0.0, 0.1, 0.0, 0.9, 0.0]);
+        let good = FixedScorer::new(2, 5, vec![0.0, 0.9, 0.1, 0.0, 0.0, 0.0, 0.1, 0.0, 0.9, 0.0]);
         curve.on_epoch_end(0, &bad);
         curve.on_epoch_end(1, &good);
         curve.on_epoch_end(2, &good);

@@ -5,7 +5,7 @@
 //! * [`metrics`] — Precision@K, Recall@K, NDCG@K (the paper's Table II–IV
 //!   metrics) plus HitRate/MAP/MRR/AUC used in the extended analyses.
 //! * [`ranking`] — the full ranking protocol: score every evaluable user,
-//!   mask training positives, average metrics (parallelized with crossbeam
+//!   mask training positives, average metrics (parallelized with std::thread
 //!   scoped threads).
 //! * [`quality`] — the paper's sampling-quality instruments: TNR (Eq. 33)
 //!   and INF (Eq. 34) per-epoch trackers and the Fig. 1 score-distribution
@@ -21,8 +21,7 @@ pub mod topk;
 pub use beyond::{beyond_accuracy, BeyondAccuracy};
 pub use curves::{CurvePoint, LearningCurve};
 pub use metrics::{
-    auc, average_precision, hit_rate, ndcg_at_k, precision_at_k, recall_at_k,
-    reciprocal_rank,
+    auc, average_precision, hit_rate, ndcg_at_k, precision_at_k, recall_at_k, reciprocal_rank,
 };
 pub use quality::{QualityTracker, ScoreDistributionProbe};
 pub use ranking::{evaluate_ranking, MetricRow, RankingReport};

@@ -17,7 +17,11 @@ pub fn precision_at_k(ranked: &[u32], relevant: &[u32], k: usize) -> f64 {
     if k == 0 {
         return 0.0;
     }
-    let hits = ranked.iter().take(k).filter(|&&i| is_relevant(relevant, i)).count();
+    let hits = ranked
+        .iter()
+        .take(k)
+        .filter(|&&i| is_relevant(relevant, i))
+        .count();
     hits as f64 / k as f64
 }
 
@@ -26,7 +30,11 @@ pub fn recall_at_k(ranked: &[u32], relevant: &[u32], k: usize) -> f64 {
     if relevant.is_empty() {
         return 0.0;
     }
-    let hits = ranked.iter().take(k).filter(|&&i| is_relevant(relevant, i)).count();
+    let hits = ranked
+        .iter()
+        .take(k)
+        .filter(|&&i| is_relevant(relevant, i))
+        .count();
     hits as f64 / relevant.len() as f64
 }
 
@@ -45,7 +53,9 @@ pub fn ndcg_at_k(ranked: &[u32], relevant: &[u32], k: usize) -> f64 {
         .map(|(rank0, _)| 1.0 / ((rank0 as f64 + 2.0).log2()))
         .sum();
     let ideal_hits = k.min(relevant.len());
-    let idcg: f64 = (0..ideal_hits).map(|r| 1.0 / ((r as f64 + 2.0).log2())).sum();
+    let idcg: f64 = (0..ideal_hits)
+        .map(|r| 1.0 / ((r as f64 + 2.0).log2()))
+        .sum();
     if idcg == 0.0 {
         0.0
     } else {

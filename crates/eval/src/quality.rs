@@ -46,7 +46,13 @@ pub struct QualityTracker<'a> {
 impl<'a> QualityTracker<'a> {
     /// Creates a tracker labeling against `dataset`'s test split.
     pub fn new(dataset: &'a Dataset) -> Self {
-        Self { dataset, tn: 0, fn_: 0, signed_info: 0.0, history: Vec::new() }
+        Self {
+            dataset,
+            tn: 0,
+            fn_: 0,
+            signed_info: 0.0,
+            history: Vec::new(),
+        }
     }
 
     /// Completed per-epoch measurements.
@@ -89,9 +95,18 @@ impl TrainObserver for QualityTracker<'_> {
         let (tnr, inf) = if total == 0 {
             (0.0, 0.0)
         } else {
-            (self.tn as f64 / total as f64, self.signed_info / total as f64)
+            (
+                self.tn as f64 / total as f64,
+                self.signed_info / total as f64,
+            )
         };
-        self.history.push(EpochQuality { epoch, tn: self.tn, fn_: self.fn_, tnr, inf });
+        self.history.push(EpochQuality {
+            epoch,
+            tn: self.tn,
+            fn_: self.fn_,
+            tnr,
+            inf,
+        });
         self.tn = 0;
         self.fn_ = 0;
         self.signed_info = 0.0;
@@ -115,10 +130,7 @@ pub type DensityCurve = Vec<(f64, f64)>;
 impl ScoreSnapshot {
     /// KDE density curves `(x, g(x))` / `(x, h(x))` on a shared grid —
     /// exactly what Fig. 1 plots. Returns `None` when a population is empty.
-    pub fn density_curves(
-        &self,
-        points: usize,
-    ) -> Option<(DensityCurve, DensityCurve)> {
+    pub fn density_curves(&self, points: usize) -> Option<(DensityCurve, DensityCurve)> {
         if self.tn_scores.is_empty() || self.fn_scores.is_empty() {
             return None;
         }
@@ -221,7 +233,11 @@ impl TrainObserver for ScoreDistributionProbe<'_> {
                 idx += stride;
             }
         }
-        self.snapshots.push(ScoreSnapshot { epoch, tn_scores, fn_scores });
+        self.snapshots.push(ScoreSnapshot {
+            epoch,
+            tn_scores,
+            fn_scores,
+        });
     }
 }
 

@@ -6,7 +6,7 @@
 //! This is the protocol behind Tables II, III and IV.
 //!
 //! Scoring users is embarrassingly parallel; users are partitioned across
-//! crossbeam scoped threads and partial sums merged at the end.
+//! std::thread scoped workers and partial sums merged at the end.
 
 use crate::metrics::{ndcg_at_k, precision_at_k, recall_at_k};
 use crate::topk::top_k_masked;
@@ -55,7 +55,15 @@ pub fn evaluate_ranking(
     let max_k = ks.iter().copied().max().unwrap_or(0);
     if users.is_empty() || max_k == 0 {
         return RankingReport {
-            rows: ks.iter().map(|&k| MetricRow { k, precision: 0.0, recall: 0.0, ndcg: 0.0 }).collect(),
+            rows: ks
+                .iter()
+                .map(|&k| MetricRow {
+                    k,
+                    precision: 0.0,
+                    recall: 0.0,
+                    ndcg: 0.0,
+                })
+                .collect(),
             n_users: 0,
         };
     }
@@ -63,10 +71,10 @@ pub fn evaluate_ranking(
     let n_threads = n_threads.max(1).min(users.len());
     let chunk = users.len().div_ceil(n_threads);
     // Partial metric sums per thread: [k_idx] → (p, r, n).
-    let partials: Vec<Vec<(f64, f64, f64)>> = crossbeam::thread::scope(|scope| {
+    let partials: Vec<Vec<(f64, f64, f64)>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n_threads);
         for worker in users.chunks(chunk) {
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let n_items = dataset.n_items() as usize;
                 let mut scores = vec![0.0f32; n_items];
                 let mut sums = vec![(0.0f64, 0.0f64, 0.0f64); ks.len()];
@@ -84,9 +92,11 @@ pub fn evaluate_ranking(
                 sums
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("eval worker panicked")).collect()
-    })
-    .expect("crossbeam scope");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("eval worker panicked"))
+            .collect()
+    });
 
     let n = users.len() as f64;
     let rows = ks
@@ -96,10 +106,18 @@ pub fn evaluate_ranking(
             let (p, r, nd) = partials.iter().fold((0.0, 0.0, 0.0), |acc, part| {
                 (acc.0 + part[ki].0, acc.1 + part[ki].1, acc.2 + part[ki].2)
             });
-            MetricRow { k, precision: p / n, recall: r / n, ndcg: nd / n }
+            MetricRow {
+                k,
+                precision: p / n,
+                recall: r / n,
+                ndcg: nd / n,
+            }
         })
         .collect();
-    RankingReport { rows, n_users: users.len() }
+    RankingReport {
+        rows,
+        n_users: users.len(),
+    }
 }
 
 #[cfg(test)]

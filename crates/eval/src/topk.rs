@@ -10,7 +10,10 @@
 /// (sorted) `masked` items, ordered by descending score. Ties break toward
 /// the lower item id for determinism.
 pub fn top_k_masked(scores: &[f32], masked: &[u32], k: usize) -> Vec<u32> {
-    debug_assert!(masked.windows(2).all(|w| w[0] < w[1]), "mask must be sorted unique");
+    debug_assert!(
+        masked.windows(2).all(|w| w[0] < w[1]),
+        "mask must be sorted unique"
+    );
     if k == 0 {
         return Vec::new();
     }
@@ -74,8 +77,9 @@ mod tests {
     #[test]
     fn matches_full_sort_reference() {
         // Pseudo-random scores; compare against a full sort.
-        let scores: Vec<f32> =
-            (0..200).map(|i| (((i * 7919) % 997) as f32) / 997.0).collect();
+        let scores: Vec<f32> = (0..200)
+            .map(|i| (((i * 7919) % 997) as f32) / 997.0)
+            .collect();
         let masked: Vec<u32> = (0..200).filter(|i| i % 7 == 0).collect();
         let got = top_k_masked(&scores, &masked, 10);
 

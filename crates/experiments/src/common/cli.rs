@@ -31,7 +31,13 @@ pub struct HarnessArgs {
 
 impl Default for HarnessArgs {
     fn default() -> Self {
-        Self { scale: 0.15, epochs: 40, seed: 42, threads: 4, csv: None }
+        Self {
+            scale: 0.15,
+            epochs: 40,
+            seed: 42,
+            threads: 4,
+            csv: None,
+        }
     }
 }
 
@@ -91,8 +97,11 @@ fn take_value<T: std::str::FromStr, I: Iterator<Item = String>>(
     iter: &mut I,
     flag: &str,
 ) -> Result<T, String> {
-    let raw = iter.next().ok_or_else(|| format!("{flag} requires a value"))?;
-    raw.parse::<T>().map_err(|_| format!("invalid value `{raw}` for {flag}"))
+    let raw = iter
+        .next()
+        .ok_or_else(|| format!("{flag} requires a value"))?;
+    raw.parse::<T>()
+        .map_err(|_| format!("invalid value `{raw}` for {flag}"))
 }
 
 #[cfg(test)]
@@ -112,7 +121,15 @@ mod tests {
     #[test]
     fn full_flag_set() {
         let a = parse(&[
-            "--scale", "0.5", "--epochs", "77", "--seed", "9", "--threads", "2", "--csv",
+            "--scale",
+            "0.5",
+            "--epochs",
+            "77",
+            "--seed",
+            "9",
+            "--threads",
+            "2",
+            "--csv",
             "/tmp/x",
         ])
         .unwrap();

@@ -94,16 +94,31 @@ mod tests {
     #[test]
     fn batch_sizes_match_paper() {
         assert_eq!(ModelKind::Mf.paper_batch_size(DatasetPreset::Ml100k), 1);
-        assert_eq!(ModelKind::LightGcn.paper_batch_size(DatasetPreset::Ml100k), 128);
-        assert_eq!(ModelKind::LightGcn.paper_batch_size(DatasetPreset::Ml1m), 1024);
-        assert_eq!(ModelKind::LightGcn.paper_batch_size(DatasetPreset::YahooR3), 128);
+        assert_eq!(
+            ModelKind::LightGcn.paper_batch_size(DatasetPreset::Ml100k),
+            128
+        );
+        assert_eq!(
+            ModelKind::LightGcn.paper_batch_size(DatasetPreset::Ml1m),
+            1024
+        );
+        assert_eq!(
+            ModelKind::LightGcn.paper_batch_size(DatasetPreset::YahooR3),
+            128
+        );
     }
 
     #[test]
     fn scale_resolution() {
-        let paper = RunConfig { scale: 1.0, ..RunConfig::default() };
+        let paper = RunConfig {
+            scale: 1.0,
+            ..RunConfig::default()
+        };
         assert_eq!(paper.dataset_scale(), Scale::Paper);
-        let small = RunConfig { scale: 0.25, ..RunConfig::default() };
+        let small = RunConfig {
+            scale: 0.25,
+            ..RunConfig::default()
+        };
         assert_eq!(small.dataset_scale(), Scale::Fraction(0.25));
     }
 

@@ -15,9 +15,21 @@ pub fn write_csv(
     let path = dir.join(format!("{name}.csv"));
     let file = std::fs::File::create(&path)?;
     let mut w = std::io::BufWriter::new(file);
-    writeln!(w, "{}", header.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","))?;
+    writeln!(
+        w,
+        "{}",
+        header
+            .iter()
+            .map(|c| escape(c))
+            .collect::<Vec<_>>()
+            .join(",")
+    )?;
     for row in rows {
-        writeln!(w, "{}", row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","))?;
+        writeln!(
+            w,
+            "{}",
+            row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+        )?;
     }
     w.flush()?;
     Ok(path)

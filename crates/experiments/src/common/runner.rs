@@ -2,8 +2,8 @@
 
 use crate::common::config::{ModelKind, RunConfig};
 use bns_core::{
-    build_sampler, train, NegativeSampler, NoopObserver, SamplerConfig, TrainConfig,
-    TrainObserver, TrainStats,
+    build_sampler, train, NegativeSampler, NoopObserver, SamplerConfig, TrainConfig, TrainObserver,
+    TrainStats,
 };
 use bns_data::synthetic::generate;
 use bns_data::{split_random, Dataset, DatasetPreset, Occupations, SplitConfig};
@@ -35,7 +35,10 @@ pub fn prepare_dataset(preset: DatasetPreset, cfg: &RunConfig) -> PreparedDatase
         test_set,
     )
     .expect("split produces disjoint train/test");
-    PreparedDataset { dataset, occupations: synthetic.occupations }
+    PreparedDataset {
+        dataset,
+        occupations: synthetic.occupations,
+    }
 }
 
 /// Either of the paper's two CF models behind one concrete type, so the
@@ -63,8 +66,14 @@ impl AnyModel {
                 .expect("valid MF config"),
             ),
             ModelKind::LightGcn => AnyModel::Gcn(
-                LightGcn::new(dataset.train(), cfg.dim, cfg.gcn_layers, cfg.init_std, &mut rng)
-                    .expect("valid LightGCN config"),
+                LightGcn::new(
+                    dataset.train(),
+                    cfg.dim,
+                    cfg.gcn_layers,
+                    cfg.init_std,
+                    &mut rng,
+                )
+                .expect("valid LightGCN config"),
             ),
         }
     }
@@ -131,18 +140,12 @@ impl PairwiseModel for AnyModel {
 }
 
 /// The paper's [`TrainConfig`] for a model kind / dataset / run config.
-pub fn paper_train_config(
-    kind: ModelKind,
-    preset: DatasetPreset,
-    cfg: &RunConfig,
-) -> TrainConfig {
+pub fn paper_train_config(kind: ModelKind, preset: DatasetPreset, cfg: &RunConfig) -> TrainConfig {
     match kind {
         ModelKind::Mf => TrainConfig::paper_mf(cfg.epochs, cfg.seed),
-        ModelKind::LightGcn => TrainConfig::paper_lightgcn(
-            cfg.epochs,
-            kind.paper_batch_size(preset),
-            cfg.seed,
-        ),
+        ModelKind::LightGcn => {
+            TrainConfig::paper_lightgcn(cfg.epochs, kind.paper_batch_size(preset), cfg.seed)
+        }
     }
 }
 
@@ -160,8 +163,14 @@ pub fn train_model(
     let mut sampler = build_sampler(sampler_cfg, &prepared.dataset, Some(&prepared.occupations))
         .expect("valid sampler config");
     let tc = paper_train_config(kind, preset, cfg);
-    let stats = train(&mut model, &prepared.dataset, sampler.as_mut(), &tc, observer)
-        .expect("training run");
+    let stats = train(
+        &mut model,
+        &prepared.dataset,
+        sampler.as_mut(),
+        &tc,
+        observer,
+    )
+    .expect("training run");
     (model, stats)
 }
 
@@ -177,8 +186,7 @@ pub fn train_model_with_sampler(
 ) -> (AnyModel, TrainStats) {
     let mut model = AnyModel::build(kind, &prepared.dataset, cfg);
     let tc = paper_train_config(kind, preset, cfg);
-    let stats =
-        train(&mut model, &prepared.dataset, sampler, &tc, observer).expect("training run");
+    let stats = train(&mut model, &prepared.dataset, sampler, &tc, observer).expect("training run");
     (model, stats)
 }
 
@@ -190,8 +198,7 @@ pub fn train_and_eval(
     sampler_cfg: &SamplerConfig,
     cfg: &RunConfig,
 ) -> (RankingReport, TrainStats) {
-    let (model, stats) =
-        train_model(prepared, preset, kind, sampler_cfg, cfg, &mut NoopObserver);
+    let (model, stats) = train_model(prepared, preset, kind, sampler_cfg, cfg, &mut NoopObserver);
     let report = evaluate_ranking(&model, &prepared.dataset, &cfg.ks, cfg.threads);
     (report, stats)
 }

@@ -10,7 +10,10 @@ pub struct TextTable {
 impl TextTable {
     /// Starts a table with the given header cells.
     pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
-        Self { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends one row; short rows are padded with empty cells.

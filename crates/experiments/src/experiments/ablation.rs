@@ -23,24 +23,36 @@ use bns_data::DatasetPreset;
 /// The ablation lineup: `(group, label, sampler)`.
 pub fn lineup() -> Vec<(&'static str, &'static str, SamplerConfig)> {
     let base = BnsConfig::default();
-    let bns = |config: BnsConfig| SamplerConfig::Bns { config, prior: PriorKind::Popularity };
+    let bns = |config: BnsConfig| SamplerConfig::Bns {
+        config,
+        prior: PriorKind::Popularity,
+    };
     vec![
         ("ecdf", "exact (paper)", bns(base)),
         (
             "ecdf",
             "subsample 64",
-            bns(BnsConfig { ecdf: EcdfStrategy::Subsample(64), ..base }),
+            bns(BnsConfig {
+                ecdf: EcdfStrategy::Subsample(64),
+                ..base
+            }),
         ),
         (
             "ecdf",
             "subsample 16",
-            bns(BnsConfig { ecdf: EcdfStrategy::Subsample(16), ..base }),
+            bns(BnsConfig {
+                ecdf: EcdfStrategy::Subsample(16),
+                ..base
+            }),
         ),
         ("risk", "first order (paper)", bns(base)),
         (
             "risk",
             "second order",
-            bns(BnsConfig { risk_order: RiskOrder::Second, ..base }),
+            bns(BnsConfig {
+                risk_order: RiskOrder::Second,
+                ..base
+            }),
         ),
         ("explore", "eps 0.0 (paper)", bns(base)),
         (
@@ -101,10 +113,20 @@ pub fn run(args: &HarnessArgs) -> String {
         let csv_rows: Vec<Vec<String>> = rows
             .iter()
             .map(|(g, l, n10, n20)| {
-                vec![g.to_string(), l.to_string(), format!("{n10:.6}"), format!("{n20:.6}")]
+                vec![
+                    g.to_string(),
+                    l.to_string(),
+                    format!("{n10:.6}"),
+                    format!("{n20:.6}"),
+                ]
             })
             .collect();
-        match write_csv(dir, "ablation", &["group", "variant", "ndcg10", "ndcg20"], &csv_rows) {
+        match write_csv(
+            dir,
+            "ablation",
+            &["group", "variant", "ndcg10", "ndcg20"],
+            &csv_rows,
+        ) {
             Ok(path) => out.push_str(&format!("\ncsv: {}\n", path.display())),
             Err(e) => out.push_str(&format!("\ncsv write failed: {e}\n")),
         }

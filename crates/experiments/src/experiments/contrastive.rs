@@ -22,7 +22,10 @@ pub fn lineup() -> Vec<SamplerConfig> {
     vec![
         SamplerConfig::Rns,
         SamplerConfig::Dns { m: 5 },
-        SamplerConfig::Bns { config: BnsConfig::default(), prior: PriorKind::Popularity },
+        SamplerConfig::Bns {
+            config: BnsConfig::default(),
+            prior: PriorKind::Popularity,
+        },
     ]
 }
 
@@ -53,9 +56,8 @@ pub fn run_rows(cfg: &RunConfig) -> Vec<(&'static str, f64, f64, f64)> {
             let mut sampler =
                 build_sampler(&sampler_cfg, &prepared.dataset, Some(&prepared.occupations))
                     .expect("valid sampler");
-            let stats =
-                train_contrastive(&mut model, &prepared.dataset, sampler.as_mut(), &ccfg)
-                    .expect("contrastive training");
+            let stats = train_contrastive(&mut model, &prepared.dataset, sampler.as_mut(), &ccfg)
+                .expect("contrastive training");
             let report = evaluate_ranking(&model, &prepared.dataset, &cfg.ks, cfg.threads);
             (
                 sampler_cfg.display_name(),
@@ -84,7 +86,12 @@ pub fn run(args: &HarnessArgs) -> String {
         ]);
     }
     out.push_str(&table.render());
-    let ndcg = |name: &str| rows.iter().find(|(n, ..)| *n == name).map(|r| r.3).unwrap_or(0.0);
+    let ndcg = |name: &str| {
+        rows.iter()
+            .find(|(n, ..)| *n == name)
+            .map(|r| r.3)
+            .unwrap_or(0.0)
+    };
     out.push_str(&format!(
         "\nShape check: BNS negatives ≥ RNS negatives under InfoNCE: {} ({:.4} vs {:.4})\n",
         ndcg("BNS") >= ndcg("RNS") * 0.95,
@@ -95,11 +102,20 @@ pub fn run(args: &HarnessArgs) -> String {
         let csv_rows: Vec<Vec<String>> = rows
             .iter()
             .map(|(n, l, a, b)| {
-                vec![n.to_string(), format!("{l:.6}"), format!("{a:.6}"), format!("{b:.6}")]
+                vec![
+                    n.to_string(),
+                    format!("{l:.6}"),
+                    format!("{a:.6}"),
+                    format!("{b:.6}"),
+                ]
             })
             .collect();
-        match write_csv(dir, "contrastive", &["sampler", "loss", "ndcg10", "ndcg20"], &csv_rows)
-        {
+        match write_csv(
+            dir,
+            "contrastive",
+            &["sampler", "loss", "ndcg10", "ndcg20"],
+            &csv_rows,
+        ) {
             Ok(path) => out.push_str(&format!("\ncsv: {}\n", path.display())),
             Err(e) => out.push_str(&format!("\ncsv write failed: {e}\n")),
         }

@@ -31,8 +31,7 @@ pub fn probe_epochs(total: usize) -> Vec<usize> {
 pub fn run_snapshots(cfg: &RunConfig) -> Vec<ScoreSnapshot> {
     let preset = DatasetPreset::Ml100k;
     let prepared = prepare_dataset(preset, cfg);
-    let mut probe =
-        ScoreDistributionProbe::new(&prepared.dataset, probe_epochs(cfg.epochs));
+    let mut probe = ScoreDistributionProbe::new(&prepared.dataset, probe_epochs(cfg.epochs));
     train_model(
         &prepared,
         preset,
@@ -122,7 +121,12 @@ pub fn run(args: &HarnessArgs) -> String {
         ));
     }
     if let Some(dir) = &args.csv {
-        match write_csv(dir, "fig1", &["epoch", "class", "score", "density"], &csv_rows) {
+        match write_csv(
+            dir,
+            "fig1",
+            &["epoch", "class", "score", "density"],
+            &csv_rows,
+        ) {
             Ok(path) => out.push_str(&format!("\ncsv: {}\n", path.display())),
             Err(e) => out.push_str(&format!("\ncsv write failed: {e}\n")),
         }

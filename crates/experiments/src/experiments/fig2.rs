@@ -8,8 +8,7 @@ use crate::common::cli::HarnessArgs;
 use crate::common::csv::write_csv;
 use bns_stats::dist::Continuous;
 use bns_stats::{
-    FalseNegativeDensity, GammaDist, Normal, OrderStatisticDensity, StudentT,
-    TrueNegativeDensity,
+    FalseNegativeDensity, GammaDist, Normal, OrderStatisticDensity, StudentT, TrueNegativeDensity,
 };
 
 /// A named base distribution with its plotting range.
@@ -98,9 +97,7 @@ pub fn run(args: &HarnessArgs) -> String {
         // Numeric sanity printed with the plot: both integrate to ~1 and
         // the means are ordered E[g] < E[base] < E[h].
         let integrate = |vals: &[f64]| vals.iter().sum::<f64>() * step;
-        let mean_of = |vals: &[f64]| {
-            xs.iter().zip(vals).map(|(&x, &d)| x * d).sum::<f64>() * step
-        };
+        let mean_of = |vals: &[f64]| xs.iter().zip(vals).map(|(&x, &d)| x * d).sum::<f64>() * step;
         out.push_str(&format!(
             "{}  (∫g = {:.3}, ∫h = {:.3}; E[tn] = {:+.3} < E[fn] = {:+.3})\n",
             case.name,
@@ -112,7 +109,10 @@ pub fn run(args: &HarnessArgs) -> String {
         out.push_str(&format!("  f  |{}|\n", ascii_profile(&f_vals, peak)));
         out.push_str(&format!("  TN |{}|\n", ascii_profile(&g_vals, peak)));
         out.push_str(&format!("  FN |{}|\n", ascii_profile(&h_vals, peak)));
-        out.push_str(&format!("      x axis: [{:.1} .. {:.1}]\n\n", case.lo, case.hi));
+        out.push_str(&format!(
+            "      x axis: [{:.1} .. {:.1}]\n\n",
+            case.lo, case.hi
+        ));
 
         for (i, &x) in xs.iter().enumerate() {
             csv_rows.push(vec![
@@ -125,7 +125,12 @@ pub fn run(args: &HarnessArgs) -> String {
         }
     }
     if let Some(dir) = &args.csv {
-        match write_csv(dir, "fig2", &["distribution", "x", "f", "g_tn", "h_fn"], &csv_rows) {
+        match write_csv(
+            dir,
+            "fig2",
+            &["distribution", "x", "f", "g_tn", "h_fn"],
+            &csv_rows,
+        ) {
             Ok(path) => out.push_str(&format!("\ncsv: {}\n", path.display())),
             Err(e) => out.push_str(&format!("\ncsv write failed: {e}\n")),
         }

@@ -48,9 +48,7 @@ pub fn run(args: &HarnessArgs) -> String {
     if let Some(dir) = &args.csv {
         let rows: Vec<Vec<String>> = grid
             .iter()
-            .map(|(f, p, u)| {
-                vec![format!("{f:.3}"), format!("{p:.3}"), format!("{u:.6}")]
-            })
+            .map(|(f, p, u)| vec![format!("{f:.3}"), format!("{p:.3}"), format!("{u:.6}")])
             .collect();
         match write_csv(dir, "fig3", &["f_hat", "p_fn", "unbias"], &rows) {
             Ok(path) => out.push_str(&format!("\ncsv: {}\n", path.display())),

@@ -23,16 +23,29 @@ pub fn lineup() -> Vec<(&'static str, SamplerConfig)> {
         ("PNS", SamplerConfig::Pns),
         ("AOBPR", SamplerConfig::Aobpr { lambda_frac: 0.05 }),
         ("DNS", SamplerConfig::Dns { m: 5 }),
-        ("SRNS", SamplerConfig::Srns { s1: 20, s2: 5, alpha: 1.0 }),
+        (
+            "SRNS",
+            SamplerConfig::Srns {
+                s1: 20,
+                s2: 5,
+                alpha: 1.0,
+            },
+        ),
         (
             "BNS",
-            SamplerConfig::Bns { config: BnsConfig::default(), prior: PriorKind::Popularity },
+            SamplerConfig::Bns {
+                config: BnsConfig::default(),
+                prior: PriorKind::Popularity,
+            },
         ),
     ];
     v.push((
         "BNS-post",
         SamplerConfig::Bns {
-            config: BnsConfig { criterion: Criterion::PosteriorMax, ..BnsConfig::default() },
+            config: BnsConfig {
+                criterion: Criterion::PosteriorMax,
+                ..BnsConfig::default()
+            },
             prior: PriorKind::Popularity,
         },
     ));
@@ -47,7 +60,14 @@ pub fn run_histories(cfg: &RunConfig) -> Vec<(&'static str, Vec<EpochQuality>)> 
         .into_iter()
         .map(|(name, sampler)| {
             let mut tracker = QualityTracker::new(&prepared.dataset);
-            train_model(&prepared, preset, ModelKind::Mf, &sampler, cfg, &mut tracker);
+            train_model(
+                &prepared,
+                preset,
+                ModelKind::Mf,
+                &sampler,
+                cfg,
+                &mut tracker,
+            );
             (name, tracker.history().to_vec())
         })
         .collect()
@@ -77,13 +97,7 @@ pub fn run(args: &HarnessArgs) -> String {
             cells.push(format!("{:.3}", hist.get(e).map(|q| q.tnr).unwrap_or(0.0)));
         }
         let tail_n = (cfg.epochs / 5).max(1);
-        let tail: f64 = hist
-            .iter()
-            .rev()
-            .take(tail_n)
-            .map(|q| q.tnr)
-            .sum::<f64>()
-            / tail_n as f64;
+        let tail: f64 = hist.iter().rev().take(tail_n).map(|q| q.tnr).sum::<f64>() / tail_n as f64;
         cells.push(format!("{tail:.3}"));
         for &e in &probe {
             cells.push(format!("{:+.3}", hist.get(e).map(|q| q.inf).unwrap_or(0.0)));
@@ -98,9 +112,7 @@ pub fn run(args: &HarnessArgs) -> String {
         histories
             .iter()
             .find(|(n, _)| *n == name)
-            .map(|(_, h)| {
-                h.iter().rev().take(tail_n).map(|q| q.tnr).sum::<f64>() / tail_n as f64
-            })
+            .map(|(_, h)| h.iter().rev().take(tail_n).map(|q| q.tnr).sum::<f64>() / tail_n as f64)
             .unwrap_or(0.0)
     };
     let (bns_post, bns, rns, dns, aobpr) = (
@@ -117,7 +129,10 @@ pub fn run(args: &HarnessArgs) -> String {
         "  posterior criterion has best TNR: {} (BNS-post {:.3} vs best other {:.3})\n",
         [bns, rns, dns, aobpr].iter().all(|&t| bns_post >= t),
         bns_post,
-        [bns, rns, dns, aobpr].iter().cloned().fold(0.0f64, f64::max)
+        [bns, rns, dns, aobpr]
+            .iter()
+            .cloned()
+            .fold(0.0f64, f64::max)
     ));
     out.push_str(&format!(
         "  min-risk BNS trades TNR for info: sits between DNS and RNS: {} ({:.3} in [{:.3}, {:.3}])\n",
@@ -147,7 +162,12 @@ pub fn run(args: &HarnessArgs) -> String {
                 ]);
             }
         }
-        match write_csv(dir, "fig4", &["sampler", "epoch", "tnr", "inf", "tn", "fn"], &rows) {
+        match write_csv(
+            dir,
+            "fig4",
+            &["sampler", "epoch", "tnr", "inf", "tn", "fn"],
+            &rows,
+        ) {
             Ok(path) => out.push_str(&format!("\ncsv: {}\n", path.display())),
             Err(e) => out.push_str(&format!("\ncsv write failed: {e}\n")),
         }

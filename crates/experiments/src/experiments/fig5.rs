@@ -37,7 +37,10 @@ pub fn run_sweeps(cfg: &RunConfig) -> Fig5Result {
         .iter()
         .map(|&l| {
             let sampler = SamplerConfig::Bns {
-                config: BnsConfig { lambda: LambdaSchedule::Constant(l), ..BnsConfig::default() },
+                config: BnsConfig {
+                    lambda: LambdaSchedule::Constant(l),
+                    ..BnsConfig::default()
+                },
                 prior: PriorKind::Popularity,
             };
             (l, ndcg20(&sampler))
@@ -48,14 +51,20 @@ pub fn run_sweeps(cfg: &RunConfig) -> Fig5Result {
         .iter()
         .map(|&m| {
             let sampler = SamplerConfig::Bns {
-                config: BnsConfig { m, ..BnsConfig::default() },
+                config: BnsConfig {
+                    m,
+                    ..BnsConfig::default()
+                },
                 prior: PriorKind::Popularity,
             };
             (m, ndcg20(&sampler))
         })
         .collect();
 
-    Fig5Result { lambda_sweep, size_sweep }
+    Fig5Result {
+        lambda_sweep,
+        size_sweep,
+    }
 }
 
 /// Full experiment entry point.
@@ -88,7 +97,12 @@ pub fn run(args: &HarnessArgs) -> String {
             .unwrap_or(0.0)
     };
     let at_size = |m: usize| {
-        result.size_sweep.iter().find(|(x, _)| *x == m).map(|(_, n)| *n).unwrap_or(0.0)
+        result
+            .size_sweep
+            .iter()
+            .find(|(x, _)| *x == m)
+            .map(|(_, n)| *n)
+            .unwrap_or(0.0)
     };
     out.push_str("\nShape checks:\n");
     out.push_str(&format!(

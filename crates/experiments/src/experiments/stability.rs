@@ -25,8 +25,10 @@ pub fn run_samples(cfg: &RunConfig, n_runs: usize) -> Vec<Vec<f64>> {
     // The dataset is fixed (same split as the paper's protocol); only the
     // training/sampling randomness varies per run.
     let prepared = prepare_dataset(preset, cfg);
-    let sampler =
-        SamplerConfig::Bns { config: BnsConfig::default(), prior: PriorKind::Popularity };
+    let sampler = SamplerConfig::Bns {
+        config: BnsConfig::default(),
+        prior: PriorKind::Popularity,
+    };
     let mut samples: Vec<Vec<f64>> = (0..9).map(|_| Vec::with_capacity(n_runs)).collect();
     for run in 0..n_runs {
         let mut run_cfg = cfg.clone();
@@ -45,7 +47,9 @@ pub fn run_samples(cfg: &RunConfig, n_runs: usize) -> Vec<Vec<f64>> {
 pub fn run(args: &HarnessArgs) -> String {
     let cfg = RunConfig::from_args(args);
     let samples = run_samples(&cfg, DEFAULT_RUNS);
-    let names = ["P@5", "R@5", "N@5", "P@10", "R@10", "N@10", "P@20", "R@20", "N@20"];
+    let names = [
+        "P@5", "R@5", "N@5", "P@10", "R@10", "N@10", "P@20", "R@20", "N@20",
+    ];
     let mut out = String::from(
         "Stability — BNS on 100K / MF across independent seeds\n(paper §IV-B1: std < 0.002 over 10 runs)\n\n",
     );

@@ -52,8 +52,16 @@ pub fn run(args: &HarnessArgs) -> String {
     }
     out.push_str(&table.render());
     if let Some(dir) = &args.csv {
-        let header =
-            ["dataset", "users", "items", "train", "test", "density", "deg_per_user", "gini"];
+        let header = [
+            "dataset",
+            "users",
+            "items",
+            "train",
+            "test",
+            "density",
+            "deg_per_user",
+            "gini",
+        ];
         match write_csv(dir, "table1", &header, &csv_rows) {
             Ok(path) => out.push_str(&format!("\ncsv: {}\n", path.display())),
             Err(e) => out.push_str(&format!("\ncsv write failed: {e}\n")),
@@ -68,7 +76,10 @@ mod tests {
 
     #[test]
     fn renders_three_rows() {
-        let args = HarnessArgs { scale: 0.05, ..HarnessArgs::default() };
+        let args = HarnessArgs {
+            scale: 0.05,
+            ..HarnessArgs::default()
+        };
         let report = run(&args);
         assert!(report.contains("MovieLens-100K"));
         assert!(report.contains("MovieLens-1M"));

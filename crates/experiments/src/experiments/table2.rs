@@ -55,8 +55,7 @@ pub fn run_grid(cfg: &RunConfig, presets: &[DatasetPreset]) -> Vec<ComboResult> 
         let prepared = prepare_dataset(preset, cfg);
         for kind in [ModelKind::Mf, ModelKind::LightGcn] {
             for sampler in SamplerConfig::paper_lineup() {
-                let (report, stats) =
-                    train_and_eval(&prepared, preset, kind, &sampler, cfg);
+                let (report, stats) = train_and_eval(&prepared, preset, kind, &sampler, cfg);
                 results.push(ComboResult {
                     dataset: paper_key(preset),
                     model: kind.name(),
@@ -72,16 +71,18 @@ pub fn run_grid(cfg: &RunConfig, presets: &[DatasetPreset]) -> Vec<ComboResult> 
 
 /// Renders the Table II report.
 pub fn render(results: &[ComboResult]) -> String {
-    let mut out = String::from(
-        "Table II — recommendation performance, measured (paper)\n\n",
-    );
+    let mut out = String::from("Table II — recommendation performance, measured (paper)\n\n");
     let mut table = TextTable::new(vec![
-        "dataset", "model", "method", "P@5", "R@5", "N@5", "P@10", "R@10", "N@10", "P@20",
-        "R@20", "N@20",
+        "dataset", "model", "method", "P@5", "R@5", "N@5", "P@10", "R@10", "N@10", "P@20", "R@20",
+        "N@20",
     ]);
     for r in results {
         let paper = table2_lookup(r.dataset, r.model, r.method);
-        let mut cells = vec![r.dataset.to_string(), r.model.to_string(), r.method.to_string()];
+        let mut cells = vec![
+            r.dataset.to_string(),
+            r.model.to_string(),
+            r.method.to_string(),
+        ];
         for i in 0..9 {
             cells.push(fmt_vs(r.metrics[i], paper.map(|p| p[i])));
         }
@@ -105,7 +106,9 @@ pub fn shape_checks(results: &[ComboResult]) -> String {
     let mut rns_beats_pns = 0usize;
     for ds in ["100K", "1M", "Yahoo"] {
         for model in ["MF", "LightGCN"] {
-            let Some(bns) = get(ds, model, "BNS") else { continue };
+            let Some(bns) = get(ds, model, "BNS") else {
+                continue;
+            };
             blocks += 1;
             // NDCG@10 comparison across methods.
             let mut ndcgs: Vec<(f64, &str)> = ["RNS", "PNS", "AOBPR", "DNS", "SRNS", "BNS"]
@@ -141,14 +144,28 @@ pub fn run(args: &HarnessArgs) -> String {
     let mut out = render(&results);
     if let Some(dir) = &args.csv {
         let header = [
-            "dataset", "model", "method", "p5", "r5", "n5", "p10", "r10", "n10", "p20",
-            "r20", "n20", "train_seconds",
+            "dataset",
+            "model",
+            "method",
+            "p5",
+            "r5",
+            "n5",
+            "p10",
+            "r10",
+            "n10",
+            "p20",
+            "r20",
+            "n20",
+            "train_seconds",
         ];
         let rows: Vec<Vec<String>> = results
             .iter()
             .map(|r| {
-                let mut row =
-                    vec![r.dataset.to_string(), r.model.to_string(), r.method.to_string()];
+                let mut row = vec![
+                    r.dataset.to_string(),
+                    r.model.to_string(),
+                    r.method.to_string(),
+                ];
                 row.extend(r.metrics.iter().map(|m| format!("{m:.6}")));
                 row.push(format!("{:.3}", r.train_seconds));
                 row

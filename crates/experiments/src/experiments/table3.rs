@@ -22,28 +22,46 @@ pub fn lineup(warmup_epochs: usize) -> Vec<(&'static str, SamplerConfig)> {
     let base = BnsConfig::default();
     vec![
         ("RNS", SamplerConfig::Rns),
-        ("BNS", SamplerConfig::Bns { config: base, prior: PriorKind::Popularity }),
+        (
+            "BNS",
+            SamplerConfig::Bns {
+                config: base,
+                prior: PriorKind::Popularity,
+            },
+        ),
         (
             "BNS-1",
             SamplerConfig::Bns {
-                config: BnsConfig { lambda: LambdaSchedule::paper_warm_start(), ..base },
+                config: BnsConfig {
+                    lambda: LambdaSchedule::paper_warm_start(),
+                    ..base
+                },
                 prior: PriorKind::Popularity,
             },
         ),
         (
             "BNS-2",
             SamplerConfig::Bns {
-                config: BnsConfig { warmup_epochs, ..base },
+                config: BnsConfig {
+                    warmup_epochs,
+                    ..base
+                },
                 prior: PriorKind::Popularity,
             },
         ),
         (
             "BNS-3",
-            SamplerConfig::Bns { config: base, prior: PriorKind::NonInformative },
+            SamplerConfig::Bns {
+                config: base,
+                prior: PriorKind::NonInformative,
+            },
         ),
         (
             "BNS-4",
-            SamplerConfig::Bns { config: base, prior: PriorKind::Occupation },
+            SamplerConfig::Bns {
+                config: base,
+                prior: PriorKind::Occupation,
+            },
         ),
     ]
 }
@@ -92,8 +110,7 @@ pub fn run(args: &HarnessArgs) -> String {
 
     // Shape summary.
     let ndcg20 = |name: &str| rows.iter().find(|(n, _)| *n == name).map(|(_, m)| m[8]);
-    if let (Some(rns), Some(bns), Some(bns3)) = (ndcg20("RNS"), ndcg20("BNS"), ndcg20("BNS-3"))
-    {
+    if let (Some(rns), Some(bns), Some(bns3)) = (ndcg20("RNS"), ndcg20("BNS"), ndcg20("BNS-3")) {
         out.push_str("\nShape checks:\n");
         out.push_str(&format!(
             "  BNS > RNS on NDCG@20:   {} ({:.4} vs {:.4}; paper: yes)\n",
@@ -110,8 +127,9 @@ pub fn run(args: &HarnessArgs) -> String {
     }
 
     if let Some(dir) = &args.csv {
-        let header =
-            ["method", "p5", "r5", "n5", "p10", "r10", "n10", "p20", "r20", "n20"];
+        let header = [
+            "method", "p5", "r5", "n5", "p10", "r10", "n10", "p20", "r20", "n20",
+        ];
         let csv_rows: Vec<Vec<String>> = rows
             .iter()
             .map(|(name, m)| {
@@ -135,7 +153,10 @@ mod tests {
     #[test]
     fn lineup_matches_paper_variants() {
         let names: Vec<&str> = lineup(5).iter().map(|(n, _)| *n).collect();
-        assert_eq!(names, vec!["RNS", "BNS", "BNS-1", "BNS-2", "BNS-3", "BNS-4"]);
+        assert_eq!(
+            names,
+            vec!["RNS", "BNS", "BNS-1", "BNS-2", "BNS-3", "BNS-4"]
+        );
     }
 
     #[test]

@@ -45,8 +45,14 @@ pub fn run_rows(cfg: &RunConfig) -> Vec<(usize, [f64; 9])> {
         .iter()
         .map(|&m| {
             let sampler = SamplerConfig::Bns {
-                config: BnsConfig { m: scaled_size(m, cfg.scale), ..BnsConfig::default() },
-                prior: PriorKind::Oracle { p_if_fn: 0.64, p_if_tn: 0.04 },
+                config: BnsConfig {
+                    m: scaled_size(m, cfg.scale),
+                    ..BnsConfig::default()
+                },
+                prior: PriorKind::Oracle {
+                    p_if_fn: 0.64,
+                    p_if_tn: 0.04,
+                },
             };
             let (report, _) = train_and_eval(&prepared, preset, ModelKind::Mf, &sampler, cfg);
             let mut metrics = [0.0; 9];
@@ -85,7 +91,12 @@ pub fn run(args: &HarnessArgs) -> String {
     // |Mu| = 1 (RNS) baseline, and (b) the curve rises through the small
     // sizes. The full climb to NDCG@5 ≈ 0.71 requires paper-scale catalogs
     // (see EXPERIMENTS.md).
-    let ndcg20 = |m: usize| rows.iter().find(|(x, _)| *x == m).map(|(_, v)| v[8]).unwrap_or(0.0);
+    let ndcg20 = |m: usize| {
+        rows.iter()
+            .find(|(x, _)| *x == m)
+            .map(|(_, v)| v[8])
+            .unwrap_or(0.0)
+    };
     let base = ndcg20(1);
     let all_beat_base = rows.iter().skip(1).all(|(_, v)| v[8] >= base);
     let best = rows
@@ -108,7 +119,9 @@ pub fn run(args: &HarnessArgs) -> String {
     ));
 
     if let Some(dir) = &args.csv {
-        let header = ["m", "p5", "r5", "n5", "p10", "r10", "n10", "p20", "r20", "n20"];
+        let header = [
+            "m", "p5", "r5", "n5", "p10", "r10", "n10", "p20", "r20", "n20",
+        ];
         let csv_rows: Vec<Vec<String>> = rows
             .iter()
             .map(|(m, metrics)| {

@@ -21,19 +21,34 @@ impl Embedding {
     /// All-zeros table.
     pub fn zeros(n: usize, dim: usize) -> Result<Self> {
         if dim == 0 {
-            return Err(ModelError::InvalidConfig("embedding dim must be > 0".into()));
+            return Err(ModelError::InvalidConfig(
+                "embedding dim must be > 0".into(),
+            ));
         }
-        Ok(Self { data: vec![0.0; n * dim], n, dim })
+        Ok(Self {
+            data: vec![0.0; n * dim],
+            n,
+            dim,
+        })
     }
 
     /// Gaussian `N(0, std)` initialization — the conventional init for BPR
     /// models (std = 0.1 in the reference implementations).
-    pub fn normal_init<R: Rng + ?Sized>(n: usize, dim: usize, std: f64, rng: &mut R) -> Result<Self> {
+    pub fn normal_init<R: Rng + ?Sized>(
+        n: usize,
+        dim: usize,
+        std: f64,
+        rng: &mut R,
+    ) -> Result<Self> {
         if dim == 0 {
-            return Err(ModelError::InvalidConfig("embedding dim must be > 0".into()));
+            return Err(ModelError::InvalidConfig(
+                "embedding dim must be > 0".into(),
+            ));
         }
-        if !(std > 0.0) || !std.is_finite() {
-            return Err(ModelError::InvalidConfig("init std must be finite and > 0".into()));
+        if std <= 0.0 || !std.is_finite() {
+            return Err(ModelError::InvalidConfig(
+                "init std must be finite and > 0".into(),
+            ));
         }
         let dist = Normal::new(0.0, std).expect("validated std");
         let data = (0..n * dim).map(|_| dist.sample(rng) as f32).collect();
@@ -143,8 +158,12 @@ mod tests {
         let e = Embedding::normal_init(100, 64, 0.1, &mut rng).unwrap();
         let n = (100 * 64) as f64;
         let mean: f64 = e.as_slice().iter().map(|&x| x as f64).sum::<f64>() / n;
-        let var: f64 =
-            e.as_slice().iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n;
+        let var: f64 = e
+            .as_slice()
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
         assert!(mean.abs() < 0.01, "mean = {mean}");
         assert!((var.sqrt() - 0.1).abs() < 0.01, "std = {}", var.sqrt());
     }
@@ -192,7 +211,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let e = Embedding::xavier_init(50, 16, &mut rng).unwrap();
         let n = (50 * 16) as f64;
-        let var: f64 = e.as_slice().iter().map(|&x| (x as f64).powi(2)).sum::<f64>() / n;
+        let var: f64 = e
+            .as_slice()
+            .iter()
+            .map(|&x| (x as f64).powi(2))
+            .sum::<f64>()
+            / n;
         assert!((var - 1.0 / 16.0).abs() < 0.02, "var = {var}");
     }
 }

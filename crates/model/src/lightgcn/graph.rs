@@ -55,7 +55,13 @@ impl NormAdjacency {
             weights[ci] = w;
             cursor[ni] += 1;
         }
-        Self { n_users, n_items, offsets, neighbors, weights }
+        Self {
+            n_users,
+            n_items,
+            offsets,
+            neighbors,
+            weights,
+        }
     }
 
     /// Total node count (`n_users + n_items`).

@@ -138,7 +138,10 @@ impl LightGcn {
     fn add_grad(&mut self, node: usize, coeff: f32, from: usize) {
         // grad[node] += coeff · final_emb[from]
         let d = self.dim;
-        if self.grad[node * d..(node + 1) * d].iter().all(|&x| x == 0.0) {
+        if self.grad[node * d..(node + 1) * d]
+            .iter()
+            .all(|&x| x == 0.0)
+        {
             self.touched.push(node as u32);
         }
         for k in 0..d {
@@ -149,7 +152,10 @@ impl LightGcn {
     fn add_grad_diff(&mut self, node: usize, coeff: f32, a: usize, b: usize) {
         // grad[node] += coeff · (final_emb[a] − final_emb[b])
         let d = self.dim;
-        if self.grad[node * d..(node + 1) * d].iter().all(|&x| x == 0.0) {
+        if self.grad[node * d..(node + 1) * d]
+            .iter()
+            .all(|&x| x == 0.0)
+        {
             self.touched.push(node as u32);
         }
         for k in 0..d {
@@ -198,7 +204,10 @@ impl Scorer for LightGcn {
 
     #[inline]
     fn score(&self, u: u32, i: u32) -> f32 {
-        debug_assert!(!self.stale, "scores read from a stale LightGCN; call refresh()");
+        debug_assert!(
+            !self.stale,
+            "scores read from a stale LightGCN; call refresh()"
+        );
         let d = self.dim;
         let un = u as usize;
         let inn = self.item_node(i);
@@ -209,7 +218,10 @@ impl Scorer for LightGcn {
     }
 
     fn score_all(&self, u: u32, out: &mut [f32]) {
-        debug_assert!(!self.stale, "scores read from a stale LightGCN; call refresh()");
+        debug_assert!(
+            !self.stale,
+            "scores read from a stale LightGCN; call refresh()"
+        );
         debug_assert_eq!(out.len(), self.n_items() as usize);
         let d = self.dim;
         let un = u as usize;
@@ -290,12 +302,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn tiny_train() -> Interactions {
-        Interactions::from_pairs(
-            3,
-            4,
-            &[(0, 0), (0, 1), (1, 1), (1, 2), (2, 2), (2, 3)],
-        )
-        .unwrap()
+        Interactions::from_pairs(3, 4, &[(0, 0), (0, 1), (1, 1), (1, 2), (2, 2), (2, 3)]).unwrap()
     }
 
     fn model(layers: usize, seed: u64) -> LightGcn {

@@ -300,7 +300,10 @@ mod tests {
         for _ in 0..200 {
             last = m.infonce_update(u, pos, &negs, 0.05, 0.0, 0.5);
         }
-        assert!(last < first, "InfoNCE loss did not decrease: {first} → {last}");
+        assert!(
+            last < first,
+            "InfoNCE loss did not decrease: {first} → {last}"
+        );
         // The positive now dominates every negative.
         for &j in &negs {
             assert!(m.score(u, pos) > m.score(u, j));
@@ -324,8 +327,11 @@ mod tests {
                 .map(|&j| m.score(u, j) / tau)
                 .fold(s_pos, f32::max);
             let e_pos = (s_pos - mx).exp();
-            let z: f32 =
-                e_pos + negs.iter().map(|&j| (m.score(u, j) / tau - mx).exp()).sum::<f32>();
+            let z: f32 = e_pos
+                + negs
+                    .iter()
+                    .map(|&j| (m.score(u, j) / tau - mx).exp())
+                    .sum::<f32>();
             -((e_pos / z).ln())
         };
         // Analytic step: lr = 1 on a copy; parameter delta = −gradient.

@@ -29,7 +29,11 @@ impl LrSchedule {
     pub fn at(&self, epoch: usize) -> f32 {
         match *self {
             LrSchedule::Constant(lr) => lr,
-            LrSchedule::StepDecay { initial, every, factor } => {
+            LrSchedule::StepDecay {
+                initial,
+                every,
+                factor,
+            } => {
                 let steps = epoch.checked_div(every).unwrap_or(0) as i32;
                 initial * factor.powi(steps)
             }
@@ -40,14 +44,18 @@ impl LrSchedule {
     pub fn validate(&self) -> Result<()> {
         let ok = match *self {
             LrSchedule::Constant(lr) => lr > 0.0 && lr.is_finite(),
-            LrSchedule::StepDecay { initial, every, factor } => {
-                initial > 0.0 && initial.is_finite() && every > 0 && factor > 0.0 && factor <= 1.0
-            }
+            LrSchedule::StepDecay {
+                initial,
+                every,
+                factor,
+            } => initial > 0.0 && initial.is_finite() && every > 0 && factor > 0.0 && factor <= 1.0,
         };
         if ok {
             Ok(())
         } else {
-            Err(ModelError::InvalidConfig("invalid learning-rate schedule".into()))
+            Err(ModelError::InvalidConfig(
+                "invalid learning-rate schedule".into(),
+            ))
         }
     }
 }
@@ -65,14 +73,21 @@ pub struct SgdConfig {
 impl SgdConfig {
     /// The paper's MF setup: constant lr 0.01, reg 0.01.
     pub fn paper_mf() -> Self {
-        Self { lr: LrSchedule::Constant(0.01), reg: 0.01 }
+        Self {
+            lr: LrSchedule::Constant(0.01),
+            reg: 0.01,
+        }
     }
 
     /// The paper's LightGCN setup: lr 0.01 decayed ×0.1 every 20 epochs,
     /// reg 1e-5.
     pub fn paper_lightgcn() -> Self {
         Self {
-            lr: LrSchedule::StepDecay { initial: 0.01, every: 20, factor: 0.1 },
+            lr: LrSchedule::StepDecay {
+                initial: 0.01,
+                every: 20,
+                factor: 0.1,
+            },
             reg: 1e-5,
         }
     }
@@ -80,8 +95,10 @@ impl SgdConfig {
     /// Validates the configuration.
     pub fn validate(&self) -> Result<()> {
         self.lr.validate()?;
-        if !(self.reg >= 0.0) || !self.reg.is_finite() {
-            return Err(ModelError::InvalidConfig("reg must be finite and >= 0".into()));
+        if self.reg < 0.0 || !self.reg.is_finite() {
+            return Err(ModelError::InvalidConfig(
+                "reg must be finite and >= 0".into(),
+            ));
         }
         Ok(())
     }
@@ -101,7 +118,11 @@ mod tests {
 
     #[test]
     fn step_decay_matches_paper_lightgcn() {
-        let s = LrSchedule::StepDecay { initial: 0.01, every: 20, factor: 0.1 };
+        let s = LrSchedule::StepDecay {
+            initial: 0.01,
+            every: 20,
+            factor: 0.1,
+        };
         assert!((s.at(0) - 0.01).abs() < 1e-9);
         assert!((s.at(19) - 0.01).abs() < 1e-9);
         assert!((s.at(20) - 0.001).abs() < 1e-9);
@@ -113,13 +134,24 @@ mod tests {
     fn validation_rejects_bad_values() {
         assert!(LrSchedule::Constant(0.0).validate().is_err());
         assert!(LrSchedule::Constant(f32::NAN).validate().is_err());
-        assert!(LrSchedule::StepDecay { initial: 0.01, every: 0, factor: 0.1 }
-            .validate()
-            .is_err());
-        assert!(LrSchedule::StepDecay { initial: 0.01, every: 5, factor: 1.5 }
-            .validate()
-            .is_err());
-        let bad_reg = SgdConfig { lr: LrSchedule::Constant(0.01), reg: -1.0 };
+        assert!(LrSchedule::StepDecay {
+            initial: 0.01,
+            every: 0,
+            factor: 0.1
+        }
+        .validate()
+        .is_err());
+        assert!(LrSchedule::StepDecay {
+            initial: 0.01,
+            every: 5,
+            factor: 1.5
+        }
+        .validate()
+        .is_err());
+        let bad_reg = SgdConfig {
+            lr: LrSchedule::Constant(0.01),
+            reg: -1.0,
+        };
         assert!(bad_reg.validate().is_err());
     }
 

@@ -84,7 +84,11 @@ impl FixedScorer {
             n_users as usize * n_items as usize,
             "score table shape mismatch"
         );
-        Self { n_users, n_items, scores }
+        Self {
+            n_users,
+            n_items,
+            scores,
+        }
     }
 
     /// Mutable access for test setup.
@@ -107,8 +111,8 @@ impl Scorer for FixedScorer {
     }
 
     fn score_all(&self, u: u32, out: &mut [f32]) {
-        let row =
-            &self.scores[u as usize * self.n_items as usize..(u as usize + 1) * self.n_items as usize];
+        let row = &self.scores
+            [u as usize * self.n_items as usize..(u as usize + 1) * self.n_items as usize];
         out.copy_from_slice(row);
     }
 }

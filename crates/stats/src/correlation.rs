@@ -151,7 +151,10 @@ mod tests {
 
     #[test]
     fn mid_ranks_average_tie_groups() {
-        assert_eq!(mid_ranks(&[10.0, 20.0, 20.0, 5.0]), vec![2.0, 3.5, 3.5, 1.0]);
+        assert_eq!(
+            mid_ranks(&[10.0, 20.0, 20.0, 5.0]),
+            vec![2.0, 3.5, 3.5, 1.0]
+        );
     }
 
     #[test]

@@ -114,7 +114,10 @@ pub fn ecdf_scan(data: &[f64], x: f64) -> f64 {
 
 /// `f32` variant of [`ecdf_scan`] operating directly on model score vectors.
 pub fn ecdf_scan_f32(data: &[f32], x: f32) -> f64 {
-    debug_assert!(!data.is_empty(), "ecdf_scan_f32 requires a non-empty sample");
+    debug_assert!(
+        !data.is_empty(),
+        "ecdf_scan_f32 requires a non-empty sample"
+    );
     let count = data.iter().filter(|&&v| v <= x).count();
     count as f64 / data.len() as f64
 }

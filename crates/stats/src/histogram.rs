@@ -20,7 +20,7 @@ pub struct Histogram {
 impl Histogram {
     /// Creates an empty histogram with `bins` bins spanning `[lo, hi)`.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self> {
-        if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+        if lo >= hi || !lo.is_finite() || !hi.is_finite() {
             return Err(StatsError::InvalidParameter {
                 what: "Histogram: requires finite lo < hi",
             });
@@ -30,7 +30,13 @@ impl Histogram {
                 what: "Histogram: requires at least one bin",
             });
         }
-        Ok(Self { lo, hi, counts: vec![0; bins], total: 0, outliers: 0 })
+        Ok(Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+            outliers: 0,
+        })
     }
 
     /// Builds a histogram from data, with the range taken from the sample

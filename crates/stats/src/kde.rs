@@ -44,7 +44,10 @@ impl GaussianKde {
             // Degenerate (constant) sample: any positive bandwidth works.
             1e-3
         };
-        Ok(Self { data: data.to_vec(), bandwidth })
+        Ok(Self {
+            data: data.to_vec(),
+            bandwidth,
+        })
     }
 
     /// Builds a KDE with an explicit bandwidth.
@@ -52,12 +55,15 @@ impl GaussianKde {
         if data.is_empty() {
             return Err(StatsError::EmptySample);
         }
-        if !(bandwidth > 0.0) || !bandwidth.is_finite() {
+        if bandwidth <= 0.0 || !bandwidth.is_finite() {
             return Err(StatsError::InvalidParameter {
                 what: "GaussianKde: bandwidth must be finite and > 0",
             });
         }
-        Ok(Self { data: data.to_vec(), bandwidth })
+        Ok(Self {
+            data: data.to_vec(),
+            bandwidth,
+        })
     }
 
     /// The bandwidth in use.

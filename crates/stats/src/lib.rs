@@ -32,9 +32,7 @@ pub mod quantile;
 pub mod special;
 
 pub use alias::AliasTable;
-pub use dist::{
-    Continuous, Exponential, GammaDist, Normal, StudentT, UniformDist,
-};
+pub use dist::{Continuous, Exponential, GammaDist, Normal, StudentT, UniformDist};
 pub use ecdf::{Ecdf, EcdfMode};
 pub use histogram::Histogram;
 pub use kde::GaussianKde;

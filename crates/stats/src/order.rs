@@ -114,11 +114,13 @@ impl<D: Continuous> OrderStatisticDensity for FalseNegativeDensity<D> {
 pub fn kth_order_density<D: Continuous>(base: &D, n: usize, k: usize, x: f64) -> f64 {
     assert!(k >= 1 && k <= n, "require 1 <= k <= n (k = {k}, n = {n})");
     let f = base.cdf(x);
-    let ln_coeff = ln_gamma(n as f64 + 1.0)
-        - ln_gamma(k as f64)
-        - ln_gamma((n - k) as f64 + 1.0);
+    let ln_coeff = ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64) - ln_gamma((n - k) as f64 + 1.0);
     let pow = if k > 1 { f.powi(k as i32 - 1) } else { 1.0 }
-        * if n > k { (1.0 - f).powi((n - k) as i32) } else { 1.0 };
+        * if n > k {
+            (1.0 - f).powi((n - k) as i32)
+        } else {
+            1.0
+        };
     ln_coeff.exp() * pow * base.pdf(x)
 }
 
@@ -221,6 +223,9 @@ mod tests {
         let tn = TrueNegativeDensity::new(Normal::standard());
         let m: f64 = (0..40_000).map(|_| tn.sample(&mut rng)).sum::<f64>() / 40_000.0;
         let expected = -1.0 / std::f64::consts::PI.sqrt();
-        assert!((m - expected).abs() < 0.02, "sampled mean {m}, expected {expected}");
+        assert!(
+            (m - expected).abs() < 0.02,
+            "sampled mean {m}, expected {expected}"
+        );
     }
 }

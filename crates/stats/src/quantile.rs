@@ -17,7 +17,10 @@ pub fn quantile_sorted(sorted: &[f64], p: f64) -> Result<f64> {
             what: "quantile: p must be in [0, 1]",
         });
     }
-    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "data must be sorted");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "data must be sorted"
+    );
     let n = sorted.len();
     if n == 1 {
         return Ok(sorted[0]);

@@ -56,10 +56,14 @@ const FPMIN: f64 = 1e-300;
 /// `P(a, 0) = 0` and `P(a, ∞) = 1`. Requires `a > 0`, `x ≥ 0`.
 pub fn gamma_p(a: f64, x: f64) -> Result<f64> {
     if a <= 0.0 || !a.is_finite() {
-        return Err(StatsError::InvalidParameter { what: "gamma_p: a must be > 0" });
+        return Err(StatsError::InvalidParameter {
+            what: "gamma_p: a must be > 0",
+        });
     }
     if x < 0.0 || !x.is_finite() {
-        return Err(StatsError::InvalidParameter { what: "gamma_p: x must be >= 0" });
+        return Err(StatsError::InvalidParameter {
+            what: "gamma_p: x must be >= 0",
+        });
     }
     if x == 0.0 {
         return Ok(0.0);
@@ -90,7 +94,9 @@ fn gamma_p_series(a: f64, x: f64) -> Result<f64> {
             return Ok(sum * (-x + a * x.ln() - ln_gamma(a)).exp());
         }
     }
-    Err(StatsError::NoConvergence { routine: "gamma_p_series" })
+    Err(StatsError::NoConvergence {
+        routine: "gamma_p_series",
+    })
 }
 
 fn gamma_q_cf(a: f64, x: f64) -> Result<f64> {
@@ -117,7 +123,9 @@ fn gamma_q_cf(a: f64, x: f64) -> Result<f64> {
             return Ok((-x + a * x.ln() - ln_gamma(a)).exp() * h);
         }
     }
-    Err(StatsError::NoConvergence { routine: "gamma_q_cf" })
+    Err(StatsError::NoConvergence {
+        routine: "gamma_q_cf",
+    })
 }
 
 /// The error function `erf(x)`, computed through the incomplete gamma
@@ -153,10 +161,14 @@ pub fn erfc(x: f64) -> f64 {
 /// `I_0 = 0`, `I_1 = 1`. Requires `a, b > 0` and `x ∈ [0, 1]`.
 pub fn beta_inc(a: f64, b: f64, x: f64) -> Result<f64> {
     if a <= 0.0 || b <= 0.0 {
-        return Err(StatsError::InvalidParameter { what: "beta_inc: a, b must be > 0" });
+        return Err(StatsError::InvalidParameter {
+            what: "beta_inc: a, b must be > 0",
+        });
     }
     if !(0.0..=1.0).contains(&x) {
-        return Err(StatsError::InvalidParameter { what: "beta_inc: x must be in [0, 1]" });
+        return Err(StatsError::InvalidParameter {
+            what: "beta_inc: x must be in [0, 1]",
+        });
     }
     if x == 0.0 {
         return Ok(0.0);
@@ -164,8 +176,7 @@ pub fn beta_inc(a: f64, b: f64, x: f64) -> Result<f64> {
     if x == 1.0 {
         return Ok(1.0);
     }
-    let ln_front =
-        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
     let front = ln_front.exp();
     // Use the symmetry relation to keep the continued fraction convergent.
     if x < (a + 1.0) / (a + b + 2.0) {
@@ -237,7 +248,9 @@ pub fn std_normal_pdf(x: f64) -> f64 {
 /// Accuracy ~1e-13 on (0, 1).
 pub fn std_normal_quantile(p: f64) -> Result<f64> {
     if !(0.0..=1.0).contains(&p) {
-        return Err(StatsError::InvalidParameter { what: "probit: p must be in [0, 1]" });
+        return Err(StatsError::InvalidParameter {
+            what: "probit: p must be in [0, 1]",
+        });
     }
     if p == 0.0 {
         return Ok(f64::NEG_INFINITY);
@@ -326,7 +339,11 @@ mod tests {
         // Γ(1/2) = sqrt(pi).
         assert_close(ln_gamma(0.5), std::f64::consts::PI.sqrt().ln(), 1e-12);
         // Γ(3/2) = sqrt(pi)/2.
-        assert_close(ln_gamma(1.5), (std::f64::consts::PI.sqrt() / 2.0).ln(), 1e-12);
+        assert_close(
+            ln_gamma(1.5),
+            (std::f64::consts::PI.sqrt() / 2.0).ln(),
+            1e-12,
+        );
     }
 
     #[test]

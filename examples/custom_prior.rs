@@ -34,7 +34,11 @@ struct SmoothedExposurePrior {
 
 impl SmoothedExposurePrior {
     fn new(dataset: &Dataset, floor: f64, weight: f64) -> Self {
-        Self { base: PopularityPrior::new(dataset.popularity()), floor, weight }
+        Self {
+            base: PopularityPrior::new(dataset.popularity()),
+            floor,
+            weight,
+        }
     }
 }
 
@@ -44,8 +48,7 @@ impl Prior for SmoothedExposurePrior {
     }
 
     fn p_fn(&self, u: u32, item: u32) -> f64 {
-        (self.weight * self.base.p_fn(u, item) + (1.0 - self.weight) * self.floor)
-            .clamp(0.0, 1.0)
+        (self.weight * self.base.p_fn(u, item) + (1.0 - self.weight) * self.floor).clamp(0.0, 1.0)
     }
 }
 
@@ -59,7 +62,10 @@ fn main() {
     let dataset = Dataset::new("synthetic-100k", train_set, test_set).expect("valid");
 
     let priors: Vec<(&str, Box<dyn Prior>)> = vec![
-        ("popularity (Eq. 17)", Box::new(PopularityPrior::new(dataset.popularity()))),
+        (
+            "popularity (Eq. 17)",
+            Box::new(PopularityPrior::new(dataset.popularity())),
+        ),
         (
             "smoothed exposure",
             Box::new(SmoothedExposurePrior::new(&dataset, 0.002, 0.8)),
@@ -77,8 +83,7 @@ fn main() {
             &mut model_rng,
         )
         .expect("valid model");
-        let mut sampler =
-            BnsSampler::new(BnsConfig::default(), prior).expect("valid sampler");
+        let mut sampler = BnsSampler::new(BnsConfig::default(), prior).expect("valid sampler");
         train(
             &mut model,
             &dataset,

@@ -15,9 +15,7 @@
 
 use bns::core::{build_sampler, train, SamplerConfig, TrainConfig};
 use bns::data::synthetic::generate;
-use bns::data::{
-    loader, split_random, Dataset, DatasetPreset, Interactions, Scale, SplitConfig,
-};
+use bns::data::{loader, split_random, Dataset, DatasetPreset, Interactions, Scale, SplitConfig};
 use bns::eval::evaluate_ranking;
 use bns::model::LightGcn;
 use rand::rngs::StdRng;
@@ -41,7 +39,10 @@ fn load_or_synthesize() -> (String, Interactions) {
     }
     let cfg = DatasetPreset::Ml100k.config(Scale::Fraction(0.15), 3);
     let synthetic = generate(&cfg).expect("generation succeeds");
-    ("MovieLens-100K (synthetic stand-in)".to_string(), synthetic.interactions)
+    (
+        "MovieLens-100K (synthetic stand-in)".to_string(),
+        synthetic.interactions,
+    )
 }
 
 fn main() {
@@ -67,8 +68,8 @@ fn main() {
         },
     ] {
         let mut model_rng = StdRng::seed_from_u64(5);
-        let mut model = LightGcn::new(dataset.train(), 32, 1, 0.1, &mut model_rng)
-            .expect("valid LightGCN");
+        let mut model =
+            LightGcn::new(dataset.train(), 32, 1, 0.1, &mut model_rng).expect("valid LightGCN");
         let mut sampler = build_sampler(&sampler_cfg, &dataset, None).expect("valid sampler");
         let stats = train(
             &mut model,

@@ -6,8 +6,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use bns::core::{train, BnsConfig, BnsSampler, NoopObserver, TrainConfig};
 use bns::core::bns::prior::PopularityPrior;
+use bns::core::{train, BnsConfig, BnsSampler, NoopObserver, TrainConfig};
 use bns::data::synthetic::generate;
 use bns::data::{split_random, Dataset, DatasetPreset, Scale, SplitConfig};
 use bns::eval::evaluate_ranking;
@@ -38,9 +38,14 @@ fn main() {
     // 2. Build the model (d = 32, as in the paper) and the BNS sampler with
     //    the popularity prior of Eq. (17).
     let mut model_rng = StdRng::seed_from_u64(1);
-    let mut model =
-        MatrixFactorization::new(dataset.n_users(), dataset.n_items(), 32, 0.1, &mut model_rng)
-            .expect("valid model config");
+    let mut model = MatrixFactorization::new(
+        dataset.n_users(),
+        dataset.n_items(),
+        32,
+        0.1,
+        &mut model_rng,
+    )
+    .expect("valid model config");
     let mut sampler = BnsSampler::new(
         BnsConfig::default(), // |Mᵤ| = 5, λ = 5, min-risk rule (Eq. 32)
         Box::new(PopularityPrior::new(dataset.popularity())),
@@ -49,13 +54,17 @@ fn main() {
 
     // 3. Train with the paper's MF setup (lr 0.01, reg 0.01, batch 1).
     let config = TrainConfig::paper_mf(60, 42);
-    let stats = train(&mut model, &dataset, &mut sampler, &config, &mut NoopObserver)
-        .expect("training succeeds");
+    let stats = train(
+        &mut model,
+        &dataset,
+        &mut sampler,
+        &config,
+        &mut NoopObserver,
+    )
+    .expect("training succeeds");
     println!(
         "trained {} triples over {} epochs in {:.2}s",
-        stats.triples,
-        config.epochs,
-        stats.wall_seconds
+        stats.triples, config.epochs, stats.wall_seconds
     );
 
     // 4. Evaluate Precision/Recall/NDCG @ {5, 10, 20}.

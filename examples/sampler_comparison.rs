@@ -51,11 +51,7 @@ fn main() {
 
         let report = evaluate_ranking(&model, &dataset, &[10], 4);
         let row = report.at(10).expect("requested cutoff");
-        let mean_inf = tracker
-            .history()
-            .iter()
-            .map(|q| q.inf)
-            .sum::<f64>()
+        let mean_inf = tracker.history().iter().map(|q| q.inf).sum::<f64>()
             / tracker.history().len().max(1) as f64;
         println!(
             "{:<8} {:>8.4} {:>8.4} {:>8.4} {:>9.3} {:>+9.3}",

@@ -36,7 +36,10 @@ fn every_sampler_trains_mf_and_beats_untrained() {
     let untrained =
         MatrixFactorization::new(dataset.n_users(), dataset.n_items(), 16, 0.1, &mut rng)
             .expect("valid model");
-    let base = evaluate_ranking(&untrained, &dataset, &[10], 2).at(10).unwrap().ndcg;
+    let base = evaluate_ranking(&untrained, &dataset, &[10], 2)
+        .at(10)
+        .unwrap()
+        .ndcg;
 
     for cfg in SamplerConfig::paper_lineup() {
         let mut model_rng = StdRng::seed_from_u64(2);
@@ -58,7 +61,10 @@ fn every_sampler_trains_mf_and_beats_untrained() {
         )
         .expect("training succeeds");
         assert!(stats.triples > 0, "{}: no triples", cfg.display_name());
-        let ndcg = evaluate_ranking(&model, &dataset, &[10], 2).at(10).unwrap().ndcg;
+        let ndcg = evaluate_ranking(&model, &dataset, &[10], 2)
+            .at(10)
+            .unwrap()
+            .ndcg;
         assert!(
             ndcg > base,
             "{}: trained NDCG {ndcg:.4} not above untrained {base:.4}",
@@ -71,9 +77,11 @@ fn every_sampler_trains_mf_and_beats_untrained() {
 fn lightgcn_pipeline_learns() {
     let (dataset, _) = small_dataset(200);
     let mut rng = StdRng::seed_from_u64(3);
-    let mut model =
-        LightGcn::new(dataset.train(), 16, 1, 0.1, &mut rng).expect("valid LightGCN");
-    let base = evaluate_ranking(&model, &dataset, &[10], 2).at(10).unwrap().ndcg;
+    let mut model = LightGcn::new(dataset.train(), 16, 1, 0.1, &mut rng).expect("valid LightGCN");
+    let base = evaluate_ranking(&model, &dataset, &[10], 2)
+        .at(10)
+        .unwrap()
+        .ndcg;
     let mut sampler = build_sampler(&SamplerConfig::Rns, &dataset, None).expect("sampler");
     train(
         &mut model,
@@ -83,7 +91,10 @@ fn lightgcn_pipeline_learns() {
         &mut NoopObserver,
     )
     .expect("training succeeds");
-    let trained = evaluate_ranking(&model, &dataset, &[10], 2).at(10).unwrap().ndcg;
+    let trained = evaluate_ranking(&model, &dataset, &[10], 2)
+        .at(10)
+        .unwrap()
+        .ndcg;
     assert!(
         trained > base,
         "LightGCN did not improve: {base:.4} → {trained:.4}"
@@ -115,7 +126,10 @@ fn bns_beats_rns_on_planted_structure() {
             &mut NoopObserver,
         )
         .expect("training succeeds");
-        evaluate_ranking(&model, &dataset, &[10], 2).at(10).unwrap().ndcg
+        evaluate_ranking(&model, &dataset, &[10], 2)
+            .at(10)
+            .unwrap()
+            .ndcg
     };
     let rns = run_with(&SamplerConfig::Rns);
     let bns = run_with(&SamplerConfig::Bns {

@@ -29,9 +29,14 @@ fn dataset(seed: u64) -> Dataset {
 
 fn tail_tnr(dataset: &Dataset, cfg: &SamplerConfig, epochs: usize) -> f64 {
     let mut model_rng = StdRng::seed_from_u64(7);
-    let mut model =
-        MatrixFactorization::new(dataset.n_users(), dataset.n_items(), 16, 0.1, &mut model_rng)
-            .expect("valid model");
+    let mut model = MatrixFactorization::new(
+        dataset.n_users(),
+        dataset.n_items(),
+        16,
+        0.1,
+        &mut model_rng,
+    )
+    .expect("valid model");
     let mut sampler = build_sampler(cfg, dataset, None).expect("valid sampler");
     let mut tracker = QualityTracker::new(dataset);
     train(
@@ -49,8 +54,14 @@ fn tail_tnr(dataset: &Dataset, cfg: &SamplerConfig, epochs: usize) -> f64 {
 fn oracle_bns_approaches_perfect_tnr() {
     let d = dataset(500);
     let oracle = SamplerConfig::Bns {
-        config: BnsConfig { criterion: Criterion::PosteriorMax, ..BnsConfig::default() },
-        prior: PriorKind::Oracle { p_if_fn: 0.64, p_if_tn: 0.04 },
+        config: BnsConfig {
+            criterion: Criterion::PosteriorMax,
+            ..BnsConfig::default()
+        },
+        prior: PriorKind::Oracle {
+            p_if_fn: 0.64,
+            p_if_tn: 0.04,
+        },
     };
     let tnr = tail_tnr(&d, &oracle, 16);
     assert!(tnr > 0.99, "oracle-prior BNS tail TNR {tnr:.4} not ≈ 1");
@@ -60,7 +71,10 @@ fn oracle_bns_approaches_perfect_tnr() {
 fn posterior_criterion_beats_uniform_on_tnr() {
     let d = dataset(600);
     let bns_post = SamplerConfig::Bns {
-        config: BnsConfig { criterion: Criterion::PosteriorMax, ..BnsConfig::default() },
+        config: BnsConfig {
+            criterion: Criterion::PosteriorMax,
+            ..BnsConfig::default()
+        },
         prior: PriorKind::Popularity,
     };
     let bns = tail_tnr(&d, &bns_post, 20);
@@ -89,9 +103,8 @@ fn hard_negative_samplers_pay_in_tnr() {
 fn quality_tracker_sees_full_epoch_counts() {
     let d = dataset(800);
     let mut model_rng = StdRng::seed_from_u64(9);
-    let mut model =
-        MatrixFactorization::new(d.n_users(), d.n_items(), 8, 0.1, &mut model_rng)
-            .expect("valid model");
+    let mut model = MatrixFactorization::new(d.n_users(), d.n_items(), 8, 0.1, &mut model_rng)
+        .expect("valid model");
     let mut sampler = build_sampler(&SamplerConfig::Rns, &d, None).expect("valid sampler");
     let mut tracker = QualityTracker::new(&d);
     let stats = train(

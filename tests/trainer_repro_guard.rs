@@ -1,0 +1,155 @@
+//! Reproducibility guard for the BPR trainer (Algorithm 1).
+//!
+//! Stronger than the pipeline-level checks in `reproducibility.rs`: two runs
+//! with the same RNG seed must agree **bit-for-bit** on the full training
+//! trace — every sampled `(u, i, j)` triple, every per-triple `info` value,
+//! the per-epoch mean-info curve, the per-epoch BPR loss on a fixed probe
+//! set, and the final top-K rankings. Any nondeterminism smuggled into the
+//! sampler/trainer hot path (hash-map iteration order, thread scheduling,
+//! an unseeded RNG) trips this before it can poison experiment results.
+
+use bns::core::{build_sampler, train, SamplerConfig, TrainConfig, TrainObserver};
+use bns::data::synthetic::{generate, SyntheticConfig};
+use bns::data::{split_random, Dataset, SplitConfig};
+use bns::eval::top_k_masked;
+use bns::model::loss::bpr_log_likelihood;
+use bns::model::scorer::Scorer;
+use bns::model::MatrixFactorization;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const EPOCHS: usize = 6;
+
+/// Full bit-exact trace of one training run.
+#[derive(Debug, PartialEq, Eq)]
+struct Trace {
+    /// Every applied triple with its `info`, as raw bits.
+    triples: Vec<(usize, u32, u32, u32, u32)>,
+    /// Per-epoch BPR loss over the probe triples, as raw bits.
+    epoch_probe_loss: Vec<u64>,
+    /// Top-10 per probed user at the end of training.
+    final_rankings: Vec<Vec<u32>>,
+}
+
+/// Observer recording the trace; probes the model at each epoch end.
+struct TraceObserver<'a> {
+    dataset: &'a Dataset,
+    triples: Vec<(usize, u32, u32, u32, u32)>,
+    epoch_probe_loss: Vec<u64>,
+}
+
+impl TraceObserver<'_> {
+    /// Deterministic probe triples: each user's first train item against
+    /// the first item absent from their train set.
+    fn probe_loss(&self, model: &dyn Scorer) -> f64 {
+        let mut total = 0.0f64;
+        let mut count = 0usize;
+        let train = self.dataset.train();
+        for u in 0..self.dataset.n_users() {
+            let items = train.items_of(u);
+            let Some(&pos) = items.first() else { continue };
+            let Some(neg) = (0..self.dataset.n_items()).find(|j| !train.contains(u, *j)) else {
+                continue;
+            };
+            total += f64::from(-bpr_log_likelihood(
+                model.score(u, pos),
+                model.score(u, neg),
+            ));
+            count += 1;
+        }
+        total / count.max(1) as f64
+    }
+}
+
+impl TrainObserver for TraceObserver<'_> {
+    fn on_triple(&mut self, epoch: usize, u: u32, pos: u32, neg: u32, info: f32) {
+        self.triples.push((epoch, u, pos, neg, info.to_bits()));
+    }
+
+    fn on_epoch_end(&mut self, _epoch: usize, model: &dyn Scorer) {
+        self.epoch_probe_loss.push(self.probe_loss(model).to_bits());
+    }
+}
+
+fn dataset() -> Dataset {
+    let cfg = SyntheticConfig {
+        n_users: 50,
+        n_items: 90,
+        target_interactions: 1_500,
+        seed: 77,
+        ..SyntheticConfig::default()
+    };
+    let synthetic = generate(&cfg).expect("generation succeeds");
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let (train_set, test_set) =
+        split_random(&synthetic.interactions, SplitConfig::default(), &mut rng)
+            .expect("split succeeds");
+    Dataset::new("repro-guard", train_set, test_set).expect("valid dataset")
+}
+
+fn run(dataset: &Dataset, sampler_cfg: &SamplerConfig, seed: u64) -> Trace {
+    let mut model_rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9));
+    let mut model =
+        MatrixFactorization::new(dataset.n_users(), dataset.n_items(), 8, 0.1, &mut model_rng)
+            .expect("valid model");
+    let mut sampler = build_sampler(sampler_cfg, dataset, None).expect("valid sampler");
+    let mut observer = TraceObserver {
+        dataset,
+        triples: Vec::new(),
+        epoch_probe_loss: Vec::new(),
+    };
+    train(
+        &mut model,
+        dataset,
+        sampler.as_mut(),
+        &TrainConfig::paper_mf(EPOCHS, seed),
+        &mut observer,
+    )
+    .expect("training succeeds");
+
+    let mut scores = vec![0.0f32; dataset.n_items() as usize];
+    let final_rankings = (0..dataset.n_users().min(10))
+        .map(|u| {
+            model.score_all(u, &mut scores);
+            top_k_masked(&scores, dataset.train().items_of(u), 10)
+        })
+        .collect();
+    Trace {
+        triples: observer.triples,
+        epoch_probe_loss: observer.epoch_probe_loss,
+        final_rankings,
+    }
+}
+
+#[test]
+fn same_seed_bitwise_identical_trace() {
+    let d = dataset();
+    for sampler in [
+        SamplerConfig::Rns,
+        SamplerConfig::Bns {
+            config: bns::core::BnsConfig::default(),
+            prior: bns::core::PriorKind::Popularity,
+        },
+    ] {
+        let a = run(&d, &sampler, 12345);
+        let b = run(&d, &sampler, 12345);
+        assert!(!a.triples.is_empty(), "trace must not be empty");
+        assert_eq!(a.epoch_probe_loss.len(), EPOCHS, "one probe loss per epoch");
+        assert_eq!(
+            a,
+            b,
+            "{} trainer trace diverged under identical seeds",
+            sampler.display_name()
+        );
+    }
+}
+
+#[test]
+fn different_seed_changes_sampled_triples() {
+    // The guard must have teeth: a different seed has to change the trace,
+    // otherwise the equality above would pass vacuously.
+    let d = dataset();
+    let a = run(&d, &SamplerConfig::Rns, 1);
+    let b = run(&d, &SamplerConfig::Rns, 2);
+    assert_ne!(a.triples, b.triples, "seed does not influence sampling");
+}

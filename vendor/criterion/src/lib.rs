@@ -1,0 +1,217 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Keeps the call-site API (`Criterion`, `benchmark_group`, `Bencher::iter`,
+//! `BenchmarkId`, `criterion_group!`/`criterion_main!`) so the bench targets
+//! compile and run unchanged, but replaces the statistics engine with a
+//! simple warm-up + median-of-samples timer:
+//!
+//! * under `cargo bench` (the binary receives `--bench`) each benchmark is
+//!   timed and a `name ... median ns/iter` line is printed;
+//! * under `cargo test` (no `--bench` flag) each benchmark body runs once as
+//!   a smoke test, so benches stay correctness-checked without slowing the
+//!   test suite.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Entry point handed to benchmark functions.
+pub struct Criterion {
+    mode: Mode,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// Full timing (`cargo bench`).
+    Measure,
+    /// One iteration per benchmark (`cargo test` smoke run).
+    Smoke,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let measure = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            mode: if measure { Mode::Measure } else { Mode::Smoke },
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(self.mode, name, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let mode = self.mode;
+        BenchmarkGroup {
+            _parent: self,
+            mode,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    mode: Mode,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub timer ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub timer ignores it.
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(self.mode, &full, &mut f);
+        self
+    }
+
+    /// Runs a parameterized benchmark inside the group.
+    pub fn bench_with_input<I: IntoBenchmarkId, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(self.mode, &full, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Identifier of a benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// Parameter-only identifier.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Conversion of `&str` / `String` / [`BenchmarkId`] into a display id.
+pub trait IntoBenchmarkId {
+    /// The rendered identifier.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.0
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    mode: Mode,
+    /// Median nanoseconds per iteration, filled by [`Bencher::iter`].
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times the routine (or runs it once in smoke mode).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.mode == Mode::Smoke {
+            black_box(routine());
+            return;
+        }
+        // Warm up and size the batch so one sample spans >= ~1 ms.
+        let mut batch: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt.as_micros() >= 1_000 || batch >= (1 << 24) {
+                break;
+            }
+            batch *= 2;
+        }
+        const SAMPLES: usize = 11;
+        let mut samples = [0f64; SAMPLES];
+        for s in samples.iter_mut() {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            *s = t0.elapsed().as_nanos() as f64 / batch as f64;
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = samples[SAMPLES / 2];
+    }
+}
+
+fn run_one(mode: Mode, name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        mode,
+        ns_per_iter: f64::NAN,
+    };
+    f(&mut b);
+    if mode == Mode::Measure {
+        if b.ns_per_iter.is_nan() {
+            println!("{name:<56} (no measurement)");
+        } else {
+            println!("{name:<56} {:>14.1} ns/iter", b.ns_per_iter);
+        }
+    }
+}
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

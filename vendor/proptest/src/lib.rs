@@ -1,0 +1,131 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset the workspace's property tests use: the `proptest!`
+//! macro with `pat in strategy` bindings, range strategies over primitive
+//! numbers, tuple strategies, `prop::collection::{vec, btree_set}`, and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * no shrinking — a failing case reports its generated inputs verbatim;
+//! * cases per test default to 64 (`PROPTEST_CASES` overrides);
+//! * the per-test RNG seed is derived from the test name, so runs are
+//!   deterministic unless `PROPTEST_SEED` is set.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Convenience glob-import module, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Mirrors `proptest::prelude::prop`, giving tests the
+    /// `prop::collection::vec(...)` path.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Declares property tests. Each parameter is drawn from its strategy for
+/// every case; `prop_assert*` failures abort the case with its inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases: usize = ::std::env::var("PROPTEST_CASES")
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(64);
+                let seed: u64 = ::std::env::var("PROPTEST_SEED")
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| $crate::test_runner::name_seed(stringify!($name)));
+                let mut __rng = $crate::test_runner::TestRng::new(seed);
+                for __case in 0..cases {
+                    let mut __inputs = ::std::string::String::new();
+                    let __outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                        $(
+                            let __value = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                            __inputs.push_str(&::std::format!(
+                                "{} = {:?}; ", stringify!($pat), __value
+                            ));
+                            let $pat = __value;
+                        )+
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(msg) = __outcome {
+                        ::std::panic!(
+                            "proptest `{}` failed at case {}/{} (seed {}):\n  {}\n  inputs: {}",
+                            stringify!($name), __case + 1, cases, seed, msg, __inputs
+                        );
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l != r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            ));
+        }
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}

@@ -1,0 +1,96 @@
+//! Value-generation strategies: primitive ranges and tuples.
+
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty integer range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty integer range strategy");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty float range strategy");
+                let v = (self.start as f64
+                    + (self.end as f64 - self.start as f64) * rng.unit_f64()) as $t;
+                // `next_down` keeps the fallback inside [start, end) for any
+                // sign of `end` (from_bits(- 1) breaks at zero and below).
+                if v < self.end { v } else { self.end.next_down().max(self.start) }
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty float range strategy");
+                let unit = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+                (lo as f64 + (hi as f64 - lo as f64) * unit) as $t
+            }
+        }
+    )*};
+}
+impl_float_range_strategy!(f32, f64);
+
+/// Always produces a clone of one value (mirror of `proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);

@@ -1,0 +1,67 @@
+//! Named generators. [`StdRng`] is xoshiro256++ (Blackman & Vigna), a
+//! small-state generator that passes BigCrush; plenty for simulation and
+//! statistical testing (not for cryptography).
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard seedable generator.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    #[inline]
+    fn step(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.step() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.step()
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        // The all-zero state is a fixed point of xoshiro; nudge it.
+        if s.iter().all(|&w| w == 0) {
+            s = [
+                0x9E37_79B9_7F4A_7C15,
+                0xBF58_476D_1CE4_E5B9,
+                0x94D0_49BB_1331_11EB,
+                1,
+            ];
+        }
+        let mut rng = Self { s };
+        // Discard a few outputs so weak (low-entropy) seeds decorrelate.
+        for _ in 0..8 {
+            rng.step();
+        }
+        rng
+    }
+}

@@ -1,0 +1,112 @@
+//! Sequence-related random operations: in-place shuffles, element choice,
+//! and reservoir sampling over iterators.
+
+use crate::{Rng, RngCore};
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// Element type of the slice.
+    type Item;
+
+    /// Fisher–Yates shuffle, in place.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// Uniformly chosen element, or `None` if empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.random_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.random_range(0..self.len())])
+        }
+    }
+}
+
+/// Random operations on iterators.
+pub trait IteratorRandom: Iterator + Sized {
+    /// Uniformly chosen element (reservoir sampling with k = 1).
+    fn choose<R: RngCore + ?Sized>(mut self, rng: &mut R) -> Option<Self::Item> {
+        let mut chosen = self.next()?;
+        for (already_seen, item) in self.enumerate() {
+            if rng.random_range(0..already_seen + 2) == 0 {
+                chosen = item;
+            }
+        }
+        Some(chosen)
+    }
+
+    /// Uniform sample of up to `amount` elements without replacement
+    /// (reservoir sampling; output order is arbitrary).
+    fn choose_multiple<R: RngCore + ?Sized>(
+        mut self,
+        rng: &mut R,
+        amount: usize,
+    ) -> Vec<Self::Item> {
+        let mut reservoir: Vec<Self::Item> = Vec::with_capacity(amount);
+        if amount == 0 {
+            return reservoir;
+        }
+        for _ in 0..amount {
+            match self.next() {
+                Some(item) => reservoir.push(item),
+                None => return reservoir,
+            }
+        }
+        for (extra, item) in self.enumerate() {
+            let j = rng.random_range(0..amount + extra + 1);
+            if j < amount {
+                reservoir[j] = item;
+            }
+        }
+        reservoir
+    }
+}
+
+impl<I: Iterator> IteratorRandom for I {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_multiple_is_uniformish_and_exact_size() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let sample = (0..1000u32).choose_multiple(&mut rng, 100);
+        assert_eq!(sample.len(), 100);
+        let mut uniq = sample.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 100, "sampling must be without replacement");
+    }
+
+    #[test]
+    fn choose_multiple_short_input_returns_all() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let sample = (0..5u32).choose_multiple(&mut rng, 100);
+        assert_eq!(sample.len(), 5);
+    }
+}

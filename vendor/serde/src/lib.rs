@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as a
+//! capability marker on config/result structs — no code path performs actual
+//! serialization yet (that arrives with a real `serde` once the build
+//! environment has registry access). The traits are therefore empty marker
+//! traits, and the derive macros emit empty impls.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that could be serialized.
+pub trait Serialize {}
+
+/// Marker for types that could be deserialized.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,60 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Emits empty marker impls for the stub `serde` traits. Implemented with a
+//! hand-rolled token scan instead of `syn`/`quote` because the build
+//! environment has no registry access. Handles plain (non-generic) structs
+//! and enums, which is everything the workspace derives on.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the `struct` / `enum` keyword, skipping
+/// attributes and visibility modifiers.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Skip the attribute's bracketed group.
+                tokens.next();
+            }
+            TokenTree::Ident(id) => {
+                let kw = id.to_string();
+                if kw == "struct" || kw == "enum" || kw == "union" {
+                    match tokens.next() {
+                        Some(TokenTree::Ident(name)) => {
+                            if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                                assert!(
+                                    p.as_char() != '<',
+                                    "stub serde_derive does not support generic types \
+                                     (derive on `{name}`)"
+                                );
+                            }
+                            return name.to_string();
+                        }
+                        other => panic!("expected type name after `{kw}`, found {other:?}"),
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    panic!("stub serde_derive: no struct/enum found in derive input");
+}
+
+/// Derives the marker `serde::Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives the marker `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
