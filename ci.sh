@@ -12,8 +12,10 @@ run() {
 
 run cargo build --release --workspace --offline
 run cargo test -q --workspace --offline
+run cargo test -q --doc --workspace --offline
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets --offline -- -D warnings
+RUSTDOCFLAGS="-D warnings" run cargo doc --no-deps --workspace --offline
 run cargo bench --no-run --workspace --offline
 
 echo "CI green."

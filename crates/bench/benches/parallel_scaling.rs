@@ -1,0 +1,100 @@
+//! Parallel-trainer scaling: triples/second at 1/2/4/8 hogwild shards
+//! versus the serial engine, on the synthetic dataset.
+//!
+//! Every benchmark in the group trains the same workload (same dataset,
+//! same epochs, fresh model per iteration), so wall-time ratios are
+//! throughput ratios: `serial time / hogwild-at-T time` is the speedup at
+//! `T` threads. Run with
+//!
+//! ```sh
+//! cargo bench -p bns-bench --bench parallel_scaling
+//! ```
+//!
+//! Two sampler workloads bracket the cost spectrum: RNS (trainer-bound,
+//! the update loop dominates) and BNS (sampler-bound, the Eq. 16 ECDF
+//! scan dominates). On a machine with ≥ 4 cores the 4-shard hogwild runs
+//! should clear 2× serial throughput on both; results on fewer cores
+//! measure engine overhead only.
+
+use bns_bench::fixture;
+use bns_core::{
+    build_sampler, train, BnsConfig, NoopObserver, ParallelConfig, ParallelTrainer, PriorKind,
+    SamplerConfig, TrainConfig,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const EPOCHS: usize = 2;
+const SEED: u64 = 0xB15;
+
+fn train_config() -> TrainConfig {
+    TrainConfig::paper_mf(EPOCHS, SEED)
+}
+
+fn samplers() -> Vec<(&'static str, SamplerConfig)> {
+    vec![
+        ("rns", SamplerConfig::Rns),
+        (
+            "bns",
+            SamplerConfig::Bns {
+                config: BnsConfig::default(),
+                prior: PriorKind::Popularity,
+            },
+        ),
+    ]
+}
+
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let fx = fixture(256, 320, 7);
+    let mut group = c.benchmark_group("parallel_scaling");
+    group.sample_size(10);
+
+    for (name, sampler_cfg) in samplers() {
+        // Serial baseline: the bit-exact engine.
+        group.bench_function(BenchmarkId::new(&format!("{name}/serial"), 1), |b| {
+            b.iter(|| {
+                let mut model = fx.model.clone();
+                let mut sampler = build_sampler(&sampler_cfg, &fx.dataset, None).unwrap();
+                let stats = train(
+                    &mut model,
+                    &fx.dataset,
+                    sampler.as_mut(),
+                    &train_config(),
+                    &mut NoopObserver,
+                )
+                .unwrap();
+                black_box(stats.triples)
+            })
+        });
+
+        // Hogwild at 1/2/4/8 shards.
+        for threads in [1usize, 2, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(&format!("{name}/hogwild"), threads),
+                &threads,
+                |b, &threads| {
+                    let trainer =
+                        ParallelTrainer::new(train_config(), ParallelConfig::hogwild(threads))
+                            .unwrap();
+                    b.iter(|| {
+                        let mut model = fx.model.clone();
+                        let stats = trainer
+                            .train(
+                                &mut model,
+                                &fx.dataset,
+                                &sampler_cfg,
+                                None,
+                                &mut NoopObserver,
+                            )
+                            .unwrap();
+                        black_box(stats.triples)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_scaling);
+criterion_main!(benches);

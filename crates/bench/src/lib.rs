@@ -9,6 +9,8 @@
 //! * `model_bench`    — MF/LightGCN scoring, updates, propagation.
 //! * `table_bench`    — miniature regenerations of Tables I–IV.
 //! * `fig_bench`      — miniature regenerations of Figs. 1–5.
+//! * `parallel_scaling` — sharded-trainer throughput at 1/2/4/8 hogwild
+//!   shards vs the serial engine (triples/sec ratios).
 
 use bns_data::synthetic::{generate, SyntheticConfig};
 use bns_data::{split_random, Dataset, Occupations, SplitConfig};

@@ -20,10 +20,12 @@
 pub mod prior;
 pub mod risk;
 pub mod schedule;
+pub mod suffstats;
 pub mod unbias;
 
 pub use prior::{NonInformativePrior, OccupationPrior, OraclePrior, PopularityPrior, Prior};
 pub use schedule::LambdaSchedule;
+pub use suffstats::PosteriorStats;
 pub use unbias::unbias;
 
 use crate::sampler::{draw_candidate_set, draw_uniform_negative, NegativeSampler, SampleContext};
@@ -166,6 +168,7 @@ pub struct BnsSampler {
     epoch: usize,
     candidates: Vec<u32>,
     display_name: String,
+    epoch_stats: PosteriorStats,
 }
 
 impl BnsSampler {
@@ -180,6 +183,7 @@ impl BnsSampler {
             epoch: 0,
             candidates: Vec::new(),
             display_name,
+            epoch_stats: PosteriorStats::default(),
         })
     }
 
@@ -273,6 +277,28 @@ impl BnsSampler {
         }
     }
 
+    /// Evaluates every candidate and keeps the one `replace` prefers,
+    /// returning its full signal vector (recorded into the epoch's
+    /// [`PosteriorStats`] by the caller).
+    fn select_by(
+        &self,
+        u: u32,
+        pos: u32,
+        candidates: &[u32],
+        ctx: &SampleContext<'_>,
+        replace: impl Fn(&CandidateSignal, &CandidateSignal) -> bool,
+    ) -> Option<CandidateSignal> {
+        let mut best: Option<CandidateSignal> = None;
+        for &l in candidates {
+            let signal = self.evaluate_candidate(u, pos, l, ctx);
+            match &best {
+                Some(b) if !replace(&signal, b) => {}
+                _ => best = Some(signal),
+            }
+        }
+        best
+    }
+
     /// Fills `self.candidates` with the candidate set: either `m` uniform
     /// negatives, or — when `m` exceeds the user's negative count — every
     /// negative (the optimal sampler h*). Returns false if no negatives.
@@ -326,17 +352,18 @@ impl NegativeSampler for BnsSampler {
             return None;
         }
         let candidates = std::mem::take(&mut self.candidates);
+        // Tie-breaking matches `Iterator::min_by` / `max_by`: keep the
+        // *first* minimal element, the *last* maximal one. The repro guard
+        // pins this bit-for-bit.
+        let keep_min = |a: f64, b: f64| a.partial_cmp(&b).expect("finite signal").is_lt();
+        let keep_max = |a: f64, b: f64| a.partial_cmp(&b).expect("finite signal").is_ge();
         let selected = match self.config.criterion {
-            Criterion::MinRisk => candidates
-                .iter()
-                .map(|&l| self.evaluate_candidate(u, pos, l, ctx))
-                .min_by(|a, b| a.risk.partial_cmp(&b.risk).expect("finite risk"))
-                .map(|s| s.item),
-            Criterion::PosteriorMax => candidates
-                .iter()
-                .map(|&l| self.evaluate_candidate(u, pos, l, ctx))
-                .max_by(|a, b| a.unbias.partial_cmp(&b.unbias).expect("finite posterior"))
-                .map(|s| s.item),
+            Criterion::MinRisk => self.select_by(u, pos, &candidates, ctx, |s, best| {
+                keep_min(s.risk, best.risk)
+            }),
+            Criterion::PosteriorMax => self.select_by(u, pos, &candidates, ctx, |s, best| {
+                keep_max(s.unbias, best.unbias)
+            }),
             Criterion::ExploreExploit { epsilon } => {
                 let explore = {
                     // Draw the coin from the shared RNG for reproducibility.
@@ -344,22 +371,21 @@ impl NegativeSampler for BnsSampler {
                     coin < epsilon
                 };
                 if explore {
-                    candidates
-                        .iter()
-                        .map(|&l| self.evaluate_candidate(u, pos, l, ctx))
-                        .max_by(|a, b| a.info.partial_cmp(&b.info).expect("finite info"))
-                        .map(|s| s.item)
+                    self.select_by(u, pos, &candidates, ctx, |s, best| {
+                        keep_max(s.info, best.info)
+                    })
                 } else {
-                    candidates
-                        .iter()
-                        .map(|&l| self.evaluate_candidate(u, pos, l, ctx))
-                        .min_by(|a, b| a.risk.partial_cmp(&b.risk).expect("finite risk"))
-                        .map(|s| s.item)
+                    self.select_by(u, pos, &candidates, ctx, |s, best| {
+                        keep_min(s.risk, best.risk)
+                    })
                 }
             }
         };
         self.candidates = candidates;
-        selected
+        if let Some(signal) = selected {
+            self.epoch_stats.record(&signal);
+        }
+        selected.map(|s| s.item)
     }
 
     fn needs_user_scores(&self) -> bool {
@@ -371,6 +397,10 @@ impl NegativeSampler for BnsSampler {
     fn on_epoch_start(&mut self, epoch: usize) {
         self.epoch = epoch;
         self.lambda_now = self.config.lambda.at(epoch);
+    }
+
+    fn take_epoch_stats(&mut self) -> Option<PosteriorStats> {
+        Some(std::mem::take(&mut self.epoch_stats))
     }
 }
 

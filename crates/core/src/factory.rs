@@ -3,6 +3,29 @@
 //! The experiment harness describes each run (Table II's six samplers,
 //! Table III's BNS variants, Table IV's oracle sweep) as data; this module
 //! turns those descriptions into live sampler objects.
+//!
+//! ```
+//! use bns_core::{build_sampler, BnsConfig, PriorKind, SamplerConfig};
+//! use bns_data::{Dataset, Interactions};
+//!
+//! let train = Interactions::from_pairs(2, 5, &[(0, 0), (0, 1), (1, 2)])?;
+//! let test = Interactions::from_pairs(2, 5, &[(0, 3), (1, 4)])?;
+//! let dataset = Dataset::new("doc", train, test)?;
+//!
+//! // The paper's sampler with its defaults: |Mᵤ| = 5, λ = 5, Eq. 32 rule.
+//! let cfg = SamplerConfig::Bns {
+//!     config: BnsConfig::default(),
+//!     prior: PriorKind::Popularity,
+//! };
+//! let sampler = build_sampler(&cfg, &dataset, None)?;
+//! assert_eq!(sampler.name(), "BNS[popularity]");
+//!
+//! // Every Table II baseline builds from data the same way.
+//! for cfg in SamplerConfig::paper_lineup() {
+//!     build_sampler(&cfg, &dataset, None)?;
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 use crate::aobpr::Aobpr;
 use crate::bns::prior::{

@@ -1,3 +1,5 @@
+#![deny(missing_docs)]
+
 //! # bns-core — Bayesian Negative Sampling and baselines
 //!
 //! The paper's contribution (§III) and everything it is compared against
@@ -17,9 +19,14 @@
 //!   posterior (Eq. 15), pluggable priors (Eq. 17 and the Table III/IV
 //!   variants), λ schedules, and the min-risk sampling rule (Eq. 32).
 //! * [`classifier`] — the Bayesian negative classifier of Eq. (11)–(13).
-//! * [`trainer`] — Algorithm 1: the BPR training loop that wires a sampler
-//!   into a [`PairwiseModel`](bns_model::PairwiseModel), with observer hooks
-//!   for the quality probes.
+//! * [`trainer`] — Algorithm 1: the serial, bit-exact BPR training loop
+//!   that wires a sampler into a
+//!   [`PairwiseModel`](bns_model::PairwiseModel), with observer hooks for
+//!   the quality probes.
+//! * [`parallel`] — the sharded multi-core engine: hogwild SGD over
+//!   user shards with per-worker RNG/sampler state and epoch-barrier
+//!   statistic merges, behind a [`parallel::Determinism`] switch whose
+//!   bit-exact mode is the serial engine.
 //! * [`factory`] — serde-able sampler configs → boxed samplers.
 
 pub mod aobpr;
@@ -28,15 +35,17 @@ pub mod classifier;
 pub mod contrastive;
 pub mod dns;
 pub mod factory;
+pub mod parallel;
 pub mod pns;
 pub mod rns;
 pub mod sampler;
 pub mod srns;
 pub mod trainer;
 
-pub use bns::{BnsConfig, BnsSampler, Criterion, LambdaSchedule, Prior, PriorKind};
+pub use bns::{BnsConfig, BnsSampler, Criterion, LambdaSchedule, PosteriorStats, Prior, PriorKind};
 pub use contrastive::{train_contrastive, ContrastiveConfig, ContrastiveStats};
 pub use factory::{build_sampler, SamplerConfig};
+pub use parallel::{Determinism, ParallelConfig, ParallelTrainer};
 pub use sampler::{NegativeSampler, SampleContext};
 pub use trainer::{train, NoopObserver, TrainConfig, TrainObserver, TrainStats};
 

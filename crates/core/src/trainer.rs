@@ -5,10 +5,19 @@
 //! `j`, and apply the model's BPR update. Observers receive every sampled
 //! triple (the TNR/INF quality probes of Fig. 4 hook in here) and an
 //! end-of-epoch callback (ranking evaluation, score-distribution probes).
+//!
+//! [`train`] is the **serial, bit-exact** engine: one RNG stream, one
+//! deterministic schedule, reproducible to the bit (guarded by
+//! `tests/trainer_repro_guard.rs`). It doubles as the single-shard kernel
+//! of the sharded engine in [`crate::parallel`] — the multi-core path
+//! shares this module's per-pair sampling step
+//! ([`sample_pair`](fn@sample_pair), Algorithm 1 lines 4–13) and differs
+//! only in how updates are applied.
 
+use crate::bns::PosteriorStats;
 use crate::sampler::{NegativeSampler, SampleContext};
 use crate::{CoreError, Result};
-use bns_data::Dataset;
+use bns_data::{Dataset, Interactions, Popularity};
 use bns_model::{PairwiseModel, Scorer};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -16,15 +25,39 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 /// Training-loop configuration.
+///
+/// # Paper defaults
+///
+/// [`TrainConfig::paper_mf`] pins the paper's §IV-B1 MF setup
+/// (`batch_size = 1`, constant learning rate 0.01, L2 = 0.01);
+/// [`TrainConfig::paper_lightgcn`] pins the LightGCN setup (caller-chosen
+/// batch size — 128, or 1024 on MovieLens-1M — with the step-decayed
+/// learning rate of `SgdConfig::paper_lightgcn`). Both take `epochs`
+/// explicitly because the paper trains 100 epochs at full scale while the
+/// scaled-down experiment harness defaults to 40.
+///
+/// # Forward compatibility
+///
+/// New knobs may be added to this struct in future releases (parallel
+/// training, for example, arrived as a *separate*
+/// [`crate::parallel::ParallelConfig`] precisely so this struct's layout
+/// stayed stable). Downstream code should construct it through the
+/// `paper_*` constructors and functional-update syntax
+/// (`TrainConfig { epochs: 10, ..TrainConfig::paper_mf(10, 0) }`) rather
+/// than exhaustive struct literals, so added fields do not break it.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct TrainConfig {
-    /// Number of epochs `T` (paper: 100).
+    /// Number of epochs `T`. Paper: 100 (§IV-B1); harness default: 40.
     pub epochs: usize,
-    /// Mini-batch size (paper: 1 for MF; 128/1024 for LightGCN).
+    /// Mini-batch size. Paper: 1 for MF; 128 for LightGCN (1024 on
+    /// MovieLens-1M).
     pub batch_size: usize,
-    /// SGD hyperparameters.
+    /// SGD hyperparameters. Paper: learning rate 0.01 and L2 regularization
+    /// 0.01 for both models; LightGCN additionally step-decays the rate.
     pub sgd: bns_model::SgdConfig,
-    /// Seed for shuffling and sampling.
+    /// Seed for shuffling and sampling. The paper does not fix seeds; this
+    /// reproduction treats the seed as part of the experiment identity
+    /// (see `tests/trainer_repro_guard.rs`).
     pub seed: u64,
 }
 
@@ -49,7 +82,7 @@ impl TrainConfig {
         }
     }
 
-    fn validate(&self) -> Result<()> {
+    pub(crate) fn validate(&self) -> Result<()> {
         if self.epochs == 0 {
             return Err(CoreError::InvalidConfig("epochs must be > 0".into()));
         }
@@ -88,14 +121,83 @@ pub struct TrainStats {
     pub skipped: usize,
     /// Mean `info` per epoch (the INF numerator without labels).
     pub mean_info_per_epoch: Vec<f64>,
+    /// Per-epoch sufficient statistics of the sampler's Bayesian signals
+    /// (Eq. 15/16/17/32 sums for the selected negatives), drained via
+    /// [`NegativeSampler::take_epoch_stats`]. All-zero entries for samplers
+    /// that expose none (RNS, PNS, …); merged across shards by the
+    /// parallel trainer.
+    pub posterior_per_epoch: Vec<PosteriorStats>,
     /// Wall-clock seconds for the whole run.
     pub wall_seconds: f64,
+}
+
+/// Algorithm 1 lines 4–13 for one `(u, pos)` pair: refresh the user's
+/// rating vector `x̂ᵤ` when the sampler wants it, then draw one negative.
+///
+/// Shared verbatim between the serial loop below and each worker of the
+/// sharded engine in [`crate::parallel`], so the two paths cannot drift.
+/// `user_scores` must have length `train.n_items()`; it is overwritten
+/// only when [`NegativeSampler::needs_user_scores`] returns `true`.
+#[allow(clippy::too_many_arguments)] // the flat locals of Algorithm 1's inner loop
+pub fn sample_pair(
+    sampler: &mut dyn NegativeSampler,
+    scorer: &dyn Scorer,
+    train: &Interactions,
+    popularity: &Popularity,
+    user_scores: &mut [f32],
+    u: u32,
+    pos: u32,
+    epoch: usize,
+    rng: &mut dyn rand::RngCore,
+) -> Option<u32> {
+    let wants_scores = sampler.needs_user_scores();
+    if wants_scores {
+        scorer.score_all(u, user_scores);
+    }
+    let ctx = SampleContext {
+        scorer,
+        train,
+        popularity,
+        user_scores: if wants_scores { user_scores } else { &[] },
+        epoch,
+    };
+    sampler.sample(u, pos, &ctx, rng)
 }
 
 /// Trains `model` on `dataset.train()` with the given sampler.
 ///
 /// This is Algorithm 1 of the paper with the sampler abstracted: lines 5–13
 /// are [`NegativeSampler::sample`], line 14 is the model's BPR update.
+///
+/// The condensed `examples/quickstart.rs` flow — dataset, MF model, BNS
+/// sampler, paper hyperparameters:
+///
+/// ```
+/// use bns_core::bns::prior::PopularityPrior;
+/// use bns_core::{train, BnsConfig, BnsSampler, NoopObserver, TrainConfig};
+/// use bns_data::{Dataset, Interactions};
+/// use bns_model::MatrixFactorization;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let train_set = Interactions::from_pairs(2, 6, &[(0, 0), (0, 1), (1, 3), (1, 4)])?;
+/// let test_set = Interactions::from_pairs(2, 6, &[(0, 2), (1, 5)])?;
+/// let dataset = Dataset::new("doc", train_set, test_set)?;
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let mut model = MatrixFactorization::new(dataset.n_users(), dataset.n_items(), 8, 0.1, &mut rng)?;
+/// let mut sampler = BnsSampler::new(
+///     BnsConfig::default(), // |Mᵤ| = 5, λ = 5, min-risk rule (Eq. 32)
+///     Box::new(PopularityPrior::new(dataset.popularity())),
+/// )?;
+///
+/// // Paper MF setup: batch 1, lr 0.01, reg 0.01.
+/// let config = TrainConfig::paper_mf(3, 42);
+/// let stats = train(&mut model, &dataset, &mut sampler, &config, &mut NoopObserver)?;
+/// assert_eq!(stats.triples, 3 * dataset.train().len());
+/// assert_eq!(stats.mean_info_per_epoch.len(), 3);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 pub fn train<M: PairwiseModel>(
     model: &mut M,
     dataset: &Dataset,
@@ -126,6 +228,7 @@ pub fn train<M: PairwiseModel>(
         triples: 0,
         skipped: 0,
         mean_info_per_epoch: Vec::with_capacity(config.epochs),
+        posterior_per_epoch: Vec::with_capacity(config.epochs),
         wall_seconds: 0.0,
     };
 
@@ -141,21 +244,17 @@ pub fn train<M: PairwiseModel>(
         for batch in pairs.chunks(config.batch_size) {
             model.begin_batch();
             for &(u, pos) in batch {
-                // Algorithm 1 line 4: rating vector x̂ᵤ, only when needed.
-                let wants_scores = sampler.needs_user_scores();
-                if wants_scores {
-                    model.score_all(u, &mut user_scores);
-                }
-                let neg = {
-                    let ctx = SampleContext {
-                        scorer: model as &dyn Scorer,
-                        train: train_set,
-                        popularity,
-                        user_scores: if wants_scores { &user_scores } else { &[] },
-                        epoch,
-                    };
-                    sampler.sample(u, pos, &ctx, &mut rng)
-                };
+                let neg = sample_pair(
+                    sampler,
+                    &*model,
+                    train_set,
+                    popularity,
+                    &mut user_scores,
+                    u,
+                    pos,
+                    epoch,
+                    &mut rng,
+                );
                 let Some(neg) = neg else {
                     stats.skipped += 1;
                     continue;
@@ -178,6 +277,9 @@ pub fn train<M: PairwiseModel>(
         } else {
             info_sum / info_count as f64
         });
+        stats
+            .posterior_per_epoch
+            .push(sampler.take_epoch_stats().unwrap_or_default());
         observer.on_epoch_end(epoch, model as &dyn Scorer);
     }
 

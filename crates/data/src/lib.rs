@@ -1,3 +1,5 @@
+#![deny(missing_docs)]
+
 //! # bns-data — dataset substrate for the BNS reproduction
 //!
 //! The paper evaluates on MovieLens-100K, MovieLens-1M and Yahoo!-R3, all

@@ -1,3 +1,5 @@
+#![deny(missing_docs)]
+
 //! # bns-eval — evaluation substrate for the BNS reproduction
 //!
 //! * [`topk`] — top-K extraction from score vectors with train-positive

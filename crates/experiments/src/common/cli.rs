@@ -4,12 +4,15 @@
 //! are few, so a small hand parser suffices:
 //!
 //! ```text
-//! --scale <f64>    dataset scale factor (1.0 = paper scale; default 0.15)
-//! --epochs <n>     training epochs (default 40; paper uses 100)
-//! --seed <n>       master RNG seed (default 42)
-//! --threads <n>    evaluation threads (default 4)
-//! --csv <dir>      also write CSV series into <dir>
-//! --quick          tiny preset for smoke tests (scale 0.08, 12 epochs)
+//! --scale <f64>         dataset scale factor (1.0 = paper scale; default 0.15)
+//! --epochs <n>          training epochs (default 40; paper uses 100)
+//! --seed <n>            master RNG seed (default 42)
+//! --threads <n>         evaluation threads (default 4)
+//! --train-threads <n>   hogwild training shards for MF runs (default 1 =
+//!                       serial bit-exact; > 1 trades the bit-exact trace
+//!                       for multi-core throughput)
+//! --csv <dir>           also write CSV series into <dir>
+//! --quick               tiny preset for smoke tests (scale 0.08, 12 epochs)
 //! ```
 
 use std::path::PathBuf;
@@ -25,6 +28,8 @@ pub struct HarnessArgs {
     pub seed: u64,
     /// Evaluation threads.
     pub threads: usize,
+    /// Hogwild training shards for MF runs (1 = serial bit-exact engine).
+    pub train_threads: usize,
     /// Optional CSV output directory.
     pub csv: Option<PathBuf>,
 }
@@ -36,6 +41,7 @@ impl Default for HarnessArgs {
             epochs: 40,
             seed: 42,
             threads: 4,
+            train_threads: 1,
             csv: None,
         }
     }
@@ -52,6 +58,7 @@ impl HarnessArgs {
                 "--epochs" => out.epochs = take_value(&mut iter, "--epochs")?,
                 "--seed" => out.seed = take_value(&mut iter, "--seed")?,
                 "--threads" => out.threads = take_value(&mut iter, "--threads")?,
+                "--train-threads" => out.train_threads = take_value(&mut iter, "--train-threads")?,
                 "--csv" => {
                     let dir = iter.next().ok_or("--csv requires a directory")?;
                     out.csv = Some(PathBuf::from(dir));
@@ -73,6 +80,9 @@ impl HarnessArgs {
         if out.threads == 0 {
             return Err("--threads must be > 0".into());
         }
+        if out.train_threads == 0 {
+            return Err("--train-threads must be > 0".into());
+        }
         Ok(out)
     }
 
@@ -89,7 +99,7 @@ impl HarnessArgs {
 
     /// Usage text.
     pub fn usage() -> &'static str {
-        "usage: <bin> [--scale F] [--epochs N] [--seed N] [--threads N] [--csv DIR] [--quick]"
+        "usage: <bin> [--scale F] [--epochs N] [--seed N] [--threads N] [--train-threads N] [--csv DIR] [--quick]"
     }
 }
 
@@ -129,6 +139,8 @@ mod tests {
             "9",
             "--threads",
             "2",
+            "--train-threads",
+            "4",
             "--csv",
             "/tmp/x",
         ])
@@ -137,6 +149,7 @@ mod tests {
         assert_eq!(a.epochs, 77);
         assert_eq!(a.seed, 9);
         assert_eq!(a.threads, 2);
+        assert_eq!(a.train_threads, 4);
         assert_eq!(a.csv, Some(PathBuf::from("/tmp/x")));
     }
 
@@ -155,6 +168,7 @@ mod tests {
         assert!(parse(&["--scale", "1.5"]).is_err());
         assert!(parse(&["--epochs", "0"]).is_err());
         assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--train-threads", "0"]).is_err());
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["--help"]).is_err());
     }

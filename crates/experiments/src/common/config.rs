@@ -46,6 +46,9 @@ pub struct RunConfig {
     pub seed: u64,
     /// Evaluation threads.
     pub threads: usize,
+    /// Hogwild training shards for MF runs (1 = serial bit-exact engine;
+    /// > 1 uses `bns_core::parallel::ParallelTrainer`).
+    pub train_threads: usize,
     /// Embedding dimensionality (paper: 32).
     pub dim: usize,
     /// Embedding init standard deviation.
@@ -64,6 +67,7 @@ impl RunConfig {
             epochs: args.epochs,
             seed: args.seed,
             threads: args.threads,
+            train_threads: args.train_threads,
             dim: 32,
             init_std: 0.1,
             gcn_layers: 1,

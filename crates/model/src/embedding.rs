@@ -55,6 +55,22 @@ impl Embedding {
         Ok(Self { data, n, dim })
     }
 
+    /// Wraps an existing row-major buffer of `n · dim` values.
+    pub fn from_vec(n: usize, dim: usize, data: Vec<f32>) -> Result<Self> {
+        if dim == 0 {
+            return Err(ModelError::InvalidConfig(
+                "embedding dim must be > 0".into(),
+            ));
+        }
+        if data.len() != n * dim {
+            return Err(ModelError::ShapeMismatch(format!(
+                "buffer of {} values cannot hold {n} rows × {dim}",
+                data.len()
+            )));
+        }
+        Ok(Self { data, n, dim })
+    }
+
     /// Xavier/Glorot-style initialization: `N(0, 1/√dim)`.
     pub fn xavier_init<R: Rng + ?Sized>(n: usize, dim: usize, rng: &mut R) -> Result<Self> {
         Self::normal_init(n, dim, 1.0 / (dim as f64).sqrt(), rng)

@@ -1,0 +1,325 @@
+//! Lock-free shared model storage for hogwild-style parallel SGD.
+//!
+//! BPR training with batch size 1 (the paper's MF setup) has exactly the
+//! sparse-update structure Hogwild! (Niu et al., NIPS 2011) exploits: each
+//! triple `(u, i, j)` touches one user row and two item rows, so concurrent
+//! workers collide rarely and lost updates merely add sampling noise of the
+//! same order as SGD noise itself.
+//!
+//! Rust forbids plain data races, so the shared tables store `f32` bit
+//! patterns in [`AtomicU32`] cells accessed with `Ordering::Relaxed`. On
+//! mainstream ISAs a relaxed atomic load/store compiles to an ordinary
+//! `mov`, which keeps the hot path within a few percent of the serial
+//! [`Embedding`] path while staying free of undefined behavior. Read-modify-write sequences are intentionally *not* atomic —
+//! a racing worker may overwrite a concurrent update, which is precisely
+//! the hogwild contract.
+//!
+//! [`HogwildMf`] wraps two [`AtomicEmbedding`] tables into a matrix-
+//! factorization model that is [`Sync`], scoreable from any thread, and
+//! updatable through `&self`. Convert from/to the serial
+//! [`MatrixFactorization`] at the edges of a parallel training run.
+
+use crate::embedding::Embedding;
+use crate::loss::info;
+use crate::mf::MatrixFactorization;
+use crate::scorer::Scorer;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// An `n × dim` table of `f32` embeddings stored as relaxed-atomic bits,
+/// shareable across threads for hogwild updates.
+#[derive(Debug)]
+pub struct AtomicEmbedding {
+    data: Vec<AtomicU32>,
+    n: usize,
+    dim: usize,
+}
+
+impl AtomicEmbedding {
+    /// Copies a serial embedding table into atomic storage.
+    pub fn from_embedding(e: &Embedding) -> Self {
+        Self {
+            data: e
+                .as_slice()
+                .iter()
+                .map(|&x| AtomicU32::new(x.to_bits()))
+                .collect(),
+            n: e.len(),
+            dim: e.dim(),
+        }
+    }
+
+    /// Copies the atomic table back into a serial [`Embedding`].
+    ///
+    /// Callers should ensure no concurrent writers remain (e.g. after the
+    /// training scope has joined); a racing writer would not be unsound,
+    /// but the snapshot would mix epochs.
+    pub fn to_embedding(&self) -> Embedding {
+        let data: Vec<f32> = self
+            .data
+            .iter()
+            .map(|cell| f32::from_bits(cell.load(Ordering::Relaxed)))
+            .collect();
+        Embedding::from_vec(self.n, self.dim, data).expect("shape preserved by construction")
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Reads element `(i, k)` with relaxed ordering.
+    #[inline]
+    pub fn get(&self, i: usize, k: usize) -> f32 {
+        debug_assert!(i < self.n && k < self.dim, "index out of range");
+        f32::from_bits(self.data[i * self.dim + k].load(Ordering::Relaxed))
+    }
+
+    /// Writes element `(i, k)` with relaxed ordering.
+    #[inline]
+    pub fn set(&self, i: usize, k: usize, v: f32) {
+        debug_assert!(i < self.n && k < self.dim, "index out of range");
+        self.data[i * self.dim + k].store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Copies row `i` into `out` (length `dim`).
+    pub fn read_row(&self, i: usize, out: &mut [f32]) {
+        debug_assert_eq!(out.len(), self.dim);
+        for (slot, cell) in out.iter_mut().zip(self.row(i)) {
+            *slot = f32::from_bits(cell.load(Ordering::Relaxed));
+        }
+    }
+
+    /// Row `i` as a slice of atomic cells (the zero-bounds-check access
+    /// the update/scoring hot paths iterate over).
+    #[inline]
+    fn row(&self, i: usize) -> &[AtomicU32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Dot product of row `i` of `self` with row `j` of `other`.
+    #[inline]
+    pub fn dot_rows(&self, i: usize, other: &AtomicEmbedding, j: usize) -> f32 {
+        debug_assert_eq!(self.dim, other.dim);
+        self.row(i)
+            .iter()
+            .zip(other.row(j))
+            .map(|(x, y)| {
+                f32::from_bits(x.load(Ordering::Relaxed))
+                    * f32::from_bits(y.load(Ordering::Relaxed))
+            })
+            .sum()
+    }
+}
+
+/// A matrix-factorization model in hogwild (shared, lock-free) storage.
+///
+/// Implements [`Scorer`] through `&self`, so negative samplers and epoch-end
+/// evaluation work unchanged against the shared state, and exposes
+/// [`HogwildMf::apply_triple`] — the same BPR update as
+/// [`MatrixFactorization`], applied through `&self` so any number of worker
+/// threads can train concurrently.
+#[derive(Debug)]
+pub struct HogwildMf {
+    users: AtomicEmbedding,
+    items: AtomicEmbedding,
+}
+
+impl HogwildMf {
+    /// Snapshots a serial MF model into shared hogwild storage.
+    pub fn from_mf(mf: &MatrixFactorization) -> Self {
+        Self {
+            users: AtomicEmbedding::from_embedding(mf.users()),
+            items: AtomicEmbedding::from_embedding(mf.items()),
+        }
+    }
+
+    /// Snapshots the shared state back into a serial MF model.
+    pub fn to_mf(&self) -> MatrixFactorization {
+        MatrixFactorization::from_embeddings(self.users.to_embedding(), self.items.to_embedding())
+            .expect("shapes preserved by construction")
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.users.dim()
+    }
+
+    /// One BPR SGD step for the triple `(u, pos, neg)` through `&self`.
+    ///
+    /// Identical arithmetic to
+    /// [`MatrixFactorization`]'s `accumulate_triple` (Rendle et al.'s
+    /// update, see `crates/model/src/mf.rs`); returns `info(j)` (Eq. 4).
+    /// Under concurrency the read-modify-write is racy by design: a
+    /// colliding worker may overwrite a component, which hogwild tolerates.
+    pub fn apply_triple(&self, u: u32, pos: u32, neg: u32, lr: f32, reg: f32) -> f32 {
+        debug_assert_ne!(pos, neg, "positive and negative item must differ");
+        let g = info(self.score(u, pos), self.score(u, neg));
+        let wu = self.users.row(u as usize);
+        let hi = self.items.row(pos as usize);
+        let hj = self.items.row(neg as usize);
+        const R: Ordering = Ordering::Relaxed;
+        for ((wc, ic), jc) in wu.iter().zip(hi).zip(hj) {
+            let wuk = f32::from_bits(wc.load(R));
+            let hik = f32::from_bits(ic.load(R));
+            let hjk = f32::from_bits(jc.load(R));
+            wc.store((wuk + lr * (g * (hik - hjk) - reg * wuk)).to_bits(), R);
+            ic.store((hik + lr * (g * wuk - reg * hik)).to_bits(), R);
+            jc.store((hjk + lr * (-g * wuk - reg * hjk)).to_bits(), R);
+        }
+        g
+    }
+}
+
+impl HogwildMf {
+    /// Scores every item against the snapshotted user row `wu` — the one
+    /// scoring loop both `score_all` paths share. Iterates the item table
+    /// as dim-sized chunks (no index math) since Algorithm 1 line 4 makes
+    /// this the hot path of every score-based sampler.
+    fn score_with(&self, wu: &[f32], out: &mut [f32]) {
+        for (slot, row) in out.iter_mut().zip(self.items.data.chunks_exact(wu.len())) {
+            *slot = wu
+                .iter()
+                .zip(row)
+                .map(|(w, cell)| w * f32::from_bits(cell.load(Ordering::Relaxed)))
+                .sum();
+        }
+    }
+}
+
+impl Scorer for HogwildMf {
+    fn n_users(&self) -> u32 {
+        self.users.len() as u32
+    }
+
+    fn n_items(&self) -> u32 {
+        self.items.len() as u32
+    }
+
+    #[inline]
+    fn score(&self, u: u32, i: u32) -> f32 {
+        self.users.dot_rows(u as usize, &self.items, i as usize)
+    }
+
+    fn score_all(&self, u: u32, out: &mut [f32]) {
+        debug_assert_eq!(out.len(), self.items.len());
+        // Snapshot the user row once (stack buffer for the common d ≤ 64
+        // case; paper models use d = 32), then run the shared scoring loop.
+        let dim = self.users.dim();
+        let mut stack = [0.0f32; 64];
+        if dim <= stack.len() {
+            self.users.read_row(u as usize, &mut stack[..dim]);
+            self.score_with(&stack[..dim], out);
+        } else {
+            let mut heap = vec![0.0f32; dim];
+            self.users.read_row(u as usize, &mut heap);
+            self.score_with(&heap, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scorer::PairwiseModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mf(seed: u64) -> MatrixFactorization {
+        let mut rng = StdRng::seed_from_u64(seed);
+        MatrixFactorization::new(4, 6, 8, 0.1, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_bits() {
+        let m = mf(0);
+        let shared = HogwildMf::from_mf(&m);
+        let back = shared.to_mf();
+        for u in 0..4 {
+            assert_eq!(m.user_embedding(u), back.user_embedding(u));
+        }
+        for i in 0..6 {
+            assert_eq!(m.item_embedding(i), back.item_embedding(i));
+        }
+    }
+
+    #[test]
+    fn scores_match_serial_model() {
+        let m = mf(1);
+        let shared = HogwildMf::from_mf(&m);
+        let mut serial = vec![0.0f32; 6];
+        let mut hog = vec![0.0f32; 6];
+        for u in 0..4 {
+            m.score_all(u, &mut serial);
+            shared.score_all(u, &mut hog);
+            assert_eq!(serial, hog);
+            for i in 0..6u32 {
+                assert_eq!(m.score(u, i), shared.score(u, i));
+            }
+        }
+    }
+
+    #[test]
+    fn apply_triple_matches_serial_update_bitwise() {
+        let mut serial = mf(2);
+        let shared = HogwildMf::from_mf(&serial);
+        // Same sequence of updates on both representations.
+        let triples = [(0u32, 1u32, 4u32), (1, 2, 5), (0, 0, 3), (3, 5, 1)];
+        for &(u, pos, neg) in &triples {
+            let a = serial.accumulate_triple(u, pos, neg, 0.05, 0.01);
+            let b = shared.apply_triple(u, pos, neg, 0.05, 0.01);
+            assert_eq!(a.to_bits(), b.to_bits(), "info diverged");
+        }
+        let back = shared.to_mf();
+        for u in 0..4 {
+            assert_eq!(serial.user_embedding(u), back.user_embedding(u));
+        }
+        for i in 0..6 {
+            assert_eq!(serial.item_embedding(i), back.item_embedding(i));
+        }
+    }
+
+    #[test]
+    fn concurrent_updates_keep_model_finite() {
+        let m = mf(3);
+        let shared = HogwildMf::from_mf(&m);
+        std::thread::scope(|s| {
+            for w in 0..4u32 {
+                let shared = &shared;
+                s.spawn(move || {
+                    for step in 0..500u32 {
+                        let u = (w + step) % 4;
+                        let pos = step % 6;
+                        let neg = (step + 1) % 6;
+                        shared.apply_triple(u, pos, neg, 0.05, 0.01);
+                    }
+                });
+            }
+        });
+        let back = shared.to_mf();
+        assert!(back.sq_norm().is_finite());
+    }
+
+    #[test]
+    fn atomic_embedding_accessors() {
+        let e = Embedding::zeros(2, 3).unwrap();
+        let a = AtomicEmbedding::from_embedding(&e);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.dim(), 3);
+        assert!(!a.is_empty());
+        a.set(1, 2, 7.5);
+        assert_eq!(a.get(1, 2), 7.5);
+        let mut row = vec![0.0f32; 3];
+        a.read_row(1, &mut row);
+        assert_eq!(row, vec![0.0, 0.0, 7.5]);
+    }
+}

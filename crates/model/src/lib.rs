@@ -1,3 +1,5 @@
+#![deny(missing_docs)]
+
 //! # bns-model — recommendation models for the BNS reproduction
 //!
 //! The paper evaluates negative samplers inside two recommendation models
@@ -19,8 +21,11 @@
 //!   paper uses for LightGCN) and SGD hyperparameters.
 //! * [`loss`] — sigmoid / BPR loss / the `info(·)` gradient magnitude of
 //!   Eq. (4).
+//! * [`hogwild`] — lock-free shared MF storage for hogwild-style parallel
+//!   SGD (relaxed-atomic embedding tables behind a safe API).
 
 pub mod embedding;
+pub mod hogwild;
 pub mod lightgcn;
 pub mod loss;
 pub mod mf;
@@ -28,6 +33,7 @@ pub mod optim;
 pub mod scorer;
 
 pub use embedding::Embedding;
+pub use hogwild::{AtomicEmbedding, HogwildMf};
 pub use lightgcn::LightGcn;
 pub use mf::MatrixFactorization;
 pub use optim::{LrSchedule, SgdConfig};

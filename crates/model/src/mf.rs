@@ -45,6 +45,32 @@ impl MatrixFactorization {
         })
     }
 
+    /// Wraps existing user/item embedding tables into a model (used by the
+    /// hogwild storage to convert back after a parallel run).
+    pub fn from_embeddings(users: Embedding, items: Embedding) -> Result<Self> {
+        if users.dim() != items.dim() {
+            return Err(ModelError::ShapeMismatch(format!(
+                "user dim {} != item dim {}",
+                users.dim(),
+                items.dim()
+            )));
+        }
+        if users.is_empty() || items.is_empty() {
+            return Err(ModelError::InvalidConfig("need users and items".into()));
+        }
+        Ok(Self { users, items })
+    }
+
+    /// The full user embedding table.
+    pub fn users(&self) -> &Embedding {
+        &self.users
+    }
+
+    /// The full item embedding table.
+    pub fn items(&self) -> &Embedding {
+        &self.items
+    }
+
     /// User embedding row.
     pub fn user_embedding(&self, u: u32) -> &[f32] {
         self.users.row(u as usize)

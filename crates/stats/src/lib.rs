@@ -1,3 +1,5 @@
+#![deny(missing_docs)]
+
 //! # bns-stats — statistics substrate for the BNS reproduction
 //!
 //! Everything in the paper's probabilistic machinery lives here:

@@ -1,0 +1,123 @@
+//! Equivalence guarantees of the sharded trainer (`bns_core::parallel`).
+//!
+//! Two contracts, matching the `Determinism` switch:
+//!
+//! 1. **Bit-exact**: a 1-thread `ParallelTrainer` in `BitExact` mode must
+//!    reproduce the serial engine's run *exactly* — same stats, same
+//!    per-epoch probe losses, same final rankings, bitwise-equal scores.
+//! 2. **Statistical**: multi-thread hogwild training must reach final
+//!    ranking quality within tolerance of the serial engine on the
+//!    synthetic dataset — hogwild write races perturb individual updates
+//!    but must not degrade convergence.
+
+use bns::core::parallel::{ParallelConfig, ParallelTrainer};
+use bns::core::{build_sampler, train, NoopObserver, SamplerConfig, TrainConfig};
+use bns::data::synthetic::{generate, SyntheticConfig};
+use bns::data::{split_random, Dataset, SplitConfig};
+use bns::eval::evaluate_ranking;
+use bns::model::{MatrixFactorization, Scorer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dataset(n_users: u32, n_items: u32, interactions: usize, seed: u64) -> Dataset {
+    let cfg = SyntheticConfig {
+        n_users,
+        n_items,
+        target_interactions: interactions,
+        seed,
+        ..SyntheticConfig::default()
+    };
+    let synthetic = generate(&cfg).expect("generation succeeds");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xEA5E);
+    let (train_set, test_set) =
+        split_random(&synthetic.interactions, SplitConfig::default(), &mut rng)
+            .expect("split succeeds");
+    Dataset::new("parallel-equivalence", train_set, test_set).expect("valid dataset")
+}
+
+fn model(seed: u64, d: &Dataset) -> MatrixFactorization {
+    let mut rng = StdRng::seed_from_u64(seed);
+    MatrixFactorization::new(d.n_users(), d.n_items(), 8, 0.1, &mut rng).expect("valid model")
+}
+
+#[test]
+fn one_thread_bit_exact_reproduces_serial_trainer() {
+    let d = dataset(40, 80, 1_200, 3);
+    let cfg = TrainConfig::paper_mf(5, 77);
+    for sampler_cfg in [
+        SamplerConfig::Rns,
+        SamplerConfig::Bns {
+            config: bns::core::BnsConfig::default(),
+            prior: bns::core::PriorKind::Popularity,
+        },
+    ] {
+        let mut serial = model(9, &d);
+        let mut s = build_sampler(&sampler_cfg, &d, None).expect("valid sampler");
+        let serial_stats =
+            train(&mut serial, &d, s.as_mut(), &cfg, &mut NoopObserver).expect("serial run");
+
+        let mut parallel = model(9, &d);
+        let trainer = ParallelTrainer::new(cfg, ParallelConfig::bit_exact()).expect("valid config");
+        let parallel_stats = trainer
+            .train(&mut parallel, &d, &sampler_cfg, None, &mut NoopObserver)
+            .expect("bit-exact run");
+
+        let name = sampler_cfg.display_name();
+        assert_eq!(serial_stats.triples, parallel_stats.triples, "{name}");
+        assert_eq!(serial_stats.skipped, parallel_stats.skipped, "{name}");
+        assert_eq!(
+            serial_stats.mean_info_per_epoch, parallel_stats.mean_info_per_epoch,
+            "{name}: per-epoch info curves must be identical"
+        );
+        assert_eq!(
+            serial_stats.posterior_per_epoch, parallel_stats.posterior_per_epoch,
+            "{name}: posterior sufficient statistics must be identical"
+        );
+        for u in 0..d.n_users() {
+            for i in 0..d.n_items() {
+                assert_eq!(
+                    serial.score(u, i).to_bits(),
+                    parallel.score(u, i).to_bits(),
+                    "{name}: score({u}, {i}) diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn hogwild_matches_serial_final_quality_within_tolerance() {
+    // Statistical equivalence on the synthetic dataset: hogwild at 4
+    // shards must land within tolerance of the serial engine's final
+    // NDCG@10. Seeds differ per engine only through shard derivation, so
+    // the comparison is run-to-run noise + hogwild races, which the
+    // epoch budget comfortably dominates.
+    let d = dataset(60, 100, 2_400, 11);
+    let cfg = TrainConfig::paper_mf(25, 5);
+
+    let mut serial = model(1, &d);
+    let mut s = build_sampler(&SamplerConfig::Rns, &d, None).expect("valid sampler");
+    train(&mut serial, &d, s.as_mut(), &cfg, &mut NoopObserver).expect("serial run");
+    let serial_report = evaluate_ranking(&serial, &d, &[10], 2);
+    let serial_ndcg = serial_report.rows[0].ndcg;
+
+    let mut hog = model(1, &d);
+    let trainer = ParallelTrainer::new(cfg, ParallelConfig::hogwild(4)).expect("valid config");
+    let stats = trainer
+        .train(&mut hog, &d, &SamplerConfig::Rns, None, &mut NoopObserver)
+        .expect("hogwild run");
+    assert_eq!(stats.triples, cfg.epochs * d.train().len());
+    let hog_report = evaluate_ranking(&hog, &d, &[10], 2);
+    let hog_ndcg = hog_report.rows[0].ndcg;
+
+    // The serial baseline must have learned something non-trivial for the
+    // comparison to have teeth.
+    assert!(
+        serial_ndcg > 0.05,
+        "serial baseline failed to learn: NDCG@10 = {serial_ndcg}"
+    );
+    assert!(
+        hog_ndcg > 0.7 * serial_ndcg,
+        "hogwild NDCG@10 {hog_ndcg} fell below tolerance of serial {serial_ndcg}"
+    );
+}
