@@ -16,6 +16,14 @@ run cargo test -q --doc --workspace --offline
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets --offline -- -D warnings
 RUSTDOCFLAGS="-D warnings" run cargo doc --no-deps --workspace --offline
+# Compiles every Criterion target (sampler_micro, fused_draw,
+# parallel_scaling, …) without running them.
 run cargo bench --no-run --workspace --offline
+# bench_json smoke at tiny sizes: keeps the machine-readable perf runner
+# from rotting. The committed BENCH_samplers.json is generated at paper
+# scale (defaults: 10k items, d = 32); the smoke writes under target/.
+mkdir -p target
+run cargo run --release --offline -p bns-bench --bin bench_json -- \
+    --users 40 --items 200 --draws 400 --out target/BENCH_smoke.json
 
 echo "CI green."

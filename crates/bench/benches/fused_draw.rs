@@ -1,0 +1,113 @@
+//! Fused vs. pre-fused BNS draw cost — the headline measurement of the
+//! fused-kernel PR.
+//!
+//! `fused` is the production sampler: candidates drawn first, one
+//! `score_items` gather for pos + candidates, then all m Eq. (16) counts
+//! in a single blocked pass over the catalog (unrolled `mul_add` kernels,
+//! no catalog-sized buffer). `unfused` is the seed implementation kept in
+//! [`bns_bench::UnfusedBns`]: scalar `score_all` into an `n_items` buffer
+//! plus one independent ECDF scan per candidate.
+//!
+//! Acceptance gate: at paper-scale dims (d = 32) and n_items ≥ 10k the
+//! fused path must clear **2×** the unfused draws/sec; `bench_json`
+//! records the same comparison into `BENCH_samplers.json`.
+
+use bns_bench::{fixture, UnfusedBns};
+use bns_core::sampler::SampleContext;
+use bns_core::trainer::sample_pair;
+use bns_core::{build_sampler, BnsConfig, PriorKind, SamplerConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn fused_vs_unfused(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bns_fused_vs_unfused");
+    group.sample_size(20);
+    for &n_items in &[2_000u32, 10_000] {
+        let fx = fixture(100, n_items, 23);
+        let train = fx.dataset.train();
+        let pos = train.items_of(0)[0];
+
+        let cfg = SamplerConfig::Bns {
+            config: BnsConfig::default(),
+            prior: PriorKind::Popularity,
+        };
+        let mut sampler = build_sampler(&cfg, &fx.dataset, None).expect("valid sampler");
+        sampler.on_epoch_start(0);
+        let mut user_scores = vec![0.0f32; n_items as usize];
+        let mut rng = StdRng::seed_from_u64(1);
+        group.bench_with_input(BenchmarkId::new("fused", n_items), &n_items, |b, _| {
+            b.iter(|| {
+                black_box(sample_pair(
+                    sampler.as_mut(),
+                    &fx.model,
+                    train,
+                    fx.dataset.popularity(),
+                    &mut user_scores,
+                    0,
+                    pos,
+                    0,
+                    &mut rng,
+                ))
+            })
+        });
+
+        let mut reference = UnfusedBns::new(&fx.dataset);
+        let mut rng = StdRng::seed_from_u64(1);
+        group.bench_with_input(BenchmarkId::new("unfused", n_items), &n_items, |b, _| {
+            b.iter(|| black_box(reference.draw(&fx.model, train, 0, pos, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+/// The same comparison through the gather path only: how much of the win
+/// comes from the kernel vs. from skipping the buffer round-trips.
+fn gemv_kernel_throughput(c: &mut Criterion) {
+    let fx = fixture(100, 10_000, 29);
+    let mut group = c.benchmark_group("score_all_10k_items");
+    group.sample_size(30);
+    let mut out = vec![0.0f32; 10_000];
+    group.bench_function("kernel_gemv", |b| {
+        b.iter(|| {
+            use bns_model::Scorer;
+            fx.model.score_all(0, &mut out);
+            black_box(out[0])
+        })
+    });
+    group.finish();
+}
+
+/// DNS under `ScoreAccess::Candidates`: m gather-dots instead of a full
+/// rating vector — the satellite win of the access refactor.
+fn dns_candidates_access(c: &mut Criterion) {
+    let fx = fixture(100, 10_000, 31);
+    let train = fx.dataset.train();
+    let pos = train.items_of(0)[0];
+    let mut group = c.benchmark_group("dns_draw_10k_items");
+    group.sample_size(30);
+    let mut sampler = build_sampler(&SamplerConfig::Dns { m: 5 }, &fx.dataset, None).unwrap();
+    let mut rng = StdRng::seed_from_u64(2);
+    group.bench_function("gather_only", |b| {
+        b.iter(|| {
+            let ctx = SampleContext {
+                scorer: &fx.model,
+                train,
+                popularity: fx.dataset.popularity(),
+                user_scores: &[],
+                epoch: 0,
+            };
+            black_box(sampler.sample(0, pos, &ctx, &mut rng))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    fused_vs_unfused,
+    gemv_kernel_throughput,
+    dns_candidates_access
+);
+criterion_main!(benches);

@@ -44,6 +44,47 @@ fn samplers() -> Vec<(&'static str, SamplerConfig)> {
     ]
 }
 
+/// The sampler-bound regime at a larger catalog: BNS draws dominate the
+/// epoch, so shard scaling here measures how well the **fused draw**
+/// parallelizes (each worker gathers scores straight from the shared
+/// hogwild tables — no rating-vector buffers anywhere).
+fn bench_parallel_scaling_large_catalog(c: &mut Criterion) {
+    let fx = fixture(64, 2_000, 13);
+    let mut group = c.benchmark_group("parallel_scaling_bns_2k_items");
+    group.sample_size(10);
+    let sampler_cfg = SamplerConfig::Bns {
+        config: BnsConfig::default(),
+        prior: PriorKind::Popularity,
+    };
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("bns_fused/hogwild", threads),
+            &threads,
+            |b, &threads| {
+                let trainer = ParallelTrainer::new(
+                    TrainConfig::paper_mf(1, SEED),
+                    ParallelConfig::hogwild(threads),
+                )
+                .unwrap();
+                b.iter(|| {
+                    let mut model = fx.model.clone();
+                    let stats = trainer
+                        .train(
+                            &mut model,
+                            &fx.dataset,
+                            &sampler_cfg,
+                            None,
+                            &mut NoopObserver,
+                        )
+                        .unwrap();
+                    black_box(stats.triples)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_parallel_scaling(c: &mut Criterion) {
     let fx = fixture(256, 320, 7);
     let mut group = c.benchmark_group("parallel_scaling");
@@ -96,5 +137,9 @@ fn bench_parallel_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_parallel_scaling);
+criterion_group!(
+    benches,
+    bench_parallel_scaling,
+    bench_parallel_scaling_large_catalog
+);
 criterion_main!(benches);

@@ -1,9 +1,13 @@
 //! Sampler micro-benchmarks.
 //!
 //! Validates the paper's §III-D complexity claim: one BNS draw is linear in
-//! the catalog (`time(draw) ∝ n_items` from the ECDF scan), and near-linear
-//! in |Mᵤ| at fixed catalog. Also ablates the exact ECDF against the
-//! subsampled variant and compares per-draw cost across all six samplers.
+//! the catalog (`time(draw) ∝ n_items` from the fused scoring/ECDF pass),
+//! and near-linear in |Mᵤ| at fixed catalog. Also ablates the exact ECDF
+//! against the subsampled variant and compares per-draw cost across all six
+//! samplers. (`user_scores` is precomputed once outside the loops; under
+//! the `ScoreAccess` contract only AOBPR still reads it — the trainer-side
+//! cost of refreshing it per pair is measured by `fused_draw` and
+//! `bench_json`, which go through `sample_pair`.)
 
 use bns_bench::fixture;
 use bns_core::bns::EcdfStrategy;

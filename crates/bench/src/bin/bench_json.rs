@@ -1,0 +1,173 @@
+//! Machine-readable sampler benchmarks → `BENCH_samplers.json`.
+//!
+//! Criterion output is human-oriented; this runner times the same hot
+//! paths with plain `Instant` loops and writes one JSON file so the
+//! repo's perf trajectory can be diffed PR-over-PR:
+//!
+//! * draws/sec for every lineup sampler (RNS / PNS / AOBPR / DNS / SRNS /
+//!   BNS), measured through `sample_pair` so each sampler pays exactly its
+//!   declared `ScoreAccess` cost;
+//! * GEMV items/sec (the `score_all` kernel);
+//! * the fused BNS draw vs. the pre-fused reference
+//!   ([`bns_bench::UnfusedBns`]) and their speedup ratio — the
+//!   acceptance number of the fused-kernel PR (≥ 2× at d = 32,
+//!   n_items ≥ 10k).
+//!
+//! ```sh
+//! cargo run --release -p bns-bench --bin bench_json            # paper scale
+//! cargo run --release -p bns-bench --bin bench_json -- \
+//!     --users 50 --items 200 --draws 500 --out target/smoke.json   # CI smoke
+//! ```
+
+use bns_bench::{fixture, UnfusedBns};
+use bns_core::trainer::sample_pair;
+use bns_core::{build_sampler, SamplerConfig};
+use bns_model::Scorer;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+struct Args {
+    users: u32,
+    items: u32,
+    draws: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        users: 200,
+        items: 10_000,
+        draws: 20_000,
+        out: "BENCH_samplers.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--users" => args.users = value().parse().expect("--users takes a u32"),
+            "--items" => args.items = value().parse().expect("--items takes a u32"),
+            "--draws" => args.draws = value().parse().expect("--draws takes a usize"),
+            "--out" => args.out = value(),
+            other => panic!("unknown flag {other} (expected --users/--items/--draws/--out)"),
+        }
+    }
+    args
+}
+
+/// Times `f` over `n` iterations and returns iterations/sec.
+fn rate(n: usize, mut f: impl FnMut()) -> f64 {
+    let started = Instant::now();
+    for _ in 0..n {
+        f();
+    }
+    n as f64 / started.elapsed().as_secs_f64().max(1e-9)
+}
+
+fn main() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let args = parse_args();
+    let fx = fixture(args.users, args.items, 41);
+    let train = fx.dataset.train();
+    let popularity = fx.dataset.popularity();
+    let pos = train.items_of(0)[0];
+    let n_items = fx.dataset.n_items() as usize;
+    let dim = 32usize; // the fixture's embedding dim (paper §IV-B1)
+
+    // Sampler lineup, each through sample_pair (pays its ScoreAccess cost).
+    let lineup = SamplerConfig::paper_lineup();
+    let mut sampler_rates: Vec<(String, f64)> = Vec::new();
+    for cfg in &lineup {
+        let mut sampler =
+            build_sampler(cfg, &fx.dataset, Some(&fx.occupations)).expect("valid sampler");
+        sampler.on_epoch_start(0);
+        let mut user_scores = vec![0.0f32; n_items];
+        let mut rng = StdRng::seed_from_u64(7);
+        // Warm caches and lazily-initialized sampler state.
+        for _ in 0..args.draws.min(100) {
+            sample_pair(
+                sampler.as_mut(),
+                &fx.model,
+                train,
+                popularity,
+                &mut user_scores,
+                0,
+                pos,
+                0,
+                &mut rng,
+            );
+        }
+        let per_sec = rate(args.draws, || {
+            black_box(sample_pair(
+                sampler.as_mut(),
+                &fx.model,
+                train,
+                popularity,
+                &mut user_scores,
+                0,
+                pos,
+                0,
+                &mut rng,
+            ));
+        });
+        sampler_rates.push((cfg.display_name().to_string(), per_sec));
+    }
+
+    // GEMV throughput: items scored per second by score_all.
+    let gemv_items_per_sec = {
+        let mut out = vec![0.0f32; n_items];
+        let passes = (args.draws / 10).max(10);
+        let passes_per_sec = rate(passes, || {
+            fx.model.score_all(0, &mut out);
+            black_box(out[0]);
+        });
+        passes_per_sec * n_items as f64
+    };
+
+    // Fused vs. pre-fused BNS draw.
+    let fused_per_sec = sampler_rates
+        .iter()
+        .find(|(name, _)| name == "BNS")
+        .map(|&(_, r)| r)
+        .expect("BNS is in the lineup");
+    let unfused_per_sec = {
+        let mut reference = UnfusedBns::new(&fx.dataset);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = (args.draws / 4).max(50);
+        rate(n, || {
+            black_box(reference.draw(&fx.model, train, 0, pos, &mut rng));
+        })
+    };
+    let speedup = fused_per_sec / unfused_per_sec;
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"schema\": 1,");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{ \"n_users\": {}, \"n_items\": {}, \"dim\": {}, \"draws\": {} }},",
+        args.users, args.items, dim, args.draws
+    );
+    let _ = writeln!(json, "  \"samplers_draws_per_sec\": {{");
+    for (k, (name, r)) in sampler_rates.iter().enumerate() {
+        let comma = if k + 1 < sampler_rates.len() { "," } else { "" };
+        let _ = writeln!(json, "    \"{name}\": {r:.1}{comma}");
+    }
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"gemv_items_per_sec\": {gemv_items_per_sec:.1},");
+    let _ = writeln!(json, "  \"bns_ecdf\": {{");
+    let _ = writeln!(json, "    \"fused_draws_per_sec\": {fused_per_sec:.1},");
+    let _ = writeln!(json, "    \"unfused_draws_per_sec\": {unfused_per_sec:.1},");
+    let _ = writeln!(json, "    \"fused_speedup\": {speedup:.3}");
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+
+    std::fs::write(&args.out, &json).expect("writing the benchmark JSON");
+    println!("wrote {}", args.out);
+    print!("{json}");
+}

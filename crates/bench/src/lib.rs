@@ -11,9 +11,20 @@
 //! * `fig_bench`      — miniature regenerations of Figs. 1–5.
 //! * `parallel_scaling` — sharded-trainer throughput at 1/2/4/8 hogwild
 //!   shards vs the serial engine (triples/sec ratios).
+//! * `fused_draw`     — the fused BNS draw against the pre-fused
+//!   reference implementation kept in [`UnfusedBns`].
+//!
+//! The `bench_json` binary (`cargo run -p bns-bench --bin bench_json`)
+//! re-times the sampler lineup without Criterion and writes the results to
+//! `BENCH_samplers.json`, so the repo's perf trajectory is
+//! machine-readable.
 
+use bns_core::bns::prior::{PopularityPrior, Prior};
+use bns_core::bns::risk::selection_value;
+use bns_core::sampler::draw_candidate_set;
 use bns_data::synthetic::{generate, SyntheticConfig};
-use bns_data::{split_random, Dataset, Occupations, SplitConfig};
+use bns_data::{split_random, Dataset, Interactions, Occupations, SplitConfig};
+use bns_model::loss::info;
 use bns_model::MatrixFactorization;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -59,6 +70,91 @@ pub fn fixture(n_users: u32, n_items: u32, seed: u64) -> BenchFixture {
     }
 }
 
+/// The **pre-fused** BNS draw, kept verbatim as the baseline the fused
+/// path is benchmarked against (`fused_draw` bench, `bench_json` runner).
+///
+/// This is what the seed implementation did per draw, including its
+/// sequential (non-unrolled) dot products: materialize the full rating
+/// vector x̂ᵤ into an `n_items` buffer, draw m candidates, then run one
+/// independent Eq. (16) scan over that buffer per candidate and apply the
+/// Eq. (32) min-risk rule. Total traffic: `n·d` scalar MACs + `(m+1)·n`
+/// buffer touches per draw — the cost profile the fused kernel collapses.
+pub struct UnfusedBns {
+    m: usize,
+    lambda: f64,
+    prior: PopularityPrior,
+    scores: Vec<f32>,
+    candidates: Vec<u32>,
+}
+
+impl UnfusedBns {
+    /// Builds the reference sampler (paper defaults: |Mᵤ| = 5, λ = 5,
+    /// Eq. 17 popularity prior) for the given dataset.
+    pub fn new(dataset: &Dataset) -> Self {
+        Self {
+            m: 5,
+            lambda: 5.0,
+            prior: PopularityPrior::new(dataset.popularity()),
+            scores: vec![0.0f32; dataset.n_items() as usize],
+            candidates: Vec::with_capacity(5),
+        }
+    }
+
+    /// The seed's scalar `score_all`: one latency-bound sequential dot per
+    /// item row (the pre-kernel Algorithm 1 line 4).
+    fn scalar_score_all(model: &MatrixFactorization, u: u32, out: &mut [f32]) {
+        let wu = model.user_embedding(u);
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = wu
+                .iter()
+                .zip(model.item_embedding(i as u32))
+                .map(|(a, b)| a * b)
+                .sum();
+        }
+    }
+
+    /// One pre-fused draw for `(u, pos)`; `None` when the user has no
+    /// negatives.
+    pub fn draw(
+        &mut self,
+        model: &MatrixFactorization,
+        train: &Interactions,
+        u: u32,
+        pos: u32,
+        rng: &mut StdRng,
+    ) -> Option<u32> {
+        Self::scalar_score_all(model, u, &mut self.scores);
+        if !draw_candidate_set(train, u, self.m, &mut self.candidates, rng) {
+            return None;
+        }
+        let positives = train.items_of(u);
+        let n_neg = self.scores.len() - positives.len();
+        let score_pos = self.scores[pos as usize];
+        let mut best: Option<(f64, u32)> = None;
+        for &l in &self.candidates {
+            let x = self.scores[l as usize];
+            // Independent Eq. (16) scan per candidate — the m catalog-sized
+            // re-reads the fused pass eliminates.
+            let all_le = self.scores.iter().filter(|&&s| s <= x).count();
+            let pos_le = positives
+                .iter()
+                .filter(|&&p| self.scores[p as usize] <= x)
+                .count();
+            let f_hat = if n_neg == 0 {
+                0.5
+            } else {
+                (all_le - pos_le) as f64 / n_neg as f64
+            };
+            let unb = bns_core::bns::unbias(f_hat, self.prior.p_fn(u, l));
+            let risk = selection_value(info(score_pos, x) as f64, unb, self.lambda);
+            if best.map(|(r, _)| risk < r).unwrap_or(true) {
+                best = Some((risk, l));
+            }
+        }
+        best.map(|(_, l)| l)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -69,5 +165,18 @@ mod tests {
         assert_eq!(f.dataset.n_users(), 40);
         assert_eq!(f.dataset.n_items(), 80);
         assert!(!f.dataset.train().is_empty());
+    }
+
+    #[test]
+    fn unfused_reference_draws_valid_negatives() {
+        let f = fixture(30, 60, 2);
+        let mut reference = UnfusedBns::new(&f.dataset);
+        let mut rng = StdRng::seed_from_u64(3);
+        let train = f.dataset.train();
+        let pos = train.items_of(0)[0];
+        for _ in 0..200 {
+            let j = reference.draw(&f.model, train, 0, pos, &mut rng).unwrap();
+            assert!(!train.contains(0, j), "reference sampled a positive");
+        }
     }
 }

@@ -11,7 +11,7 @@
 //! exact. The λ parameter is expressed as a fraction of the catalog so the
 //! same config transfers across dataset scales.
 
-use crate::sampler::{NegativeSampler, SampleContext};
+use crate::sampler::{NegativeSampler, SampleContext, ScoreAccess};
 use crate::{CoreError, Result};
 use bns_stats::dist::{Continuous, Exponential};
 
@@ -92,8 +92,10 @@ impl NegativeSampler for Aobpr {
         Some(idx.1)
     }
 
-    fn needs_user_scores(&self) -> bool {
-        true
+    fn score_access(&self) -> ScoreAccess {
+        // Rank-`r` selection is global: it genuinely needs every score of
+        // the user (Algorithm 1 line 4), unlike the candidate samplers.
+        ScoreAccess::Full
     }
 }
 

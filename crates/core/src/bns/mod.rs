@@ -13,9 +13,22 @@
 //! 3. select `j = argmin info(l)·[1 − (1+λ)·unbias(l)]` (Eq. 32), or
 //!    `argmax unbias(l)` under the posterior criterion of Eq. (35).
 //!
-//! Each candidate costs `O(|I|)` for the ECDF scan, so one draw is linear
-//! in the catalog — the paper's complexity claim, benchmarked in
-//! `crates/bench/benches/sampler_micro.rs`.
+//! # The fused draw
+//!
+//! The paper's Algorithm 1 (and this module's original implementation)
+//! computes the full rating vector x̂ᵤ per pair and then runs one `O(|I|)`
+//! ECDF scan per candidate — six passes of catalog-sized memory traffic
+//! per draw. The implementation here collapses that to **one blocked pass**:
+//! candidates are drawn first, `pos` and the candidates are scored with a
+//! single [`Scorer::score_items`] gather, and all m ECDF counts of Eq. (16)
+//! are produced by [`fused_ecdf_counts`] — each catalog item is scored once
+//! (in L1-resident blocks, via the unrolled kernels of
+//! `bns_model::kernel`) and compared against all m candidate thresholds
+//! in-register. No `n_items`-sized buffer is ever written or re-read. One
+//! draw is still linear in the catalog — the paper's complexity claim —
+//! but touches each item-embedding row exactly once
+//! (`crates/bench/benches/fused_draw.rs` measures the speedup against the
+//! pre-fused reference).
 
 pub mod prior;
 pub mod risk;
@@ -28,10 +41,130 @@ pub use schedule::LambdaSchedule;
 pub use suffstats::PosteriorStats;
 pub use unbias::unbias;
 
-use crate::sampler::{draw_candidate_set, draw_uniform_negative, NegativeSampler, SampleContext};
+use crate::sampler::{
+    draw_candidate_set, draw_uniform_negative, NegativeSampler, SampleContext, ScoreAccess,
+};
 use crate::{CoreError, Result};
+use bns_data::Interactions;
 use bns_model::loss::info;
+use bns_model::Scorer;
 use serde::{Deserialize, Serialize};
+
+/// Items scored per block of the fused ECDF pass. 256 scores = 1 KiB —
+/// resident in L1 while the m threshold comparisons run over it.
+const ECDF_BLOCK: usize = 256;
+
+/// Reusable scratch for [`fused_ecdf_counts`] (the block of item ids being
+/// scored and their scores). Steady-state allocation-free: capacity is
+/// bounded by `ECDF_BLOCK` (256) after the first pass.
+#[derive(Debug, Default)]
+pub struct EcdfScratch {
+    ids: Vec<u32>,
+    scores: Vec<f32>,
+}
+
+impl EcdfScratch {
+    /// Scores the pending block and folds it into the threshold counters.
+    fn flush(&mut self, scorer: &dyn Scorer, u: u32, thresholds: &[f32], counts: &mut [u32]) {
+        if self.ids.is_empty() {
+            return;
+        }
+        self.scores.clear();
+        self.scores.resize(self.ids.len(), 0.0);
+        scorer.score_items(u, &self.ids, &mut self.scores);
+        // Block scores stay in L1; each threshold streams over them with a
+        // branchless compare-accumulate.
+        for (count, &t) in counts.iter_mut().zip(thresholds) {
+            let mut c = 0u32;
+            for &s in &self.scores {
+                c += u32::from(s <= t);
+            }
+            *count += c;
+        }
+        self.ids.clear();
+    }
+}
+
+/// All m empirical-cdf counts of Eq. (16) in **one** blocked pass over the
+/// catalog.
+///
+/// Fills `counts[c] = #{scanned items with x̂ᵤᵢ ≤ thresholds[c]}` and
+/// returns the number of items scanned (the cdf denominator):
+///
+/// * [`EcdfStrategy::Exact`] scans exactly the user's un-interacted items
+///   `I⁻ᵤ` (training positives are skipped during the walk), returning
+///   `|I⁻ᵤ|` — the exact Eq. (16) numerators and denominator.
+/// * [`EcdfStrategy::Subsample`] scans a fixed-stride subsample of the
+///   whole catalog (positives included, as in the original subsampled
+///   scan — the DKW error dominates the positive contamination) and
+///   returns the subsample size.
+///
+/// Items are scored through [`Scorer::score_items`] in `ECDF_BLOCK`-sized (256-item)
+/// blocks and compared against all thresholds while the block is hot, so
+/// no catalog-sized buffer exists anywhere. Scores are bitwise identical
+/// to `score`/`score_all` (the kernel contract), which keeps these counts
+/// exactly equal to m independent scans of a precomputed rating vector —
+/// property-tested in `tests/proptests.rs`.
+///
+/// # Panics
+///
+/// Panics on `EcdfStrategy::Subsample(0)` — a zero-size subsample has no
+/// meaning (`BnsConfig` validation rejects it before a sampler is built;
+/// direct callers of this standalone entry point get the same contract).
+pub fn fused_ecdf_counts(
+    strategy: EcdfStrategy,
+    scorer: &dyn Scorer,
+    train: &Interactions,
+    u: u32,
+    thresholds: &[f32],
+    counts: &mut Vec<u32>,
+    scratch: &mut EcdfScratch,
+) -> usize {
+    counts.clear();
+    counts.resize(thresholds.len(), 0);
+    scratch.ids.clear();
+    let n_items = train.n_items();
+    let exact = match strategy {
+        EcdfStrategy::Exact => true,
+        // A subsample at least as large as the catalog is the exact scan.
+        EcdfStrategy::Subsample(k) => k >= n_items as usize,
+    };
+    let mut scanned = 0usize;
+    if exact {
+        let positives = train.items_of(u);
+        let mut pos_idx = 0usize;
+        for i in 0..n_items {
+            if pos_idx < positives.len() && positives[pos_idx] == i {
+                pos_idx += 1;
+                continue;
+            }
+            scratch.ids.push(i);
+            scanned += 1;
+            if scratch.ids.len() == ECDF_BLOCK {
+                scratch.flush(scorer, u, thresholds, counts);
+            }
+        }
+    } else {
+        let EcdfStrategy::Subsample(k) = strategy else {
+            unreachable!("non-exact strategy is Subsample");
+        };
+        // Fixed-stride subsample: deterministic, cache-friendly and
+        // unbiased for exchangeable score layouts.
+        assert!(k > 0, "ECDF subsample size must be > 0");
+        let stride = (n_items as usize).div_ceil(k) as u32;
+        let mut i = 0u32;
+        while i < n_items {
+            scratch.ids.push(i);
+            scanned += 1;
+            if scratch.ids.len() == ECDF_BLOCK {
+                scratch.flush(scorer, u, thresholds, counts);
+            }
+            i += stride;
+        }
+    }
+    scratch.flush(scorer, u, thresholds, counts);
+    scanned
+}
 
 /// Which selection rule to apply over the candidate set.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -169,6 +302,14 @@ pub struct BnsSampler {
     candidates: Vec<u32>,
     display_name: String,
     epoch_stats: PosteriorStats,
+    /// `[pos, candidates…]` of the current draw (one gather-dot input).
+    gather_ids: Vec<u32>,
+    /// Scores matching `gather_ids`.
+    gather_scores: Vec<f32>,
+    /// Per-candidate ECDF counts from the fused pass.
+    ecdf_counts: Vec<u32>,
+    /// Block scratch of the fused pass.
+    ecdf_scratch: EcdfScratch,
 }
 
 impl BnsSampler {
@@ -184,6 +325,10 @@ impl BnsSampler {
             candidates: Vec::new(),
             display_name,
             epoch_stats: PosteriorStats::default(),
+            gather_ids: Vec::new(),
+            gather_scores: Vec::new(),
+            ecdf_counts: Vec::new(),
+            ecdf_scratch: EcdfScratch::default(),
         })
     }
 
@@ -198,60 +343,33 @@ impl BnsSampler {
     }
 
     /// Empirical cdf value of `x` among user `u`'s un-interacted items
-    /// (Eq. 16), computed from the precomputed score vector:
-    /// `F = (#{all scores ≤ x} − #{positive scores ≤ x}) / |I⁻ᵤ|`.
+    /// (Eq. 16), via a one-threshold [`fused_ecdf_counts`] pass. Diagnostic
+    /// path (allocates local scratch); the sampling hot path batches all m
+    /// thresholds into a single pass instead.
     fn likelihood_f(&self, u: u32, x: f32, ctx: &SampleContext<'_>) -> f64 {
-        let scores = ctx.user_scores;
-        debug_assert!(!scores.is_empty(), "BNS requires the user score vector");
-        let positives = ctx.train.items_of(u);
-
-        let (count_all, scanned) = match self.config.ecdf {
-            EcdfStrategy::Exact => {
-                let c = scores.iter().filter(|&&s| s <= x).count();
-                (c, scores.len())
-            }
-            EcdfStrategy::Subsample(k) if k >= scores.len() => {
-                let c = scores.iter().filter(|&&s| s <= x).count();
-                (c, scores.len())
-            }
-            EcdfStrategy::Subsample(k) => {
-                // Fixed-stride subsample: deterministic, cache-friendly and
-                // unbiased for exchangeable score layouts.
-                let stride = scores.len().div_ceil(k);
-                let mut c = 0usize;
-                let mut n = 0usize;
-                let mut idx = 0usize;
-                while idx < scores.len() {
-                    if scores[idx] <= x {
-                        c += 1;
-                    }
-                    n += 1;
-                    idx += stride;
-                }
-                (c, n)
-            }
-        };
-
-        if scanned == scores.len() {
-            // Exact path: remove the user's positives from the count.
-            let pos_le = positives
-                .iter()
-                .filter(|&&p| scores[p as usize] <= x)
-                .count();
-            let n_neg = scores.len() - positives.len();
-            if n_neg == 0 {
-                return 0.5;
-            }
-            (count_all - pos_le) as f64 / n_neg as f64
-        } else {
-            // Subsampled path: positives are a vanishing fraction; the DKW
-            // error of the subsample dominates the positive contamination.
-            count_all as f64 / scanned as f64
+        let mut counts = Vec::new();
+        let mut scratch = EcdfScratch::default();
+        let scanned = fused_ecdf_counts(
+            self.config.ecdf,
+            ctx.scorer,
+            ctx.train,
+            u,
+            &[x],
+            &mut counts,
+            &mut scratch,
+        );
+        if scanned == 0 {
+            return 0.5;
         }
+        counts[0] as f64 / scanned as f64
     }
 
     /// Evaluates the full signal vector for one candidate (used by the
     /// harness to reproduce Fig. 3/4 and by the tests below).
+    ///
+    /// Scores come from [`Scorer::score_items`] — bitwise identical to the
+    /// fused sampling path, so brute-force argmins over this method agree
+    /// with [`NegativeSampler::sample`] exactly.
     pub fn evaluate_candidate(
         &self,
         u: u32,
@@ -259,10 +377,10 @@ impl BnsSampler {
         item: u32,
         ctx: &SampleContext<'_>,
     ) -> CandidateSignal {
-        let score_pos = ctx.user_scores[pos as usize];
-        let score_neg = ctx.user_scores[item as usize];
-        let info = info(score_pos, score_neg) as f64;
-        let f_hat = self.likelihood_f(u, score_neg, ctx);
+        let mut pair = [0.0f32; 2];
+        ctx.scorer.score_items(u, &[pos, item], &mut pair);
+        let info = info(pair[0], pair[1]) as f64;
+        let f_hat = self.likelihood_f(u, pair[1], ctx);
         let p_fn = self.prior.p_fn(u, item);
         let unb = unbias(f_hat, p_fn);
         let risk =
@@ -275,28 +393,6 @@ impl BnsSampler {
             unbias: unb,
             risk,
         }
-    }
-
-    /// Evaluates every candidate and keeps the one `replace` prefers,
-    /// returning its full signal vector (recorded into the epoch's
-    /// [`PosteriorStats`] by the caller).
-    fn select_by(
-        &self,
-        u: u32,
-        pos: u32,
-        candidates: &[u32],
-        ctx: &SampleContext<'_>,
-        replace: impl Fn(&CandidateSignal, &CandidateSignal) -> bool,
-    ) -> Option<CandidateSignal> {
-        let mut best: Option<CandidateSignal> = None;
-        for &l in candidates {
-            let signal = self.evaluate_candidate(u, pos, l, ctx);
-            match &best {
-                Some(b) if !replace(&signal, b) => {}
-                _ => best = Some(signal),
-            }
-        }
-        best
     }
 
     /// Fills `self.candidates` with the candidate set: either `m` uniform
@@ -351,47 +447,102 @@ impl NegativeSampler for BnsSampler {
         if !self.fill_candidates(u, ctx, rng) {
             return None;
         }
-        let candidates = std::mem::take(&mut self.candidates);
+
+        // Score pos + candidates in one gather-dot, then produce all m
+        // ECDF counts in one blocked pass over the catalog — the fused
+        // draw described at the module level.
+        self.gather_ids.clear();
+        self.gather_ids.push(pos);
+        self.gather_ids.extend_from_slice(&self.candidates);
+        self.gather_scores.clear();
+        self.gather_scores.resize(self.gather_ids.len(), 0.0);
+        ctx.scorer
+            .score_items(u, &self.gather_ids, &mut self.gather_scores);
+        let score_pos = self.gather_scores[0];
+        let cand_scores = &self.gather_scores[1..];
+        let scanned = fused_ecdf_counts(
+            self.config.ecdf,
+            ctx.scorer,
+            ctx.train,
+            u,
+            cand_scores,
+            &mut self.ecdf_counts,
+            &mut self.ecdf_scratch,
+        );
+
+        // Which signal drives the selection, and in which direction.
+        enum Rule {
+            MinRisk,
+            MaxUnbias,
+            MaxInfo,
+        }
+        let rule = match self.config.criterion {
+            Criterion::MinRisk => Rule::MinRisk,
+            Criterion::PosteriorMax => Rule::MaxUnbias,
+            Criterion::ExploreExploit { epsilon } => {
+                // Draw the coin from the shared RNG for reproducibility.
+                let coin: f64 = rand::Rng::random_range(rng, 0.0..1.0);
+                if coin < epsilon {
+                    Rule::MaxInfo
+                } else {
+                    Rule::MinRisk
+                }
+            }
+        };
+
         // Tie-breaking matches `Iterator::min_by` / `max_by`: keep the
         // *first* minimal element, the *last* maximal one. The repro guard
         // pins this bit-for-bit.
         let keep_min = |a: f64, b: f64| a.partial_cmp(&b).expect("finite signal").is_lt();
         let keep_max = |a: f64, b: f64| a.partial_cmp(&b).expect("finite signal").is_ge();
-        let selected = match self.config.criterion {
-            Criterion::MinRisk => self.select_by(u, pos, &candidates, ctx, |s, best| {
-                keep_min(s.risk, best.risk)
-            }),
-            Criterion::PosteriorMax => self.select_by(u, pos, &candidates, ctx, |s, best| {
-                keep_max(s.unbias, best.unbias)
-            }),
-            Criterion::ExploreExploit { epsilon } => {
-                let explore = {
-                    // Draw the coin from the shared RNG for reproducibility.
-                    let coin: f64 = rand::Rng::random_range(rng, 0.0..1.0);
-                    coin < epsilon
-                };
-                if explore {
-                    self.select_by(u, pos, &candidates, ctx, |s, best| {
-                        keep_max(s.info, best.info)
-                    })
-                } else {
-                    self.select_by(u, pos, &candidates, ctx, |s, best| {
-                        keep_min(s.risk, best.risk)
-                    })
-                }
+        let mut best: Option<CandidateSignal> = None;
+        for (slot, &item) in self.candidates.iter().enumerate() {
+            let score_neg = cand_scores[slot];
+            let info = info(score_pos, score_neg) as f64;
+            let f_hat = if scanned == 0 {
+                0.5
+            } else {
+                self.ecdf_counts[slot] as f64 / scanned as f64
+            };
+            let p_fn = self.prior.p_fn(u, item);
+            let unb = unbias(f_hat, p_fn);
+            let risk =
+                risk::selection_value_ordered(info, unb, self.lambda_now, self.config.risk_order);
+            let signal = CandidateSignal {
+                item,
+                info,
+                f_hat,
+                p_fn,
+                unbias: unb,
+                risk,
+            };
+            let replace = match &best {
+                None => true,
+                Some(b) => match rule {
+                    Rule::MinRisk => keep_min(signal.risk, b.risk),
+                    Rule::MaxUnbias => keep_max(signal.unbias, b.unbias),
+                    Rule::MaxInfo => keep_max(signal.info, b.info),
+                },
+            };
+            if replace {
+                best = Some(signal);
             }
-        };
-        self.candidates = candidates;
-        if let Some(signal) = selected {
-            self.epoch_stats.record(&signal);
         }
-        selected.map(|s| s.item)
+
+        if let Some(signal) = &best {
+            self.epoch_stats.record(signal);
+        }
+        best.map(|s| s.item)
     }
 
-    fn needs_user_scores(&self) -> bool {
-        // During BNS-2 warmup the draws are uniform, so the trainer can
-        // skip the score-vector computation entirely.
-        self.epoch >= self.config.warmup_epochs
+    fn score_access(&self) -> ScoreAccess {
+        // During BNS-2 warmup the draws are uniform and need no scores at
+        // all; afterwards the fused draw gathers exactly what it needs.
+        if self.epoch < self.config.warmup_epochs {
+            ScoreAccess::None
+        } else {
+            ScoreAccess::Candidates
+        }
     }
 
     fn on_epoch_start(&mut self, epoch: usize) {

@@ -102,8 +102,10 @@ pub fn train_contrastive(
     let popularity = dataset.popularity();
     let mut pairs: Vec<(u32, u32)> = train_set.iter_pairs().collect();
     let mut rng = StdRng::seed_from_u64(config.seed);
+    // Rating-vector buffer, grown only if the sampler ever asks for
+    // ScoreAccess::Full (mirrors `trainer::sample_pair`).
     let n_items = train_set.n_items() as usize;
-    let mut user_scores = vec![0.0f32; n_items];
+    let mut user_scores: Vec<f32> = Vec::new();
     let mut negs: Vec<u32> = Vec::with_capacity(config.k_negatives);
 
     let mut stats = ContrastiveStats {
@@ -118,8 +120,9 @@ pub fn train_contrastive(
         let mut loss_sum = 0.0f64;
         let mut loss_count = 0usize;
         for &(u, pos) in &pairs {
-            let wants_scores = sampler.needs_user_scores();
-            if wants_scores {
+            let full = sampler.score_access() == crate::sampler::ScoreAccess::Full;
+            if full {
+                user_scores.resize(n_items, 0.0);
                 model.score_all(u, &mut user_scores);
             }
             negs.clear();
@@ -128,7 +131,7 @@ pub fn train_contrastive(
                     scorer: model as &dyn Scorer,
                     train: train_set,
                     popularity,
-                    user_scores: if wants_scores { &user_scores } else { &[] },
+                    user_scores: if full { &user_scores } else { &[] },
                     epoch,
                 };
                 for _ in 0..config.k_negatives {

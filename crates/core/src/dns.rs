@@ -7,7 +7,7 @@
 //! non-informative prior, because `F(x̂)` and ranking position are in
 //! one-to-one correspondence.
 
-use crate::sampler::{draw_candidate_set, NegativeSampler, SampleContext};
+use crate::sampler::{draw_candidate_set, NegativeSampler, SampleContext, ScoreAccess};
 use crate::{CoreError, Result};
 
 /// Max-score-of-candidates sampler.
@@ -15,6 +15,7 @@ use crate::{CoreError, Result};
 pub struct Dns {
     m: usize,
     candidates: Vec<u32>,
+    scores: Vec<f32>,
 }
 
 impl Dns {
@@ -28,6 +29,7 @@ impl Dns {
         Ok(Self {
             m,
             candidates: Vec::with_capacity(m),
+            scores: Vec::with_capacity(m),
         })
     }
 
@@ -52,16 +54,28 @@ impl NegativeSampler for Dns {
         if !draw_candidate_set(ctx.train, u, self.m, &mut self.candidates, rng) {
             return None;
         }
-        debug_assert_eq!(ctx.user_scores.len(), ctx.n_items() as usize);
-        self.candidates.iter().copied().max_by(|&a, &b| {
-            ctx.user_scores[a as usize]
-                .partial_cmp(&ctx.user_scores[b as usize])
+        // Score only the m candidates (one gather-dot) instead of the whole
+        // catalog: O(m·d) per draw where the score_all path was O(n·d).
+        self.scores.clear();
+        self.scores.resize(self.candidates.len(), 0.0);
+        ctx.scorer
+            .score_items(u, &self.candidates, &mut self.scores);
+        // `max_by` tie semantics of the pre-gather implementation: keep the
+        // *last* maximal candidate.
+        let mut best = 0usize;
+        for (slot, &s) in self.scores.iter().enumerate().skip(1) {
+            if s.partial_cmp(&self.scores[best])
                 .expect("scores are finite")
-        })
+                .is_ge()
+            {
+                best = slot;
+            }
+        }
+        Some(self.candidates[best])
     }
 
-    fn needs_user_scores(&self) -> bool {
-        true
+    fn score_access(&self) -> ScoreAccess {
+        ScoreAccess::Candidates
     }
 }
 

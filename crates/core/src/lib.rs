@@ -6,7 +6,8 @@
 //! (§IV-A2):
 //!
 //! * [`sampler`] — the [`NegativeSampler`] trait, the per-call
-//!   [`SampleContext`], and the shared uniform candidate-drawing helper.
+//!   [`SampleContext`], the [`ScoreAccess`] cost contract, and the shared
+//!   uniform candidate-drawing helper.
 //! * [`rns`] — Random Negative Sampling (uniform; BPR's default).
 //! * [`pns`] — Popularity-biased Negative Sampling (`∝ r^0.75`).
 //! * [`aobpr`] — Adaptive Oversampling BPR (rank-exponential; Rendle &
@@ -46,7 +47,7 @@ pub use bns::{BnsConfig, BnsSampler, Criterion, LambdaSchedule, PosteriorStats, 
 pub use contrastive::{train_contrastive, ContrastiveConfig, ContrastiveStats};
 pub use factory::{build_sampler, SamplerConfig};
 pub use parallel::{Determinism, ParallelConfig, ParallelTrainer};
-pub use sampler::{NegativeSampler, SampleContext};
+pub use sampler::{NegativeSampler, SampleContext, ScoreAccess};
 pub use trainer::{train, NoopObserver, TrainConfig, TrainObserver, TrainStats};
 
 /// Errors produced by samplers and the trainer.

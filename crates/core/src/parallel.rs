@@ -11,7 +11,10 @@
 //! * its **own negative-sampler instance** built from the shared
 //!   [`SamplerConfig`], so stateful samplers (SRNS memory, BNS λ/posterior
 //!   accumulators) never need locks;
-//! * a private score buffer for Algorithm 1's rating vector `x̂ᵤ`.
+//! * a private score buffer for Algorithm 1's rating vector `x̂ᵤ`, filled
+//!   only for `ScoreAccess::Full` samplers (AOBPR); `Candidates` samplers
+//!   such as the fused BNS draw gather their scores straight from the
+//!   shared hogwild tables through `Scorer::score_items`.
 //!
 //! Sharding by user makes user-embedding updates race-free (each user row
 //! has exactly one writer); item rows are shared and updated with the
@@ -231,7 +234,6 @@ impl ParallelTrainer {
         let threads = self.parallel.threads;
         let train_set = dataset.train();
         let popularity = dataset.popularity();
-        let n_items = train_set.n_items() as usize;
         let epochs = config.epochs;
 
         // User-sharded pair lists: shard w owns every user ≡ w (mod T), so
@@ -283,7 +285,11 @@ impl ParallelTrainer {
                     let mut rng = StdRng::seed_from_u64(worker_seed(config.seed, w));
                     let mut sampler = build_sampler(sampler_cfg, dataset, occupations)
                         .expect("sampler config validated by the coordinator");
-                    let mut user_scores = vec![0.0f32; n_items];
+                    // Rating-vector buffer; grown and written by
+                    // `sample_pair` only under ScoreAccess::Full, so
+                    // None/Candidates shards never hold a catalog-sized
+                    // allocation.
+                    let mut user_scores: Vec<f32> = Vec::new();
                     for epoch in 0..epochs {
                         if !poisoned.load(Ordering::Acquire) {
                             let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {

@@ -9,7 +9,7 @@
 //! the paper finds PNS *underperforms* RNS (it concentrates negative
 //! gradient on popular items, which are disproportionately false negatives).
 
-use crate::sampler::{NegativeSampler, SampleContext};
+use crate::sampler::{NegativeSampler, SampleContext, ScoreAccess};
 use crate::{CoreError, Result};
 use bns_data::Popularity;
 use bns_stats::AliasTable;
@@ -56,8 +56,8 @@ impl NegativeSampler for Pns {
         crate::sampler::draw_uniform_negative(ctx.train, u, rng)
     }
 
-    fn needs_user_scores(&self) -> bool {
-        false
+    fn score_access(&self) -> ScoreAccess {
+        ScoreAccess::None
     }
 }
 

@@ -5,7 +5,7 @@
 //! un-interacted item is a true negative, which biases training whenever a
 //! false negative is drawn.
 
-use crate::sampler::{draw_uniform_negative, NegativeSampler, SampleContext};
+use crate::sampler::{draw_uniform_negative, NegativeSampler, SampleContext, ScoreAccess};
 
 /// Uniform negative sampler.
 #[derive(Debug, Clone, Copy, Default)]
@@ -26,8 +26,8 @@ impl NegativeSampler for Rns {
         draw_uniform_negative(ctx.train, u, rng)
     }
 
-    fn needs_user_scores(&self) -> bool {
-        false
+    fn score_access(&self) -> ScoreAccess {
+        ScoreAccess::None
     }
 }
 
@@ -58,6 +58,6 @@ mod tests {
             assert!(matches!(j, 1 | 3 | 4));
         }
         assert_eq!(rns.name(), "RNS");
-        assert!(!rns.needs_user_scores());
+        assert_eq!(rns.score_access(), ScoreAccess::None);
     }
 }

@@ -2,13 +2,32 @@
 //!
 //! A sampler receives a `(user, positive)` pair plus read-only model/data
 //! context and returns one negative item `j ∈ I⁻ᵤ` for the training triple
-//! `(u, i, j)` of the paper's Eq. (1). The trainer precomputes the user's
-//! full score vector (Algorithm 1 line 4, "get rating vector x̂ᵤ") for
-//! samplers that declare they need it.
+//! `(u, i, j)` of the paper's Eq. (1). Each sampler declares, via
+//! [`NegativeSampler::score_access`], how much of the model it reads per
+//! draw: nothing, a few gathered items, or the full rating vector of
+//! Algorithm 1 line 4 — and the trainer pays exactly that cost, no more.
 
 use bns_data::{Interactions, Popularity};
 use bns_model::Scorer;
 use rand::Rng;
+
+/// How much score access a sampler needs per draw — the contract that lets
+/// the trainer skip Algorithm 1 line 4 ("get rating vector x̂ᵤ") whenever
+/// the sampler can do with less.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScoreAccess {
+    /// No model scores at all. Static samplers (RNS, PNS) are
+    /// model-independent exactly as in the paper; the trainer performs
+    /// **zero** scoring work for them.
+    None,
+    /// Scores of a few specific items, fetched by the sampler itself via
+    /// [`Scorer::score_items`] (DNS/SRNS candidates, the fused BNS draw).
+    /// The trainer precomputes nothing.
+    Candidates,
+    /// The full rating vector x̂ᵤ, precomputed by the trainer into
+    /// [`SampleContext::user_scores`] (AOBPR's global-rank lookup).
+    Full,
+}
 
 /// Read-only context handed to a sampler for each draw.
 pub struct SampleContext<'a> {
@@ -19,8 +38,9 @@ pub struct SampleContext<'a> {
     /// Training-set item popularity.
     pub popularity: &'a Popularity,
     /// User `u`'s predicted scores for every item, when the sampler's
-    /// [`NegativeSampler::needs_user_scores`] returned `true`; empty slice
-    /// otherwise.
+    /// [`NegativeSampler::score_access`] returned [`ScoreAccess::Full`];
+    /// empty slice otherwise. `Candidates` samplers score what they need
+    /// through [`SampleContext::scorer`] instead.
     pub user_scores: &'a [f32],
     /// Current 0-based training epoch.
     pub epoch: usize,
@@ -59,11 +79,11 @@ pub trait NegativeSampler {
         rng: &mut dyn rand::RngCore,
     ) -> Option<u32>;
 
-    /// Whether the trainer should precompute the user's full score vector
-    /// before calling [`NegativeSampler::sample`]. Static samplers (RNS,
-    /// PNS) return `false` and skip that cost, exactly as in the paper
-    /// where they are model-independent.
-    fn needs_user_scores(&self) -> bool;
+    /// The score access this sampler needs for its next draw (may vary
+    /// with sampler state — BNS needs none during its warm-up epochs).
+    /// The trainer precomputes the full rating vector only for
+    /// [`ScoreAccess::Full`].
+    fn score_access(&self) -> ScoreAccess;
 
     /// Hook called at the start of every epoch, before any sampling.
     fn on_epoch_start(&mut self, _epoch: usize) {}

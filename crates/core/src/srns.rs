@@ -16,7 +16,7 @@
 //! §IV-B2 notes the "linear average operation of SRNS … may weaken its
 //! effectiveness" — reproduced here by the same linear combination.
 
-use crate::sampler::{draw_uniform_negative, NegativeSampler, SampleContext};
+use crate::sampler::{draw_uniform_negative, NegativeSampler, SampleContext, ScoreAccess};
 use crate::{CoreError, Result};
 use bns_stats::Welford;
 use rand::Rng;
@@ -40,6 +40,8 @@ pub struct Srns {
     /// Probability of refreshing one memory slot after a draw.
     refresh_prob: f64,
     memories: Vec<Option<UserMemory>>,
+    /// Reusable buffer for the S₁ memory-item scores of the current draw.
+    score_scratch: Vec<f32>,
 }
 
 impl Srns {
@@ -67,6 +69,7 @@ impl Srns {
             alpha,
             refresh_prob,
             memories: Vec::new(),
+            score_scratch: Vec::with_capacity(s1),
         })
     }
 
@@ -108,17 +111,22 @@ impl NegativeSampler for Srns {
         ctx: &SampleContext<'_>,
         rng: &mut dyn rand::RngCore,
     ) -> Option<u32> {
-        debug_assert_eq!(ctx.user_scores.len(), ctx.n_items() as usize);
         let sample_size = self.sample_size;
         let alpha = self.alpha;
         let refresh_prob = self.refresh_prob;
         let memory_size = self.memory_size;
-        // Split borrows: copy scores we need before taking &mut memory.
-        let mem = self.memory_for(u, ctx, rng)?;
+        self.memory_for(u, ctx, rng)?;
+        let mem = self.memories[u as usize].as_mut().expect("just ensured");
 
-        // Update running statistics with the current scores.
-        for (slot, &item) in mem.items.iter().enumerate() {
-            mem.stats[slot].push(ctx.user_scores[item as usize] as f64);
+        // Score only the S₁ memory items (one gather-dot; the score_all
+        // path paid O(n·d) for the same S₁ reads) and update the running
+        // variance statistics.
+        self.score_scratch.clear();
+        self.score_scratch.resize(mem.items.len(), 0.0);
+        ctx.scorer
+            .score_items(u, &mem.items, &mut self.score_scratch);
+        for (stat, &s) in mem.stats.iter_mut().zip(&self.score_scratch) {
+            stat.push(s as f64);
         }
 
         // Examine S₂ random slots; pick argmax score + α·std.
@@ -126,7 +134,7 @@ impl NegativeSampler for Srns {
         for _ in 0..sample_size {
             let slot = rng.random_range(0..memory_size);
             let item = mem.items[slot];
-            let value = ctx.user_scores[item as usize] as f64 + alpha * mem.stats[slot].std_dev();
+            let value = self.score_scratch[slot] as f64 + alpha * mem.stats[slot].std_dev();
             if best.map(|(v, _)| value > v).unwrap_or(true) {
                 best = Some((value, item));
             }
@@ -143,8 +151,8 @@ impl NegativeSampler for Srns {
         best.map(|(_, item)| item)
     }
 
-    fn needs_user_scores(&self) -> bool {
-        true
+    fn score_access(&self) -> ScoreAccess {
+        ScoreAccess::Candidates
     }
 }
 

@@ -15,7 +15,7 @@
 //! only in how updates are applied.
 
 use crate::bns::PosteriorStats;
-use crate::sampler::{NegativeSampler, SampleContext};
+use crate::sampler::{NegativeSampler, SampleContext, ScoreAccess};
 use crate::{CoreError, Result};
 use bns_data::{Dataset, Interactions, Popularity};
 use bns_model::{PairwiseModel, Scorer};
@@ -132,33 +132,40 @@ pub struct TrainStats {
 }
 
 /// Algorithm 1 lines 4–13 for one `(u, pos)` pair: refresh the user's
-/// rating vector `x̂ᵤ` when the sampler wants it, then draw one negative.
+/// rating vector `x̂ᵤ` when the sampler asks for [`ScoreAccess::Full`],
+/// then draw one negative.
 ///
 /// Shared verbatim between the serial loop below and each worker of the
 /// sharded engine in [`crate::parallel`], so the two paths cannot drift.
-/// `user_scores` must have length `train.n_items()`; it is overwritten
-/// only when [`NegativeSampler::needs_user_scores`] returns `true`.
+/// `user_scores` is the caller's reusable rating-vector buffer: it is
+/// grown to `train.n_items()` and overwritten **only** under `Full`
+/// access, so callers pass `Vec::new()` and never pay a catalog-sized
+/// allocation unless the sampler actually demands the full vector.
+/// `ScoreAccess::None` samplers trigger zero scoring work, and
+/// `Candidates` samplers gather the few scores they need through the
+/// context's [`Scorer::score_items`].
 #[allow(clippy::too_many_arguments)] // the flat locals of Algorithm 1's inner loop
 pub fn sample_pair(
     sampler: &mut dyn NegativeSampler,
     scorer: &dyn Scorer,
     train: &Interactions,
     popularity: &Popularity,
-    user_scores: &mut [f32],
+    user_scores: &mut Vec<f32>,
     u: u32,
     pos: u32,
     epoch: usize,
     rng: &mut dyn rand::RngCore,
 ) -> Option<u32> {
-    let wants_scores = sampler.needs_user_scores();
-    if wants_scores {
+    let full = sampler.score_access() == ScoreAccess::Full;
+    if full {
+        user_scores.resize(train.n_items() as usize, 0.0);
         scorer.score_all(u, user_scores);
     }
     let ctx = SampleContext {
         scorer,
         train,
         popularity,
-        user_scores: if wants_scores { user_scores } else { &[] },
+        user_scores: if full { user_scores } else { &[] },
         epoch,
     };
     sampler.sample(u, pos, &ctx, rng)
@@ -221,8 +228,9 @@ pub fn train<M: PairwiseModel>(
     let popularity = dataset.popularity();
     let mut pairs: Vec<(u32, u32)> = train_set.iter_pairs().collect();
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let n_items = train_set.n_items() as usize;
-    let mut user_scores = vec![0.0f32; n_items];
+    // Rating-vector buffer, grown by `sample_pair` only if the sampler
+    // ever asks for ScoreAccess::Full.
+    let mut user_scores: Vec<f32> = Vec::new();
 
     let mut stats = TrainStats {
         triples: 0,

@@ -27,4 +27,4 @@ pub use metrics::{
 };
 pub use quality::{QualityTracker, ScoreDistributionProbe};
 pub use ranking::{evaluate_ranking, MetricRow, RankingReport};
-pub use topk::top_k_masked;
+pub use topk::{top_k_masked, top_k_masked_into, TopKBuffer};

@@ -9,7 +9,7 @@
 //! std::thread scoped workers and partial sums merged at the end.
 
 use crate::metrics::{ndcg_at_k, precision_at_k, recall_at_k};
-use crate::topk::top_k_masked;
+use crate::topk::{top_k_masked_into, TopKBuffer};
 use bns_data::Dataset;
 use bns_model::Scorer;
 use serde::{Deserialize, Serialize};
@@ -75,13 +75,19 @@ pub fn evaluate_ranking(
         let mut handles = Vec::with_capacity(n_threads);
         for worker in users.chunks(chunk) {
             handles.push(scope.spawn(move || {
+                // One set of buffers per worker thread, reused across all
+                // of its users: the score vector, the top-k selection
+                // scratch and the ranked-id list. The per-user loop is
+                // allocation-free once these are warm.
                 let n_items = dataset.n_items() as usize;
                 let mut scores = vec![0.0f32; n_items];
+                let mut topk = TopKBuffer::default();
+                let mut ranked: Vec<u32> = Vec::with_capacity(max_k);
                 let mut sums = vec![(0.0f64, 0.0f64, 0.0f64); ks.len()];
                 for &u in worker {
                     model.score_all(u, &mut scores);
                     let masked = dataset.train().items_of(u);
-                    let ranked = top_k_masked(&scores, masked, max_k);
+                    top_k_masked_into(&scores, masked, max_k, &mut topk, &mut ranked);
                     let relevant = dataset.test().items_of(u);
                     for (ki, &k) in ks.iter().enumerate() {
                         sums[ki].0 += precision_at_k(&ranked, relevant, k);

@@ -9,18 +9,47 @@
 /// Returns the item ids of the `k` highest-scored items, excluding the
 /// (sorted) `masked` items, ordered by descending score. Ties break toward
 /// the lower item id for determinism.
+///
+/// Allocates two vectors per call; hot loops over many users should hold a
+/// [`TopKBuffer`] and call [`top_k_masked_into`] instead.
 pub fn top_k_masked(scores: &[f32], masked: &[u32], k: usize) -> Vec<u32> {
+    let mut buffer = TopKBuffer::default();
+    let mut out = Vec::with_capacity(k);
+    top_k_masked_into(scores, masked, k, &mut buffer, &mut out);
+    out
+}
+
+/// Reusable scratch for [`top_k_masked_into`]: the running best-k list.
+/// Steady-state allocation-free once its capacity has reached `k + 1`.
+#[derive(Debug, Default, Clone)]
+pub struct TopKBuffer {
+    best: Vec<(f32, u32)>,
+}
+
+/// [`top_k_masked`] writing into caller-owned buffers: `out` receives the
+/// ranked ids, `buffer` holds the selection scratch. Neither allocates
+/// once warm — the per-user hot path of the ranking protocol.
+pub fn top_k_masked_into(
+    scores: &[f32],
+    masked: &[u32],
+    k: usize,
+    buffer: &mut TopKBuffer,
+    out: &mut Vec<u32>,
+) {
     debug_assert!(
         masked.windows(2).all(|w| w[0] < w[1]),
         "mask must be sorted unique"
     );
+    out.clear();
     if k == 0 {
-        return Vec::new();
+        return;
     }
     // Min-heap of the current best k, keyed by (score, Reverse(id)).
     // A fixed-size sorted buffer beats BinaryHeap for the small k used in
     // recommendation (k ≤ 20 in the paper).
-    let mut best: Vec<(f32, u32)> = Vec::with_capacity(k + 1);
+    let best = &mut buffer.best;
+    best.clear();
+    best.reserve(k + 1);
     let mut mask_idx = 0usize;
     for (i, &s) in scores.iter().enumerate() {
         let i = i as u32;
@@ -39,7 +68,7 @@ pub fn top_k_masked(scores: &[f32], masked: &[u32], k: usize) -> Vec<u32> {
             best.pop();
         }
     }
-    best.into_iter().map(|(_, i)| i).collect()
+    out.extend(best.iter().map(|&(_, i)| i));
 }
 
 #[cfg(test)]

@@ -115,6 +115,13 @@ impl Scorer for AnyModel {
             AnyModel::Gcn(m) => m.score_all(u, out),
         }
     }
+
+    fn score_items(&self, u: u32, items: &[u32], out: &mut [f32]) {
+        match self {
+            AnyModel::Mf(m) => m.score_items(u, items, out),
+            AnyModel::Gcn(m) => m.score_items(u, items, out),
+        }
+    }
 }
 
 impl PairwiseModel for AnyModel {

@@ -132,10 +132,14 @@ impl Embedding {
     }
 
     /// Dot product of two rows of (possibly different) tables.
+    ///
+    /// Delegates to the unrolled [`crate::kernel::dot`], so every score in
+    /// the workspace — single pairs, full rating vectors, candidate
+    /// gathers, hogwild reads — uses one summation order and agrees to the
+    /// bit.
     #[inline]
     pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-        debug_assert_eq!(a.len(), b.len());
-        a.iter().zip(b).map(|(x, y)| x * y).sum()
+        crate::kernel::dot(a, b)
     }
 
     /// Squared L2 norm of the whole table (for regularization diagnostics).

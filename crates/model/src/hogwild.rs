@@ -107,17 +107,30 @@ impl AtomicEmbedding {
     }
 
     /// Dot product of row `i` of `self` with row `j` of `other`.
+    ///
+    /// Snapshots row `i` once, then runs the unrolled
+    /// [`crate::kernel::dot_atomic`] — the same summation order as every
+    /// other scoring path, so hogwild scores agree bitwise with the serial
+    /// [`Embedding`] path for equal values.
     #[inline]
     pub fn dot_rows(&self, i: usize, other: &AtomicEmbedding, j: usize) -> f32 {
         debug_assert_eq!(self.dim, other.dim);
-        self.row(i)
-            .iter()
-            .zip(other.row(j))
-            .map(|(x, y)| {
-                f32::from_bits(x.load(Ordering::Relaxed))
-                    * f32::from_bits(y.load(Ordering::Relaxed))
-            })
-            .sum()
+        self.with_row_snapshot(i, |row| crate::kernel::dot_atomic(row, other.row(j)))
+    }
+
+    /// Copies row `i` into a stack buffer (heap only beyond d = 64, above
+    /// the paper's d = 32) and hands it to `f`.
+    #[inline]
+    fn with_row_snapshot<R>(&self, i: usize, f: impl FnOnce(&[f32]) -> R) -> R {
+        let mut stack = [0.0f32; 64];
+        if self.dim <= stack.len() {
+            self.read_row(i, &mut stack[..self.dim]);
+            f(&stack[..self.dim])
+        } else {
+            let mut heap = vec![0.0f32; self.dim];
+            self.read_row(i, &mut heap);
+            f(&heap)
+        }
     }
 }
 
@@ -180,22 +193,6 @@ impl HogwildMf {
     }
 }
 
-impl HogwildMf {
-    /// Scores every item against the snapshotted user row `wu` — the one
-    /// scoring loop both `score_all` paths share. Iterates the item table
-    /// as dim-sized chunks (no index math) since Algorithm 1 line 4 makes
-    /// this the hot path of every score-based sampler.
-    fn score_with(&self, wu: &[f32], out: &mut [f32]) {
-        for (slot, row) in out.iter_mut().zip(self.items.data.chunks_exact(wu.len())) {
-            *slot = wu
-                .iter()
-                .zip(row)
-                .map(|(w, cell)| w * f32::from_bits(cell.load(Ordering::Relaxed)))
-                .sum();
-        }
-    }
-}
-
 impl Scorer for HogwildMf {
     fn n_users(&self) -> u32 {
         self.users.len() as u32
@@ -212,18 +209,25 @@ impl Scorer for HogwildMf {
 
     fn score_all(&self, u: u32, out: &mut [f32]) {
         debug_assert_eq!(out.len(), self.items.len());
-        // Snapshot the user row once (stack buffer for the common d ≤ 64
-        // case; paper models use d = 32), then run the shared scoring loop.
-        let dim = self.users.dim();
-        let mut stack = [0.0f32; 64];
-        if dim <= stack.len() {
-            self.users.read_row(u as usize, &mut stack[..dim]);
-            self.score_with(&stack[..dim], out);
-        } else {
-            let mut heap = vec![0.0f32; dim];
-            self.users.read_row(u as usize, &mut heap);
-            self.score_with(&heap, out);
-        }
+        // Snapshot the user row once, then stream the atomic item table
+        // through the unrolled kernel (Algorithm 1 line 4, hogwild form).
+        self.users.with_row_snapshot(u as usize, |wu| {
+            for (slot, row) in out
+                .iter_mut()
+                .zip(self.items.data.chunks_exact(self.items.dim))
+            {
+                *slot = crate::kernel::dot_atomic(wu, row);
+            }
+        })
+    }
+
+    fn score_items(&self, u: u32, items: &[u32], out: &mut [f32]) {
+        debug_assert_eq!(items.len(), out.len());
+        self.users.with_row_snapshot(u as usize, |wu| {
+            for (slot, &i) in out.iter_mut().zip(items) {
+                *slot = crate::kernel::dot_atomic(wu, self.items.row(i as usize));
+            }
+        })
     }
 }
 

@@ -23,9 +23,13 @@
 //!   Eq. (4).
 //! * [`hogwild`] — lock-free shared MF storage for hogwild-style parallel
 //!   SGD (relaxed-atomic embedding tables behind a safe API).
+//! * [`kernel`] — the unrolled `mul_add` scoring kernels (dot / GEMV /
+//!   gather-dot and the atomic hogwild variant) with one fixed summation
+//!   order shared by every scoring entry point.
 
 pub mod embedding;
 pub mod hogwild;
+pub mod kernel;
 pub mod lightgcn;
 pub mod loss;
 pub mod mf;

@@ -190,12 +190,18 @@ impl Scorer for MatrixFactorization {
 
     fn score_all(&self, u: u32, out: &mut [f32]) {
         debug_assert_eq!(out.len(), self.items.len());
-        let wu = self.users.row(u as usize);
-        // Tight loop over the contiguous item table: this is the hot path of
-        // Algorithm 1 line 4 (get rating vector x̂ᵤ).
-        for (i, slot) in out.iter_mut().enumerate() {
-            *slot = Embedding::dot(wu, self.items.row(i));
-        }
+        // Algorithm 1 line 4 (get rating vector x̂ᵤ): one streaming GEMV
+        // over the contiguous item table with the unrolled kernel.
+        crate::kernel::gemv(self.users.row(u as usize), self.items.as_slice(), out);
+    }
+
+    fn score_items(&self, u: u32, items: &[u32], out: &mut [f32]) {
+        crate::kernel::gather_dots(
+            self.users.row(u as usize),
+            self.items.as_slice(),
+            items,
+            out,
+        );
     }
 }
 

@@ -25,6 +25,22 @@ pub trait Scorer {
             *slot = self.score(u, i as u32);
         }
     }
+
+    /// Fills `out[k]` with user `u`'s score for `items[k]` — the batched
+    /// gather-dot behind `ScoreAccess::Candidates` samplers, which score a
+    /// handful of specific items instead of the whole catalog.
+    ///
+    /// Repeated ids are allowed (each slot is filled independently).
+    /// Implementations must produce values bitwise identical to
+    /// [`Scorer::score`] / [`Scorer::score_all`] for the same `(u, item)`,
+    /// so samplers can mix the three access paths freely; the default
+    /// loops over [`Scorer::score`], which satisfies that by construction.
+    fn score_items(&self, u: u32, items: &[u32], out: &mut [f32]) {
+        debug_assert_eq!(items.len(), out.len(), "one output slot per item");
+        for (slot, &i) in out.iter_mut().zip(items) {
+            *slot = self.score(u, i);
+        }
+    }
 }
 
 /// A model trainable with pairwise BPR updates.
@@ -114,6 +130,14 @@ impl Scorer for FixedScorer {
         let row = &self.scores
             [u as usize * self.n_items as usize..(u as usize + 1) * self.n_items as usize];
         out.copy_from_slice(row);
+    }
+
+    fn score_items(&self, u: u32, items: &[u32], out: &mut [f32]) {
+        let row = &self.scores
+            [u as usize * self.n_items as usize..(u as usize + 1) * self.n_items as usize];
+        for (slot, &i) in out.iter_mut().zip(items) {
+            *slot = row[i as usize];
+        }
     }
 }
 

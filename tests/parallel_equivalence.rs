@@ -8,7 +8,10 @@
 //! 2. **Statistical**: multi-thread hogwild training must reach final
 //!    ranking quality within tolerance of the serial engine on the
 //!    synthetic dataset — hogwild write races perturb individual updates
-//!    but must not degrade convergence.
+//!    but must not degrade convergence. (Tolerances unchanged by the
+//!    fused-kernel PR: both engines share `bns_model::kernel`, so the
+//!    serial/hogwild comparison re-pinned itself with the new summation
+//!    order.)
 
 use bns::core::parallel::{ParallelConfig, ParallelTrainer};
 use bns::core::{build_sampler, train, NoopObserver, SamplerConfig, TrainConfig};

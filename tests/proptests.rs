@@ -7,10 +7,13 @@
 
 use bns::core::bns::risk::{conditional_risk, selection_value};
 use bns::core::bns::unbias::unbias;
+use bns::core::bns::{fused_ecdf_counts, EcdfScratch, EcdfStrategy};
 use bns::data::serialize::{decode_interactions, encode_interactions};
 use bns::data::{split_random, Interactions, SplitConfig};
 use bns::eval::{ndcg_at_k, precision_at_k, recall_at_k, top_k_masked};
 use bns::model::loss::{bpr_log_likelihood, info, sigmoid};
+use bns::model::scorer::FixedScorer;
+use bns::model::{kernel, Scorer};
 use bns::stats::dist::Continuous;
 use bns::stats::{Ecdf, Normal, Welford};
 use proptest::prelude::*;
@@ -182,6 +185,154 @@ proptest! {
         let expected: Vec<u32> =
             reference.into_iter().take(k).map(|(_, i)| i).collect();
         prop_assert_eq!(got, expected);
+    }
+
+    // ---------- fused scoring kernels ----------
+    //
+    // The justification for re-pinning the bit-exact trainer traces: the
+    // unrolled kernels change the summation order, but stay within 1e-5
+    // relative error of an f64 scalar reference, and every entry point
+    // (dot / gemv / gather) agrees bitwise with every other.
+
+    #[test]
+    fn kernel_dot_close_to_f64_reference(
+        a in prop::collection::vec(-10.0f32..10.0, 0..200),
+        b_seed in 0u64..1_000,
+    ) {
+        let b: Vec<f32> = a
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ b_seed;
+                ((h % 2_000) as f32 / 1_000.0) - 1.0
+            })
+            .collect();
+        let got = kernel::dot(&a, &b) as f64;
+        let reference: f64 = a.iter().zip(&b).map(|(&x, &y)| x as f64 * y as f64).sum();
+        let tol = 1e-5 * reference.abs().max(1.0);
+        prop_assert!((got - reference).abs() <= tol, "{got} vs {reference}");
+    }
+
+    #[test]
+    fn kernel_gemv_and_gather_agree_with_dot_bitwise(
+        user in prop::collection::vec(-5.0f32..5.0, 1..64),
+        n_rows in 1usize..30,
+        table_seed in 0u64..1_000,
+    ) {
+        let d = user.len();
+        let table: Vec<f32> = (0..d * n_rows)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9) ^ table_seed;
+                ((h % 2_000) as f32 / 1_000.0) - 1.0
+            })
+            .collect();
+        let mut full = vec![0.0f32; n_rows];
+        kernel::gemv(&user, &table, &mut full);
+        let ids: Vec<u32> = (0..n_rows as u32).rev().collect();
+        let mut gathered = vec![0.0f32; n_rows];
+        kernel::gather_dots(&user, &table, &ids, &mut gathered);
+        for (k, &i) in ids.iter().enumerate() {
+            let direct = kernel::dot(&user, &table[i as usize * d..(i as usize + 1) * d]);
+            prop_assert_eq!(full[i as usize].to_bits(), direct.to_bits());
+            prop_assert_eq!(gathered[k].to_bits(), direct.to_bits());
+        }
+    }
+
+    // ---------- the fused single-pass ECDF ----------
+
+    /// The fused blocked pass must be *count-for-count identical* to m
+    /// independent `EcdfStrategy::Exact` scans of a precomputed rating
+    /// vector, for arbitrary score tables, positive masks and candidate
+    /// (threshold) sets — the correctness contract of the fused BNS draw.
+    #[test]
+    fn fused_ecdf_counts_match_independent_exact_scans(
+        scores in prop::collection::vec(-10.0f32..10.0, 1..400),
+        positives in prop::collection::btree_set(0u32..400, 0..40),
+        thresholds in prop::collection::vec(0usize..400, 1..8),
+    ) {
+        let n_items = scores.len() as u32;
+        let positives: Vec<u32> = positives.into_iter().filter(|&p| p < n_items).collect();
+        let pairs: Vec<(u32, u32)> = positives.iter().map(|&p| (0, p)).collect();
+        let train = Interactions::from_pairs(1, n_items, &pairs).unwrap();
+        let scorer = FixedScorer::new(1, n_items, scores.clone());
+        // Thresholds are item scores (as in the real draw) — including,
+        // deliberately, scores of masked positives.
+        let thresholds: Vec<f32> = thresholds
+            .into_iter()
+            .map(|t| scores[t % scores.len()])
+            .collect();
+
+        let mut counts = Vec::new();
+        let mut scratch = EcdfScratch::default();
+        let scanned = fused_ecdf_counts(
+            EcdfStrategy::Exact,
+            &scorer,
+            &train,
+            0,
+            &thresholds,
+            &mut counts,
+            &mut scratch,
+        );
+
+        // Reference: the pre-fused path — one full rating vector, then one
+        // independent scan per threshold with positive correction.
+        let mut user_scores = vec![0.0f32; n_items as usize];
+        scorer.score_all(0, &mut user_scores);
+        let n_neg = n_items as usize - positives.len();
+        prop_assert_eq!(scanned, n_neg);
+        for (c, &x) in thresholds.iter().enumerate() {
+            let all_le = user_scores.iter().filter(|&&s| s <= x).count();
+            let pos_le = positives
+                .iter()
+                .filter(|&&p| user_scores[p as usize] <= x)
+                .count();
+            // Each threshold must match the independent scan exactly.
+            prop_assert_eq!(counts[c] as usize, all_le - pos_le);
+        }
+    }
+
+    #[test]
+    fn fused_subsample_matches_strided_reference(
+        scores in prop::collection::vec(-5.0f32..5.0, 2..300),
+        k in 1usize..64,
+        t_idx in 0usize..300,
+    ) {
+        let n_items = scores.len() as u32;
+        let train = Interactions::from_pairs(1, n_items, &[(0, 0)]).unwrap();
+        let scorer = FixedScorer::new(1, n_items, scores.clone());
+        let x = scores[t_idx % scores.len()];
+
+        let mut counts = Vec::new();
+        let mut scratch = EcdfScratch::default();
+        let scanned = fused_ecdf_counts(
+            EcdfStrategy::Subsample(k),
+            &scorer,
+            &train,
+            0,
+            &[x],
+            &mut counts,
+            &mut scratch,
+        );
+
+        if k >= scores.len() {
+            // Degenerates to the exact scan over I⁻ᵤ.
+            prop_assert_eq!(scanned, scores.len() - 1);
+        } else {
+            // The original strided reference over the full score vector.
+            let stride = scores.len().div_ceil(k);
+            let mut c = 0usize;
+            let mut n = 0usize;
+            let mut idx = 0usize;
+            while idx < scores.len() {
+                if scores[idx] <= x {
+                    c += 1;
+                }
+                n += 1;
+                idx += stride;
+            }
+            prop_assert_eq!(scanned, n);
+            prop_assert_eq!(counts[0] as usize, c);
+        }
     }
 
     #[test]

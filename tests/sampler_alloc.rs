@@ -1,0 +1,148 @@
+//! Steady-state allocation audit of every sampler's `sample()` path.
+//!
+//! Each sampler owns reusable scratch (AOBPR's rank buffer, SRNS's lazily
+//! built per-user memories, DNS candidate/score buffers, the BNS gather +
+//! fused-ECDF scratch). After a warm-up pass that touches every user once,
+//! **no draw may allocate**: a counting global allocator (this test binary
+//! only — integration tests are separate binaries) asserts the heap
+//! counter is flat across thousands of subsequent draws.
+
+use bns::core::trainer::sample_pair;
+use bns::core::{build_sampler, SamplerConfig};
+use bns::data::{Dataset, Interactions};
+use bns::model::MatrixFactorization;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocation_count() -> usize {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+fn dataset() -> Dataset {
+    let mut pairs = Vec::new();
+    for u in 0..16u32 {
+        for k in 0..6u32 {
+            pairs.push((u, (u * 7 + k * 5) % 60));
+        }
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+    let train_set = Interactions::from_pairs(16, 60, &pairs).unwrap();
+    let test_set = Interactions::from_pairs(
+        16,
+        60,
+        &(0..16u32)
+            .map(|u| (u, (u * 7 + 2) % 60))
+            .collect::<Vec<_>>(),
+    )
+    .unwrap();
+    Dataset::new("alloc-audit", train_set, test_set).unwrap()
+}
+
+#[test]
+fn every_sampler_is_allocation_free_in_steady_state() {
+    let d = dataset();
+    let mut rng_model = StdRng::seed_from_u64(1);
+    let model =
+        MatrixFactorization::new(d.n_users(), d.n_items(), 16, 0.1, &mut rng_model).unwrap();
+    let train_set = d.train();
+    let popularity = d.popularity();
+    let mut user_scores = vec![0.0f32; d.n_items() as usize];
+
+    let lineup: Vec<SamplerConfig> = SamplerConfig::paper_lineup()
+        .into_iter()
+        .chain([
+            // The exhaustive h* candidate set and the subsampled ECDF have
+            // their own buffer paths; audit them too.
+            SamplerConfig::Bns {
+                config: bns::core::BnsConfig {
+                    m: usize::MAX,
+                    ..bns::core::BnsConfig::default()
+                },
+                prior: bns::core::PriorKind::Popularity,
+            },
+            SamplerConfig::Bns {
+                config: bns::core::BnsConfig {
+                    ecdf: bns::core::bns::EcdfStrategy::Subsample(16),
+                    ..bns::core::BnsConfig::default()
+                },
+                prior: bns::core::PriorKind::Popularity,
+            },
+        ])
+        .collect();
+
+    for cfg in lineup {
+        let mut sampler = build_sampler(&cfg, &d, None).unwrap();
+        sampler.on_epoch_start(0);
+        let mut rng = StdRng::seed_from_u64(9);
+
+        // Warm-up: touch every user (SRNS builds its per-user memories
+        // here; every reusable buffer reaches steady-state capacity).
+        for round in 0..3 {
+            for u in 0..d.n_users() {
+                let pos = train_set.items_of(u)[round % train_set.degree(u)];
+                sample_pair(
+                    sampler.as_mut(),
+                    &model,
+                    train_set,
+                    popularity,
+                    &mut user_scores,
+                    u,
+                    pos,
+                    0,
+                    &mut rng,
+                );
+            }
+        }
+
+        let before = allocation_count();
+        for step in 0..2_000u32 {
+            let u = step % d.n_users();
+            let pos = train_set.items_of(u)[(step as usize / 16) % train_set.degree(u)];
+            sample_pair(
+                sampler.as_mut(),
+                &model,
+                train_set,
+                popularity,
+                &mut user_scores,
+                u,
+                pos,
+                0,
+                &mut rng,
+            );
+        }
+        let after = allocation_count();
+        assert_eq!(
+            after - before,
+            0,
+            "{}: {} heap allocations across 2000 steady-state draws",
+            sampler.name(),
+            after - before
+        );
+    }
+}

@@ -1,0 +1,224 @@
+//! The `ScoreAccess` contract, verified with a counting scorer.
+//!
+//! Wraps a real MF model in a scorer that counts every `score` /
+//! `score_all` / `score_items` call the *trainer and samplers* make (the
+//! model's own internal scoring — e.g. inside its BPR update — is not
+//! routed through the wrapper and is deliberately excluded). The
+//! acceptance bar of the fused-kernel PR:
+//!
+//! * `ScoreAccess::None` (RNS, PNS): **zero** scoring work of any kind;
+//! * `ScoreAccess::Candidates` (DNS, SRNS, BNS): gathers only — never a
+//!   full rating vector;
+//! * `ScoreAccess::Full` (AOBPR): exactly one `score_all` per pair.
+
+use bns::core::{build_sampler, train, NoopObserver, SamplerConfig, TrainConfig};
+use bns::data::{Dataset, Interactions};
+use bns::model::{MatrixFactorization, PairwiseModel, Scorer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cell::Cell;
+
+struct CountingModel {
+    inner: MatrixFactorization,
+    score_calls: Cell<usize>,
+    score_all_calls: Cell<usize>,
+    score_items_calls: Cell<usize>,
+    items_gathered: Cell<usize>,
+}
+
+impl CountingModel {
+    fn new(inner: MatrixFactorization) -> Self {
+        Self {
+            inner,
+            score_calls: Cell::new(0),
+            score_all_calls: Cell::new(0),
+            score_items_calls: Cell::new(0),
+            items_gathered: Cell::new(0),
+        }
+    }
+
+    fn total_scoring_calls(&self) -> usize {
+        self.score_calls.get() + self.score_all_calls.get() + self.score_items_calls.get()
+    }
+}
+
+impl Scorer for CountingModel {
+    fn n_users(&self) -> u32 {
+        self.inner.n_users()
+    }
+
+    fn n_items(&self) -> u32 {
+        self.inner.n_items()
+    }
+
+    fn score(&self, u: u32, i: u32) -> f32 {
+        self.score_calls.set(self.score_calls.get() + 1);
+        self.inner.score(u, i)
+    }
+
+    fn score_all(&self, u: u32, out: &mut [f32]) {
+        self.score_all_calls.set(self.score_all_calls.get() + 1);
+        self.inner.score_all(u, out);
+    }
+
+    fn score_items(&self, u: u32, items: &[u32], out: &mut [f32]) {
+        self.score_items_calls.set(self.score_items_calls.get() + 1);
+        self.items_gathered
+            .set(self.items_gathered.get() + items.len());
+        self.inner.score_items(u, items, out);
+    }
+}
+
+impl PairwiseModel for CountingModel {
+    fn begin_epoch(&mut self, epoch: usize) {
+        self.inner.begin_epoch(epoch);
+    }
+
+    fn begin_batch(&mut self) {
+        self.inner.begin_batch();
+    }
+
+    fn accumulate_triple(&mut self, u: u32, pos: u32, neg: u32, lr: f32, reg: f32) -> f32 {
+        self.inner.accumulate_triple(u, pos, neg, lr, reg)
+    }
+
+    fn end_batch(&mut self, lr: f32, reg: f32) {
+        self.inner.end_batch(lr, reg);
+    }
+}
+
+fn dataset() -> Dataset {
+    let mut pairs = Vec::new();
+    for u in 0..10u32 {
+        for k in 0..4u32 {
+            pairs.push((u, (u * 5 + k * 3) % 24));
+        }
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+    let train_set = Interactions::from_pairs(10, 24, &pairs).unwrap();
+    let test_set = Interactions::from_pairs(
+        10,
+        24,
+        &(0..10u32)
+            .map(|u| (u, (u * 5 + 1) % 24))
+            .collect::<Vec<_>>(),
+    )
+    .unwrap();
+    Dataset::new("score-access", train_set, test_set).unwrap()
+}
+
+const EPOCHS: usize = 3;
+
+fn run(sampler_cfg: &SamplerConfig) -> CountingModel {
+    let d = dataset();
+    let mut rng = StdRng::seed_from_u64(5);
+    let inner = MatrixFactorization::new(d.n_users(), d.n_items(), 8, 0.1, &mut rng).unwrap();
+    let mut model = CountingModel::new(inner);
+    let mut sampler = build_sampler(sampler_cfg, &d, None).unwrap();
+    let stats = train(
+        &mut model,
+        &d,
+        sampler.as_mut(),
+        &TrainConfig::paper_mf(EPOCHS, 11),
+        &mut NoopObserver,
+    )
+    .unwrap();
+    assert_eq!(
+        stats.triples,
+        EPOCHS * d.train().len(),
+        "sanity: all pairs drawn"
+    );
+    model
+}
+
+#[test]
+fn rns_and_pns_do_zero_scoring_work() {
+    for cfg in [SamplerConfig::Rns, SamplerConfig::Pns] {
+        let model = run(&cfg);
+        assert_eq!(
+            model.total_scoring_calls(),
+            0,
+            "{}: ScoreAccess::None must trigger no scoring at all",
+            cfg.display_name()
+        );
+    }
+}
+
+#[test]
+fn candidate_samplers_gather_but_never_score_the_catalog() {
+    let pairs = dataset().train().len();
+    for cfg in [
+        SamplerConfig::Dns { m: 5 },
+        SamplerConfig::Srns {
+            s1: 10,
+            s2: 3,
+            alpha: 1.0,
+        },
+        SamplerConfig::Bns {
+            config: bns::core::BnsConfig::default(),
+            prior: bns::core::PriorKind::Popularity,
+        },
+    ] {
+        let model = run(&cfg);
+        assert_eq!(
+            model.score_all_calls.get(),
+            0,
+            "{}: Candidates access must never materialize a rating vector",
+            cfg.display_name()
+        );
+        assert!(
+            model.score_items_calls.get() > 0,
+            "{}: expected gather-dot calls",
+            cfg.display_name()
+        );
+        // DNS/SRNS gather only O(m)/O(S₁) items per draw — far fewer than
+        // one catalog pass per pair would touch.
+        if matches!(cfg, SamplerConfig::Dns { .. } | SamplerConfig::Srns { .. }) {
+            let catalog_budget = EPOCHS * pairs * 24;
+            assert!(
+                model.items_gathered.get() < catalog_budget / 2,
+                "{}: gathered {} items, suspiciously close to full scans",
+                cfg.display_name(),
+                model.items_gathered.get()
+            );
+        }
+    }
+}
+
+#[test]
+fn aobpr_scores_the_full_vector_once_per_pair() {
+    let model = run(&SamplerConfig::Aobpr { lambda_frac: 0.05 });
+    assert_eq!(
+        model.score_all_calls.get(),
+        EPOCHS * dataset().train().len(),
+        "Full access: exactly one rating vector per training pair"
+    );
+    assert_eq!(model.score_items_calls.get(), 0);
+}
+
+#[test]
+fn bns_warmup_epochs_do_zero_scoring_work() {
+    let d = dataset();
+    let mut rng = StdRng::seed_from_u64(6);
+    let inner = MatrixFactorization::new(d.n_users(), d.n_items(), 8, 0.1, &mut rng).unwrap();
+    let mut model = CountingModel::new(inner);
+    // All epochs inside the BNS-2 warm start → uniform draws only.
+    let cfg = SamplerConfig::Bns {
+        config: bns::core::BnsConfig {
+            warmup_epochs: EPOCHS,
+            ..bns::core::BnsConfig::default()
+        },
+        prior: bns::core::PriorKind::Popularity,
+    };
+    let mut sampler = build_sampler(&cfg, &d, None).unwrap();
+    train(
+        &mut model,
+        &d,
+        sampler.as_mut(),
+        &TrainConfig::paper_mf(EPOCHS, 13),
+        &mut NoopObserver,
+    )
+    .unwrap();
+    assert_eq!(model.total_scoring_calls(), 0);
+}

@@ -7,6 +7,14 @@
 //! set, and the final top-K rankings. Any nondeterminism smuggled into the
 //! sampler/trainer hot path (hash-map iteration order, thread scheduling,
 //! an unseeded RNG) trips this before it can poison experiment results.
+//!
+//! Trace identity, not trace values: the guard compares two same-seed runs
+//! of the *current* binary, so an intentional change of deterministic
+//! arithmetic re-pins the trace in the same commit that makes it. The
+//! fused-kernel PR did exactly that — `bns_model::kernel` replaced the
+//! sequential dot with an 8-lane `mul_add` reduction (a different, still
+//! fixed summation order), justified by the kernel-vs-scalar property
+//! tests in `tests/proptests.rs` (≤ 1e-5 relative to an f64 reference).
 
 use bns::core::{build_sampler, train, SamplerConfig, TrainConfig, TrainObserver};
 use bns::data::synthetic::{generate, SyntheticConfig};
