@@ -25,5 +25,9 @@ run cargo bench --no-run --workspace --offline
 mkdir -p target
 run cargo run --release --offline -p bns-bench --bin bench_json -- \
     --users 40 --items 200 --draws 400 --out target/BENCH_smoke.json
+# Execute (not just compile) a root example: the four examples are
+# covered by clippy --all-targets at build level only, so runtime rot in
+# the public walkthrough API would otherwise be invisible.
+run cargo run --release --offline --example quickstart
 
 echo "CI green."

@@ -1,0 +1,95 @@
+//! Batched vs. per-pair sampler throughput — the measurement behind the
+//! batch-pipeline PR.
+//!
+//! Sweeps `sample_batch` over batch sizes 1 / 32 / 256 / 1024 for every
+//! lineup sampler on a realistic shuffled pair stream (mixed users, so the
+//! by-user grouping has real runs to amortize), and times the per-pair
+//! `sample_pair` reference on the same stream. Where the win comes from,
+//! per sampler: RNS/PNS shed per-pair dispatch; DNS/SRNS/BNS fold all of a
+//! user's candidate gathers into one `score_items` call (BNS additionally
+//! folds all of a user's Eq. 16 thresholds into one blocked catalog pass);
+//! AOBPR computes `score_all` once per distinct user instead of once per
+//! pair. `bench_json` records the same comparison into
+//! `BENCH_samplers.json`.
+
+use bns_bench::fixture;
+use bns_core::sampler::SampleContext;
+use bns_core::trainer::sample_pair;
+use bns_core::{build_sampler, SamplerConfig};
+use bns_model::TripleBatch;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn batched_sweep(c: &mut Criterion) {
+    let fx = fixture(100, 5_000, 29);
+    let train = fx.dataset.train();
+    let popularity = fx.dataset.popularity();
+    let mut pairs: Vec<(u32, u32)> = train.iter_pairs().collect();
+    pairs.shuffle(&mut StdRng::seed_from_u64(5));
+
+    for cfg in SamplerConfig::paper_lineup() {
+        let group_name = format!("batched_draw/{}", cfg.display_name());
+        let mut group = c.benchmark_group(&group_name);
+        group.sample_size(10);
+
+        // Per-pair reference on the same mixed-user stream.
+        {
+            let mut sampler =
+                build_sampler(&cfg, &fx.dataset, Some(&fx.occupations)).expect("valid sampler");
+            sampler.on_epoch_start(0);
+            let mut user_scores: Vec<f32> = Vec::new();
+            let mut rng = StdRng::seed_from_u64(17);
+            let stream = &pairs[..pairs.len().min(256)];
+            group.bench_function("per_pair", |b| {
+                b.iter(|| {
+                    for &(u, pos) in stream {
+                        black_box(sample_pair(
+                            sampler.as_mut(),
+                            &fx.model,
+                            train,
+                            popularity,
+                            &mut user_scores,
+                            u,
+                            pos,
+                            0,
+                            &mut rng,
+                        ));
+                    }
+                })
+            });
+        }
+
+        for &batch_size in &[1usize, 32, 256, 1024] {
+            let mut sampler =
+                build_sampler(&cfg, &fx.dataset, Some(&fx.occupations)).expect("valid sampler");
+            sampler.on_epoch_start(0);
+            let mut rng = StdRng::seed_from_u64(17);
+            let mut batch = TripleBatch::new();
+            let stream = &pairs[..pairs.len().min(batch_size)];
+            let ctx = SampleContext {
+                scorer: &fx.model,
+                train,
+                popularity,
+                user_scores: &[],
+                epoch: 0,
+            };
+            group.bench_with_input(
+                BenchmarkId::new("batched", batch_size),
+                &batch_size,
+                |b, _| {
+                    b.iter(|| {
+                        sampler.sample_batch(stream, 1, &ctx, &mut rng, &mut batch);
+                        black_box(batch.len())
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, batched_sweep);
+criterion_main!(benches);

@@ -11,7 +11,11 @@
 //! * the fused BNS draw vs. the pre-fused reference
 //!   ([`bns_bench::UnfusedBns`]) and their speedup ratio — the
 //!   acceptance number of the fused-kernel PR (≥ 2× at d = 32,
-//!   n_items ≥ 10k).
+//!   n_items ≥ 10k);
+//! * the batched pipeline: per-pair vs `sample_batch` draws/sec on the
+//!   same shuffled mixed-user pair stream (batch 256, k = 1) — the
+//!   acceptance number of the batch-pipeline PR (batched BNS and DNS/SRNS
+//!   must beat the per-pair path at paper scale).
 //!
 //! ```sh
 //! cargo run --release -p bns-bench --bin bench_json            # paper scale
@@ -20,9 +24,10 @@
 //! ```
 
 use bns_bench::{fixture, UnfusedBns};
+use bns_core::sampler::SampleContext;
 use bns_core::trainer::sample_pair;
 use bns_core::{build_sampler, SamplerConfig};
-use bns_model::Scorer;
+use bns_model::{Scorer, TripleBatch};
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
@@ -118,6 +123,90 @@ fn main() {
         sampler_rates.push((cfg.display_name().to_string(), per_sec));
     }
 
+    // Batched pipeline vs per-pair on one shuffled mixed-user stream: the
+    // by-user grouping only has runs to amortize when users actually
+    // repeat, so both sides are measured on the same realistic epoch
+    // schedule (unlike the single-user lineup rates above).
+    const BATCH: usize = 256;
+    let mut mixed_pairs: Vec<(u32, u32)> = train.iter_pairs().collect();
+    {
+        use rand::seq::SliceRandom;
+        mixed_pairs.shuffle(&mut StdRng::seed_from_u64(3));
+    }
+    let mut per_pair_mixed: Vec<(String, f64)> = Vec::new();
+    let mut batched: Vec<(String, f64)> = Vec::new();
+    for cfg in &lineup {
+        let passes = (args.draws / mixed_pairs.len().max(1)).max(2);
+        // Per-pair reference.
+        {
+            let mut sampler =
+                build_sampler(cfg, &fx.dataset, Some(&fx.occupations)).expect("valid sampler");
+            sampler.on_epoch_start(0);
+            let mut user_scores = vec![0.0f32; n_items];
+            let mut rng = StdRng::seed_from_u64(7);
+            for &(u, pos) in mixed_pairs.iter().take(200) {
+                sample_pair(
+                    sampler.as_mut(),
+                    &fx.model,
+                    train,
+                    popularity,
+                    &mut user_scores,
+                    u,
+                    pos,
+                    0,
+                    &mut rng,
+                );
+            }
+            let started = Instant::now();
+            for _ in 0..passes {
+                for &(u, pos) in &mixed_pairs {
+                    black_box(sample_pair(
+                        sampler.as_mut(),
+                        &fx.model,
+                        train,
+                        popularity,
+                        &mut user_scores,
+                        u,
+                        pos,
+                        0,
+                        &mut rng,
+                    ));
+                }
+            }
+            let rate =
+                (passes * mixed_pairs.len()) as f64 / started.elapsed().as_secs_f64().max(1e-9);
+            per_pair_mixed.push((cfg.display_name().to_string(), rate));
+        }
+        // Batched pipeline, batch 256, k = 1.
+        {
+            let mut sampler =
+                build_sampler(cfg, &fx.dataset, Some(&fx.occupations)).expect("valid sampler");
+            sampler.on_epoch_start(0);
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut batch = TripleBatch::new();
+            let ctx = SampleContext {
+                scorer: &fx.model,
+                train,
+                popularity,
+                user_scores: &[],
+                epoch: 0,
+            };
+            for chunk in mixed_pairs.chunks(BATCH).take(2) {
+                sampler.sample_batch(chunk, 1, &ctx, &mut rng, &mut batch);
+            }
+            let started = Instant::now();
+            for _ in 0..passes {
+                for chunk in mixed_pairs.chunks(BATCH) {
+                    sampler.sample_batch(chunk, 1, &ctx, &mut rng, &mut batch);
+                    black_box(batch.len());
+                }
+            }
+            let rate =
+                (passes * mixed_pairs.len()) as f64 / started.elapsed().as_secs_f64().max(1e-9);
+            batched.push((cfg.display_name().to_string(), rate));
+        }
+    }
+
     // GEMV throughput: items scored per second by score_all.
     let gemv_items_per_sec = {
         let mut out = vec![0.0f32; n_items];
@@ -158,6 +247,32 @@ fn main() {
         let comma = if k + 1 < sampler_rates.len() { "," } else { "" };
         let _ = writeln!(json, "    \"{name}\": {r:.1}{comma}");
     }
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"batched\": {{");
+    let _ = writeln!(json, "    \"batch_size\": {BATCH},");
+    let _ = writeln!(json, "    \"k_negatives\": 1,");
+    let _ = writeln!(json, "    \"per_pair_mixed_draws_per_sec\": {{");
+    for (i, (name, r)) in per_pair_mixed.iter().enumerate() {
+        let comma = if i + 1 < per_pair_mixed.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(json, "      \"{name}\": {r:.1}{comma}");
+    }
+    let _ = writeln!(json, "    }},");
+    let _ = writeln!(json, "    \"batched_draws_per_sec\": {{");
+    for (i, (name, r)) in batched.iter().enumerate() {
+        let comma = if i + 1 < batched.len() { "," } else { "" };
+        let _ = writeln!(json, "      \"{name}\": {r:.1}{comma}");
+    }
+    let _ = writeln!(json, "    }},");
+    let _ = writeln!(json, "    \"batched_speedup\": {{");
+    for (i, ((name, b), (_, p))) in batched.iter().zip(&per_pair_mixed).enumerate() {
+        let comma = if i + 1 < batched.len() { "," } else { "" };
+        let _ = writeln!(json, "      \"{name}\": {:.3}{comma}", b / p);
+    }
+    let _ = writeln!(json, "    }}");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"gemv_items_per_sec\": {gemv_items_per_sec:.1},");
     let _ = writeln!(json, "  \"bns_ecdf\": {{");

@@ -11,8 +11,9 @@
 //! exact. The λ parameter is expressed as a fraction of the catalog so the
 //! same config transfers across dataset scales.
 
-use crate::sampler::{NegativeSampler, SampleContext, ScoreAccess};
+use crate::sampler::{group_runs_by_user, NegativeSampler, SampleContext, ScoreAccess};
 use crate::{CoreError, Result};
+use bns_model::TripleBatch;
 use bns_stats::dist::{Continuous, Exponential};
 
 /// Rank-exponential oversampler.
@@ -22,6 +23,12 @@ pub struct Aobpr {
     lambda_frac: f64,
     /// Scratch buffer of `(score, item)` pairs.
     scratch: Vec<(f32, u32)>,
+    /// Batched-draw buffers (per-draw users/ranks, the by-user grouping
+    /// index, and the per-user rating vector of the grouped pass).
+    draw_users: Vec<u32>,
+    draw_ranks: Vec<u32>,
+    order: Vec<u32>,
+    score_buf: Vec<f32>,
 }
 
 impl Aobpr {
@@ -36,12 +43,52 @@ impl Aobpr {
         Ok(Self {
             lambda_frac,
             scratch: Vec::new(),
+            draw_users: Vec::new(),
+            draw_ranks: Vec::new(),
+            order: Vec::new(),
+            score_buf: Vec::new(),
         })
     }
 
     /// The configured λ fraction.
     pub fn lambda_frac(&self) -> f64 {
         self.lambda_frac
+    }
+
+    /// Samples a rank `∼ Exp(λ)` truncated to the negative count — the only
+    /// randomness of a draw, independent of every score.
+    fn sample_rank(&self, n_items: usize, n_negs: usize, rng: &mut dyn rand::RngCore) -> usize {
+        let lambda = (self.lambda_frac * n_items as f64).max(1.0);
+        let exp = Exponential::new(1.0 / lambda).expect("positive rate");
+        (exp.sample(rng).floor() as usize).min(n_negs - 1)
+    }
+
+    /// Rebuilds `scratch` with `(score, item)` for every negative of `u`
+    /// (ascending item order) and selects the item at descending-score rank
+    /// `rank`. Rebuilt per draw so the `select_nth_unstable` permutation of
+    /// a previous draw can never leak into tie resolution.
+    fn select_at_rank(
+        scratch: &mut Vec<(f32, u32)>,
+        user_scores: &[f32],
+        positives: &[u32],
+        rank: usize,
+    ) -> u32 {
+        scratch.clear();
+        let mut pos_idx = 0usize;
+        for (i, &s) in user_scores.iter().enumerate() {
+            let i = i as u32;
+            if pos_idx < positives.len() && positives[pos_idx] == i {
+                pos_idx += 1;
+                continue;
+            }
+            scratch.push((s, i));
+        }
+        scratch
+            .select_nth_unstable_by(rank, |a, b| {
+                b.0.partial_cmp(&a.0).expect("scores are finite")
+            })
+            .1
+             .1
     }
 }
 
@@ -63,33 +110,67 @@ impl NegativeSampler for Aobpr {
             return None;
         }
         debug_assert_eq!(ctx.user_scores.len(), n_items);
+        let rank = self.sample_rank(n_items, n_negs, rng);
+        Some(Self::select_at_rank(
+            &mut self.scratch,
+            ctx.user_scores,
+            ctx.train.items_of(u),
+            rank,
+        ))
+    }
 
-        // Scratch holds only the user's negatives, scored.
-        self.scratch.clear();
-        self.scratch.reserve(n_negs);
-        let positives = ctx.train.items_of(u);
-        let mut pos_idx = 0usize;
-        for i in 0..n_items as u32 {
-            if pos_idx < positives.len() && positives[pos_idx] == i {
-                pos_idx += 1;
+    /// The batched draw: ranks (the only RNG) are sampled per `(pair,
+    /// slot)` in pair order, then the batch is grouped by user and the full
+    /// rating vector of Algorithm 1 line 4 is computed **once per distinct
+    /// user** instead of once per pair. Rank selection itself is rebuilt
+    /// per draw, so the draws equal the looped per-pair path exactly.
+    fn sample_batch(
+        &mut self,
+        pairs: &[(u32, u32)],
+        k: usize,
+        ctx: &SampleContext<'_>,
+        rng: &mut dyn rand::RngCore,
+        out: &mut TripleBatch,
+    ) {
+        out.begin_fill(k);
+        let n_items = ctx.n_items() as usize;
+        self.draw_users.clear();
+        self.draw_ranks.clear();
+
+        // Phase A (all the RNG): one truncated-exponential rank per slot.
+        for &(u, pos) in pairs {
+            let n_negs = ctx.train.n_negatives(u);
+            if n_negs == 0 {
                 continue;
             }
-            self.scratch.push((ctx.user_scores[i as usize], i));
+            out.push_row(u, pos);
+            for _ in 0..k {
+                let rank = self.sample_rank(n_items, n_negs, rng);
+                self.draw_users.push(u);
+                self.draw_ranks.push(rank as u32);
+            }
         }
 
-        // Rank ∼ Exp(mean λ) truncated to the negative count.
-        let lambda = (self.lambda_frac * n_items as f64).max(1.0);
-        let exp = Exponential::new(1.0 / lambda).expect("positive rate");
-        let rank = (exp.sample(rng).floor() as usize).min(n_negs - 1);
-
-        // Item at descending-score rank `rank` among negatives.
-        let idx = self
-            .scratch
-            .select_nth_unstable_by(rank, |a, b| {
-                b.0.partial_cmp(&a.0).expect("scores are finite")
-            })
-            .1;
-        Some(idx.1)
+        // Phase B: one score_all per distinct user; per-draw rank select.
+        group_runs_by_user(&self.draw_users, &mut self.order);
+        let negs = out.negs_mut();
+        let mut run = 0usize;
+        while run < self.order.len() {
+            let user = self.draw_users[self.order[run] as usize];
+            self.score_buf.resize(n_items, 0.0);
+            ctx.scorer.score_all(user, &mut self.score_buf);
+            let positives = ctx.train.items_of(user);
+            while run < self.order.len() && self.draw_users[self.order[run] as usize] == user {
+                let d = self.order[run] as usize;
+                negs[d] = Self::select_at_rank(
+                    &mut self.scratch,
+                    &self.score_buf,
+                    positives,
+                    self.draw_ranks[d] as usize,
+                );
+                run += 1;
+            }
+        }
     }
 
     fn score_access(&self) -> ScoreAccess {

@@ -42,12 +42,13 @@ pub use suffstats::PosteriorStats;
 pub use unbias::unbias;
 
 use crate::sampler::{
-    draw_candidate_set, draw_uniform_negative, NegativeSampler, SampleContext, ScoreAccess,
+    draw_candidate_set, draw_uniform_negative, group_runs_by_user, NegativeSampler, SampleContext,
+    ScoreAccess,
 };
 use crate::{CoreError, Result};
 use bns_data::Interactions;
 use bns_model::loss::info;
-use bns_model::Scorer;
+use bns_model::{Scorer, TripleBatch};
 use serde::{Deserialize, Serialize};
 
 /// Items scored per block of the fused ECDF pass. 256 scores = 1 KiB —
@@ -293,6 +294,45 @@ pub struct CandidateSignal {
     pub risk: f64,
 }
 
+/// Which signal drives the selection over a candidate set, and in which
+/// direction (resolved from [`Criterion`] per draw — the ExploreExploit
+/// coin is flipped at draw time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Rule {
+    MinRisk,
+    MaxUnbias,
+    MaxInfo,
+}
+
+/// Reusable buffers of the batched BNS draw: per-draw candidate records,
+/// their gathered scores and fused Eq. 16 counts, and the by-user grouping
+/// of the batch. Steady-state allocation-free once capacities are reached.
+#[derive(Debug, Default)]
+struct BatchScratch {
+    /// Concatenated candidate sets in draw order.
+    cands: Vec<u32>,
+    /// Scores aligned with `cands`.
+    cand_scores: Vec<f32>,
+    /// Eq. 16 counts aligned with `cands`.
+    ecdf: Vec<u32>,
+    /// Per-draw records (user, positive, candidate range, selection rule,
+    /// catalog-scan size, positive score).
+    draw_users: Vec<u32>,
+    draw_pos: Vec<u32>,
+    draw_start: Vec<u32>,
+    draw_len: Vec<u32>,
+    draw_rule: Vec<Rule>,
+    draw_scanned: Vec<u32>,
+    draw_pos_score: Vec<f32>,
+    /// Draw indices grouped by user.
+    order: Vec<u32>,
+    /// Per-run gather inputs/outputs and fused-pass thresholds.
+    run_ids: Vec<u32>,
+    run_scores: Vec<f32>,
+    run_thresholds: Vec<f32>,
+    run_counts: Vec<u32>,
+}
+
 /// The Bayesian negative sampler.
 pub struct BnsSampler {
     config: BnsConfig,
@@ -310,6 +350,8 @@ pub struct BnsSampler {
     ecdf_counts: Vec<u32>,
     /// Block scratch of the fused pass.
     ecdf_scratch: EcdfScratch,
+    /// Batched-draw buffers.
+    batch: BatchScratch,
 }
 
 impl BnsSampler {
@@ -329,6 +371,7 @@ impl BnsSampler {
             gather_scores: Vec::new(),
             ecdf_counts: Vec::new(),
             ecdf_scratch: EcdfScratch::default(),
+            batch: BatchScratch::default(),
         })
     }
 
@@ -395,6 +438,79 @@ impl BnsSampler {
         }
     }
 
+    /// Resolves the per-draw selection rule, flipping the
+    /// exploration coin (from the shared RNG, for reproducibility) when the
+    /// criterion is [`Criterion::ExploreExploit`].
+    fn resolve_rule(criterion: Criterion, rng: &mut dyn rand::RngCore) -> Rule {
+        match criterion {
+            Criterion::MinRisk => Rule::MinRisk,
+            Criterion::PosteriorMax => Rule::MaxUnbias,
+            Criterion::ExploreExploit { epsilon } => {
+                let coin: f64 = rand::Rng::random_range(rng, 0.0..1.0);
+                if coin < epsilon {
+                    Rule::MaxInfo
+                } else {
+                    Rule::MinRisk
+                }
+            }
+        }
+    }
+
+    /// Applies `rule` over one draw's candidate set given its gathered
+    /// scores and fused Eq. 16 counts — the **one** copy of the signal
+    /// evaluation and tie-breaking (`min_by`/`max_by` semantics: keep the
+    /// *first* minimal element, the *last* maximal one), shared verbatim by
+    /// the per-pair and batched paths so they cannot drift.
+    #[allow(clippy::too_many_arguments)] // the flat per-draw signal inputs
+    fn select_over_candidates(
+        prior: &dyn Prior,
+        lambda_now: f64,
+        risk_order: risk::RiskOrder,
+        rule: Rule,
+        u: u32,
+        candidates: &[u32],
+        cand_scores: &[f32],
+        score_pos: f32,
+        ecdf_counts: &[u32],
+        scanned: usize,
+    ) -> Option<CandidateSignal> {
+        let keep_min = |a: f64, b: f64| a.partial_cmp(&b).expect("finite signal").is_lt();
+        let keep_max = |a: f64, b: f64| a.partial_cmp(&b).expect("finite signal").is_ge();
+        let mut best: Option<CandidateSignal> = None;
+        for (slot, &item) in candidates.iter().enumerate() {
+            let score_neg = cand_scores[slot];
+            let info = info(score_pos, score_neg) as f64;
+            let f_hat = if scanned == 0 {
+                0.5
+            } else {
+                ecdf_counts[slot] as f64 / scanned as f64
+            };
+            let p_fn = prior.p_fn(u, item);
+            let unb = unbias(f_hat, p_fn);
+            let risk = risk::selection_value_ordered(info, unb, lambda_now, risk_order);
+            let signal = CandidateSignal {
+                item,
+                info,
+                f_hat,
+                p_fn,
+                unbias: unb,
+                risk,
+            };
+            let replace = match &best {
+                None => true,
+                Some(b) => match rule {
+                    Rule::MinRisk => keep_min(signal.risk, b.risk),
+                    Rule::MaxUnbias => keep_max(signal.unbias, b.unbias),
+                    Rule::MaxInfo => keep_max(signal.info, b.info),
+                },
+            };
+            if replace {
+                best = Some(signal);
+            }
+        }
+        best
+    }
+
     /// Fills `self.candidates` with the candidate set: either `m` uniform
     /// negatives, or — when `m` exceeds the user's negative count — every
     /// negative (the optimal sampler h*). Returns false if no negatives.
@@ -404,27 +520,42 @@ impl BnsSampler {
         ctx: &SampleContext<'_>,
         rng: &mut dyn rand::RngCore,
     ) -> bool {
-        let n_neg = ctx.train.n_negatives(u);
-        if n_neg == 0 {
-            return false;
-        }
-        if self.config.m >= n_neg {
-            // Exhaustive candidate set = all un-interacted items.
-            self.candidates.clear();
-            self.candidates.reserve(n_neg);
-            let positives = ctx.train.items_of(u);
-            let mut pos_idx = 0usize;
-            for i in 0..ctx.n_items() {
-                if pos_idx < positives.len() && positives[pos_idx] == i {
-                    pos_idx += 1;
-                    continue;
-                }
-                self.candidates.push(i);
+        fill_candidate_set(&mut self.candidates, self.config.m, u, ctx, rng)
+    }
+}
+
+/// Fills `out` with `u`'s candidate set: either `m` uniform negatives, or —
+/// when `m` exceeds the user's negative count — every negative (the optimal
+/// sampler h*). Returns false if the user has no negatives (consuming no
+/// RNG in that case). A free function over the buffer so the per-pair and
+/// batched paths share the **one** candidate-construction implementation.
+fn fill_candidate_set(
+    out: &mut Vec<u32>,
+    m: usize,
+    u: u32,
+    ctx: &SampleContext<'_>,
+    rng: &mut dyn rand::RngCore,
+) -> bool {
+    let n_neg = ctx.train.n_negatives(u);
+    if n_neg == 0 {
+        return false;
+    }
+    if m >= n_neg {
+        // Exhaustive candidate set = all un-interacted items.
+        out.clear();
+        out.reserve(n_neg);
+        let positives = ctx.train.items_of(u);
+        let mut pos_idx = 0usize;
+        for i in 0..ctx.n_items() {
+            if pos_idx < positives.len() && positives[pos_idx] == i {
+                pos_idx += 1;
+                continue;
             }
-            true
-        } else {
-            draw_candidate_set(ctx.train, u, self.config.m, &mut self.candidates, rng)
+            out.push(i);
         }
+        true
+    } else {
+        draw_candidate_set(ctx.train, u, m, out, rng)
     }
 }
 
@@ -470,69 +601,170 @@ impl NegativeSampler for BnsSampler {
             &mut self.ecdf_scratch,
         );
 
-        // Which signal drives the selection, and in which direction.
-        enum Rule {
-            MinRisk,
-            MaxUnbias,
-            MaxInfo,
-        }
-        let rule = match self.config.criterion {
-            Criterion::MinRisk => Rule::MinRisk,
-            Criterion::PosteriorMax => Rule::MaxUnbias,
-            Criterion::ExploreExploit { epsilon } => {
-                // Draw the coin from the shared RNG for reproducibility.
-                let coin: f64 = rand::Rng::random_range(rng, 0.0..1.0);
-                if coin < epsilon {
-                    Rule::MaxInfo
-                } else {
-                    Rule::MinRisk
-                }
-            }
-        };
-
-        // Tie-breaking matches `Iterator::min_by` / `max_by`: keep the
-        // *first* minimal element, the *last* maximal one. The repro guard
-        // pins this bit-for-bit.
-        let keep_min = |a: f64, b: f64| a.partial_cmp(&b).expect("finite signal").is_lt();
-        let keep_max = |a: f64, b: f64| a.partial_cmp(&b).expect("finite signal").is_ge();
-        let mut best: Option<CandidateSignal> = None;
-        for (slot, &item) in self.candidates.iter().enumerate() {
-            let score_neg = cand_scores[slot];
-            let info = info(score_pos, score_neg) as f64;
-            let f_hat = if scanned == 0 {
-                0.5
-            } else {
-                self.ecdf_counts[slot] as f64 / scanned as f64
-            };
-            let p_fn = self.prior.p_fn(u, item);
-            let unb = unbias(f_hat, p_fn);
-            let risk =
-                risk::selection_value_ordered(info, unb, self.lambda_now, self.config.risk_order);
-            let signal = CandidateSignal {
-                item,
-                info,
-                f_hat,
-                p_fn,
-                unbias: unb,
-                risk,
-            };
-            let replace = match &best {
-                None => true,
-                Some(b) => match rule {
-                    Rule::MinRisk => keep_min(signal.risk, b.risk),
-                    Rule::MaxUnbias => keep_max(signal.unbias, b.unbias),
-                    Rule::MaxInfo => keep_max(signal.info, b.info),
-                },
-            };
-            if replace {
-                best = Some(signal);
-            }
-        }
+        let rule = Self::resolve_rule(self.config.criterion, rng);
+        let best = Self::select_over_candidates(
+            self.prior.as_ref(),
+            self.lambda_now,
+            self.config.risk_order,
+            rule,
+            u,
+            &self.candidates,
+            cand_scores,
+            score_pos,
+            &self.ecdf_counts,
+            scanned,
+        );
 
         if let Some(signal) = &best {
             self.epoch_stats.record(signal);
         }
         best.map(|s| s.item)
+    }
+
+    /// The batched fused draw. Phase 1 consumes **all** the randomness in
+    /// pair order (candidate sets, then the per-draw exploration coin —
+    /// the exact RNG sequence of the looped per-pair path, since scoring
+    /// consumes none). Phase 2 groups the batch by user: `pos` + the
+    /// candidates of *all* of a user's draws go through **one**
+    /// `score_items` gather, and all their Eq. (16) thresholds through
+    /// **one** blocked [`fused_ecdf_counts`] catalog pass (reusing
+    /// [`EcdfScratch`]), so same-user draws amortize the linear-in-catalog
+    /// cost that dominates a BNS draw. Phase 3 applies the Eq. (32)/(35)
+    /// selection per draw with the shared tie rules and records the
+    /// posterior statistics in draw order.
+    fn sample_batch(
+        &mut self,
+        pairs: &[(u32, u32)],
+        k: usize,
+        ctx: &SampleContext<'_>,
+        rng: &mut dyn rand::RngCore,
+        out: &mut TripleBatch,
+    ) {
+        out.begin_fill(k);
+
+        // BNS-2 warm start: plain uniform bulk draws, no scoring at all.
+        if self.epoch < self.config.warmup_epochs {
+            crate::sampler::fill_rows(pairs, k, out, rng, |u, rng| {
+                draw_uniform_negative(ctx.train, u, rng)
+            });
+            return;
+        }
+
+        let b = &mut self.batch;
+        b.cands.clear();
+        b.draw_users.clear();
+        b.draw_pos.clear();
+        b.draw_start.clear();
+        b.draw_len.clear();
+        b.draw_rule.clear();
+
+        // Phase 1 (all the RNG): candidate sets + exploration coins in
+        // pair-major, slot-minor order.
+        for &(u, pos) in pairs {
+            out.push_row(u, pos);
+            let mut ok = true;
+            for _ in 0..k {
+                // The shared candidate construction, into the scratch
+                // buffer directly (split borrow: `b` stays live).
+                if !fill_candidate_set(&mut self.candidates, self.config.m, u, ctx, rng) {
+                    ok = false;
+                    break;
+                }
+                b.draw_users.push(u);
+                b.draw_pos.push(pos);
+                b.draw_start.push(b.cands.len() as u32);
+                b.draw_len.push(self.candidates.len() as u32);
+                b.cands.extend_from_slice(&self.candidates);
+                b.draw_rule
+                    .push(Self::resolve_rule(self.config.criterion, rng));
+            }
+            if !ok {
+                // Saturated user: the first slot failed before any RNG use,
+                // so nothing of this pair was recorded.
+                out.pop_row();
+            }
+        }
+
+        // Phase 2 (all the scoring): one gather + one fused Eq. 16 catalog
+        // pass per distinct user of the batch.
+        group_runs_by_user(&b.draw_users, &mut b.order);
+        b.cand_scores.clear();
+        b.cand_scores.resize(b.cands.len(), 0.0);
+        b.ecdf.clear();
+        b.ecdf.resize(b.cands.len(), 0);
+        b.draw_scanned.clear();
+        b.draw_scanned.resize(b.draw_users.len(), 0);
+        b.draw_pos_score.clear();
+        b.draw_pos_score.resize(b.draw_users.len(), 0.0);
+        let mut run = 0usize;
+        while run < b.order.len() {
+            let user = b.draw_users[b.order[run] as usize];
+            let mut end = run;
+            while end < b.order.len() && b.draw_users[b.order[end] as usize] == user {
+                end += 1;
+            }
+            // One gather: [pos, candidates…] of every draw in the run.
+            b.run_ids.clear();
+            for &d in &b.order[run..end] {
+                let d = d as usize;
+                let (s, l) = (b.draw_start[d] as usize, b.draw_len[d] as usize);
+                b.run_ids.push(b.draw_pos[d]);
+                b.run_ids.extend_from_slice(&b.cands[s..s + l]);
+            }
+            b.run_scores.clear();
+            b.run_scores.resize(b.run_ids.len(), 0.0);
+            ctx.scorer.score_items(user, &b.run_ids, &mut b.run_scores);
+            // Scatter scores and collect the run's Eq. 16 thresholds.
+            b.run_thresholds.clear();
+            let mut cur = 0usize;
+            for &d in &b.order[run..end] {
+                let d = d as usize;
+                let (s, l) = (b.draw_start[d] as usize, b.draw_len[d] as usize);
+                b.draw_pos_score[d] = b.run_scores[cur];
+                b.cand_scores[s..s + l].copy_from_slice(&b.run_scores[cur + 1..cur + 1 + l]);
+                b.run_thresholds.extend_from_slice(&b.cand_scores[s..s + l]);
+                cur += 1 + l;
+            }
+            // One blocked catalog pass for every threshold of the run.
+            let scanned = fused_ecdf_counts(
+                self.config.ecdf,
+                ctx.scorer,
+                ctx.train,
+                user,
+                &b.run_thresholds,
+                &mut b.run_counts,
+                &mut self.ecdf_scratch,
+            );
+            let mut cur = 0usize;
+            for &d in &b.order[run..end] {
+                let d = d as usize;
+                let (s, l) = (b.draw_start[d] as usize, b.draw_len[d] as usize);
+                b.ecdf[s..s + l].copy_from_slice(&b.run_counts[cur..cur + l]);
+                b.draw_scanned[d] = scanned as u32;
+                cur += l;
+            }
+            run = end;
+        }
+
+        // Phase 3: the Eq. (32)/(35) selection per draw, in draw order.
+        for (d, slot) in out.negs_mut().iter_mut().enumerate() {
+            let (s, l) = (b.draw_start[d] as usize, b.draw_len[d] as usize);
+            let best = Self::select_over_candidates(
+                self.prior.as_ref(),
+                self.lambda_now,
+                self.config.risk_order,
+                b.draw_rule[d],
+                b.draw_users[d],
+                &b.cands[s..s + l],
+                &b.cand_scores[s..s + l],
+                b.draw_pos_score[d],
+                &b.ecdf[s..s + l],
+                b.draw_scanned[d] as usize,
+            );
+            let signal = best.expect("non-empty candidate set always selects");
+            self.epoch_stats.record(&signal);
+            *slot = signal.item;
+        }
     }
 
     fn score_access(&self) -> ScoreAccess {

@@ -7,8 +7,11 @@
 //! non-informative prior, because `F(x̂)` and ranking position are in
 //! one-to-one correspondence.
 
-use crate::sampler::{draw_candidate_set, NegativeSampler, SampleContext, ScoreAccess};
+use crate::sampler::{
+    draw_candidate_append, draw_candidate_set, NegativeSampler, SampleContext, ScoreAccess,
+};
 use crate::{CoreError, Result};
+use bns_model::TripleBatch;
 
 /// Max-score-of-candidates sampler.
 #[derive(Debug, Clone)]
@@ -16,6 +19,19 @@ pub struct Dns {
     m: usize,
     candidates: Vec<u32>,
     scores: Vec<f32>,
+    batch: BatchScratch,
+}
+
+/// Reusable buffers of the batched draw (candidate sets of every draw in
+/// the batch, their users, and the per-run score output).
+#[derive(Debug, Clone, Default)]
+struct BatchScratch {
+    /// Concatenated candidate sets, `m` per draw, in draw order.
+    cands: Vec<u32>,
+    /// User of each draw, in draw order.
+    draw_users: Vec<u32>,
+    /// Scores of the current run's candidates.
+    run_scores: Vec<f32>,
 }
 
 impl Dns {
@@ -30,12 +46,28 @@ impl Dns {
             m,
             candidates: Vec::with_capacity(m),
             scores: Vec::with_capacity(m),
+            batch: BatchScratch::default(),
         })
     }
 
     /// Candidate-set size.
     pub fn m(&self) -> usize {
         self.m
+    }
+
+    /// The tie rule of the per-pair path (`max_by` semantics: keep the
+    /// *last* maximal candidate), applied to one draw's score slice.
+    fn argmax_last(scores: &[f32]) -> usize {
+        let mut best = 0usize;
+        for (slot, &s) in scores.iter().enumerate().skip(1) {
+            if s.partial_cmp(&scores[best])
+                .expect("scores are finite")
+                .is_ge()
+            {
+                best = slot;
+            }
+        }
+        best
     }
 }
 
@@ -60,18 +92,77 @@ impl NegativeSampler for Dns {
         self.scores.resize(self.candidates.len(), 0.0);
         ctx.scorer
             .score_items(u, &self.candidates, &mut self.scores);
-        // `max_by` tie semantics of the pre-gather implementation: keep the
-        // *last* maximal candidate.
-        let mut best = 0usize;
-        for (slot, &s) in self.scores.iter().enumerate().skip(1) {
-            if s.partial_cmp(&self.scores[best])
-                .expect("scores are finite")
-                .is_ge()
-            {
-                best = slot;
+        let best = Self::argmax_last(&self.scores);
+        Some(self.candidates[best])
+    }
+
+    /// The batched draw. Candidate sets are drawn first for every `(pair,
+    /// slot)` in pair order — the exact RNG sequence of the looped per-pair
+    /// path, since scoring consumes no randomness — then **consecutive
+    /// same-user runs** of draws (every `k > 1` row, and adjacent same-user
+    /// pairs) are scored with one `score_items` gather each, straight off
+    /// the contiguous candidate buffer (zero-copy: a run's candidate sets
+    /// are adjacent by construction). DNS gathers are only `m` dots, so
+    /// unlike BNS — whose catalog-sized ECDF pass justifies a full sort-
+    /// based by-user grouping — the consecutive grouping captures the
+    /// whole win without paying a per-batch sort.
+    fn sample_batch(
+        &mut self,
+        pairs: &[(u32, u32)],
+        k: usize,
+        ctx: &SampleContext<'_>,
+        rng: &mut dyn rand::RngCore,
+        out: &mut TripleBatch,
+    ) {
+        out.begin_fill(k);
+        let m = self.m;
+        self.batch.cands.clear();
+        self.batch.draw_users.clear();
+
+        // Phase A (all the RNG): candidate sets in pair-major, slot-minor
+        // order, exactly as the looped path would consume them — drawn
+        // straight into the concatenated buffer, no per-draw copy.
+        for &(u, pos) in pairs {
+            out.push_row(u, pos);
+            let mut ok = true;
+            for _ in 0..k {
+                if !draw_candidate_append(ctx.train, u, m, &mut self.batch.cands, rng) {
+                    ok = false;
+                    break;
+                }
+                self.batch.draw_users.push(u);
+            }
+            if !ok {
+                // Saturated user: drop the row (the first slot already
+                // failed before consuming RNG, so nothing was recorded).
+                out.pop_row();
             }
         }
-        Some(self.candidates[best])
+
+        // Phase B: one zero-copy gather per consecutive same-user run,
+        // each draw's argmax (per-pair tie rule) resolved while its scores
+        // are hot.
+        let negs = out.negs_mut();
+        let n_draws = self.batch.draw_users.len();
+        let mut run = 0usize;
+        while run < n_draws {
+            let user = self.batch.draw_users[run];
+            let mut end = run + 1;
+            while end < n_draws && self.batch.draw_users[end] == user {
+                end += 1;
+            }
+            let span = &self.batch.cands[run * m..end * m];
+            self.batch.run_scores.clear();
+            self.batch.run_scores.resize(span.len(), 0.0);
+            ctx.scorer
+                .score_items(user, span, &mut self.batch.run_scores);
+            for (slot, neg) in negs[run..end].iter_mut().enumerate() {
+                let scores = &self.batch.run_scores[slot * m..(slot + 1) * m];
+                let best = Self::argmax_last(scores);
+                *neg = span[slot * m + best];
+            }
+            run = end;
+        }
     }
 
     fn score_access(&self) -> ScoreAccess {

@@ -5,9 +5,11 @@
 //! The paper's contribution (§III) and everything it is compared against
 //! (§IV-A2):
 //!
-//! * [`sampler`] — the [`NegativeSampler`] trait, the per-call
-//!   [`SampleContext`], the [`ScoreAccess`] cost contract, and the shared
-//!   uniform candidate-drawing helper.
+//! * [`sampler`] — the [`NegativeSampler`] trait (per-pair `sample` and
+//!   the batched `sample_batch` that fills a [`TripleBatch`] with
+//!   `k ≥ 1` negatives per pair), the per-call [`SampleContext`], the
+//!   [`ScoreAccess`] cost contract, and the shared uniform
+//!   candidate-drawing helper.
 //! * [`rns`] — Random Negative Sampling (uniform; BPR's default).
 //! * [`pns`] — Popularity-biased Negative Sampling (`∝ r^0.75`).
 //! * [`aobpr`] — Adaptive Oversampling BPR (rank-exponential; Rendle &
@@ -20,7 +22,8 @@
 //!   posterior (Eq. 15), pluggable priors (Eq. 17 and the Table III/IV
 //!   variants), λ schedules, and the min-risk sampling rule (Eq. 32).
 //! * [`classifier`] — the Bayesian negative classifier of Eq. (11)–(13).
-//! * [`trainer`] — Algorithm 1: the serial, bit-exact BPR training loop
+//! * [`trainer`] — Algorithm 1: the serial, bit-exact BPR training loop,
+//!   restructured around the SoA [`TripleBatch`] fill/update pipeline,
 //!   that wires a sampler into a
 //!   [`PairwiseModel`](bns_model::PairwiseModel), with observer hooks for
 //!   the quality probes.
@@ -44,6 +47,7 @@ pub mod srns;
 pub mod trainer;
 
 pub use bns::{BnsConfig, BnsSampler, Criterion, LambdaSchedule, PosteriorStats, Prior, PriorKind};
+pub use bns_model::TripleBatch;
 pub use contrastive::{train_contrastive, ContrastiveConfig, ContrastiveStats};
 pub use factory::{build_sampler, SamplerConfig};
 pub use parallel::{Determinism, ParallelConfig, ParallelTrainer};

@@ -11,10 +11,11 @@
 //! * its **own negative-sampler instance** built from the shared
 //!   [`SamplerConfig`], so stateful samplers (SRNS memory, BNS λ/posterior
 //!   accumulators) never need locks;
-//! * a private score buffer for Algorithm 1's rating vector `x̂ᵤ`, filled
-//!   only for `ScoreAccess::Full` samplers (AOBPR); `Candidates` samplers
-//!   such as the fused BNS draw gather their scores straight from the
-//!   shared hogwild tables through `Scorer::score_items`.
+//! * a private [`TripleBatch`] pipeline: each worker fills its batch via
+//!   `NegativeSampler::sample_batch` (score gathers grouped by user,
+//!   straight from the shared hogwild tables through `Scorer::score_items`)
+//!   and applies it with [`HogwildMf::apply_batch`], whose group updates
+//!   batch the atomic stores.
 //!
 //! Sharding by user makes user-embedding updates race-free (each user row
 //! has exactly one writer); item rows are shared and updated with the
@@ -46,10 +47,11 @@
 
 use crate::bns::PosteriorStats;
 use crate::factory::{build_sampler, SamplerConfig};
-use crate::trainer::{sample_pair, TrainConfig, TrainObserver, TrainStats};
+use crate::sampler::SampleContext;
+use crate::trainer::{TrainConfig, TrainObserver, TrainStats};
 use crate::{CoreError, Result};
 use bns_data::{Dataset, Occupations};
-use bns_model::{HogwildMf, MatrixFactorization, Scorer};
+use bns_model::{HogwildMf, HogwildScratch, MatrixFactorization, Scorer, TripleBatch};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -285,11 +287,13 @@ impl ParallelTrainer {
                     let mut rng = StdRng::seed_from_u64(worker_seed(config.seed, w));
                     let mut sampler = build_sampler(sampler_cfg, dataset, occupations)
                         .expect("sampler config validated by the coordinator");
-                    // Rating-vector buffer; grown and written by
-                    // `sample_pair` only under ScoreAccess::Full, so
-                    // None/Candidates shards never hold a catalog-sized
-                    // allocation.
-                    let mut user_scores: Vec<f32> = Vec::new();
+                    // Per-worker reusable batch pipeline buffers: the SoA
+                    // triple batch, the per-triple info output, and the
+                    // hogwild group-update scratch. All reach steady-state
+                    // capacity after the first batches.
+                    let mut batch_buf = TripleBatch::new();
+                    let mut infos: Vec<f32> = Vec::new();
+                    let mut scratch = HogwildScratch::default();
                     for epoch in 0..epochs {
                         if !poisoned.load(Ordering::Acquire) {
                             let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
@@ -297,26 +301,40 @@ impl ParallelTrainer {
                                 sampler.on_epoch_start(epoch);
                                 pairs.shuffle(&mut rng);
                                 let mut local = EpochReport::default();
-                                for &(u, pos) in &pairs {
-                                    let neg = sample_pair(
-                                        sampler.as_mut(),
-                                        shared,
-                                        train_set,
-                                        popularity,
-                                        &mut user_scores,
-                                        u,
-                                        pos,
-                                        epoch,
-                                        &mut rng,
+                                for chunk in pairs.chunks(config.batch_size) {
+                                    // Fill: k negatives per pair against the
+                                    // shared tables, gathers batched by user.
+                                    {
+                                        let ctx = SampleContext {
+                                            scorer: shared,
+                                            train: train_set,
+                                            popularity,
+                                            user_scores: &[],
+                                            epoch,
+                                        };
+                                        sampler.sample_batch(
+                                            chunk,
+                                            config.k_negatives,
+                                            &ctx,
+                                            &mut rng,
+                                            &mut batch_buf,
+                                        );
+                                    }
+                                    local.skipped += chunk.len() - batch_buf.len();
+                                    // Update: hogwild writes with batched
+                                    // atomic stores per row group.
+                                    shared.apply_batch(
+                                        &batch_buf,
+                                        lr,
+                                        config.sgd.reg,
+                                        &mut infos,
+                                        &mut scratch,
                                     );
-                                    let Some(neg) = neg else {
-                                        local.skipped += 1;
-                                        continue;
-                                    };
-                                    let info = shared.apply_triple(u, pos, neg, lr, config.sgd.reg);
-                                    local.info_sum += info as f64;
-                                    local.info_count += 1;
-                                    local.triples += 1;
+                                    for &info in &infos {
+                                        local.info_sum += info as f64;
+                                    }
+                                    local.info_count += infos.len();
+                                    local.triples += infos.len();
                                 }
                                 if let Some(post) = sampler.take_epoch_stats() {
                                     local.posterior = post;

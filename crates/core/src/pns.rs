@@ -12,6 +12,7 @@
 use crate::sampler::{NegativeSampler, SampleContext, ScoreAccess};
 use crate::{CoreError, Result};
 use bns_data::Popularity;
+use bns_model::TripleBatch;
 use bns_stats::AliasTable;
 
 /// Popularity-biased sampler with a precomputed alias table.
@@ -30,15 +31,12 @@ impl Pns {
     }
 }
 
-impl NegativeSampler for Pns {
-    fn name(&self) -> &str {
-        "PNS"
-    }
-
-    fn sample(
+impl Pns {
+    /// One alias-table draw with rejection against `u`'s positives (shared
+    /// by the per-pair and batched paths so they cannot drift).
+    fn draw(
         &mut self,
         u: u32,
-        _pos: u32,
         ctx: &SampleContext<'_>,
         rng: &mut dyn rand::RngCore,
     ) -> Option<u32> {
@@ -54,6 +52,35 @@ impl NegativeSampler for Pns {
             }
         }
         crate::sampler::draw_uniform_negative(ctx.train, u, rng)
+    }
+}
+
+impl NegativeSampler for Pns {
+    fn name(&self) -> &str {
+        "PNS"
+    }
+
+    fn sample(
+        &mut self,
+        u: u32,
+        _pos: u32,
+        ctx: &SampleContext<'_>,
+        rng: &mut dyn rand::RngCore,
+    ) -> Option<u32> {
+        self.draw(u, ctx, rng)
+    }
+
+    /// Bulk draw straight off the alias table — no per-pair dispatch.
+    /// Draw-for-draw identical to looping [`NegativeSampler::sample`].
+    fn sample_batch(
+        &mut self,
+        pairs: &[(u32, u32)],
+        k: usize,
+        ctx: &SampleContext<'_>,
+        rng: &mut dyn rand::RngCore,
+        out: &mut TripleBatch,
+    ) {
+        crate::sampler::fill_rows(pairs, k, out, rng, |u, rng| self.draw(u, ctx, rng));
     }
 
     fn score_access(&self) -> ScoreAccess {

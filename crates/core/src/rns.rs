@@ -6,6 +6,7 @@
 //! false negative is drawn.
 
 use crate::sampler::{draw_uniform_negative, NegativeSampler, SampleContext, ScoreAccess};
+use bns_model::TripleBatch;
 
 /// Uniform negative sampler.
 #[derive(Debug, Clone, Copy, Default)]
@@ -24,6 +25,22 @@ impl NegativeSampler for Rns {
         rng: &mut dyn rand::RngCore,
     ) -> Option<u32> {
         draw_uniform_negative(ctx.train, u, rng)
+    }
+
+    /// Bulk draw: the whole batch is one tight rejection-sampling loop with
+    /// no per-pair trait dispatch or context plumbing. Draw-for-draw
+    /// identical to looping [`NegativeSampler::sample`].
+    fn sample_batch(
+        &mut self,
+        pairs: &[(u32, u32)],
+        k: usize,
+        ctx: &SampleContext<'_>,
+        rng: &mut dyn rand::RngCore,
+        out: &mut TripleBatch,
+    ) {
+        crate::sampler::fill_rows(pairs, k, out, rng, |u, rng| {
+            draw_uniform_negative(ctx.train, u, rng)
+        });
     }
 
     fn score_access(&self) -> ScoreAccess {

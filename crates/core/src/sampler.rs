@@ -8,7 +8,7 @@
 //! Algorithm 1 line 4 — and the trainer pays exactly that cost, no more.
 
 use bns_data::{Interactions, Popularity};
-use bns_model::Scorer;
+use bns_model::{Scorer, TripleBatch};
 use rand::Rng;
 
 /// How much score access a sampler needs per draw — the contract that lets
@@ -79,6 +79,65 @@ pub trait NegativeSampler {
         rng: &mut dyn rand::RngCore,
     ) -> Option<u32>;
 
+    /// Draws `k` negatives for every pair of `pairs` into the reusable SoA
+    /// buffer `out` — the batched form of Algorithm 1 lines 5–13.
+    ///
+    /// `out` is cleared and refilled with one row per pair **in pair
+    /// order**; pairs whose user has no negatives are dropped (so
+    /// `out.len() ≤ pairs.len()`). The model is treated as frozen for the
+    /// whole batch: implementations may reorder *score* work freely (group
+    /// gathers by user, amortize catalog passes) but must keep the **RNG
+    /// call sequence and the returned draws identical to this default** —
+    /// `k` looped [`NegativeSampler::sample`] calls per pair — which is
+    /// what makes `batch_size = 1, k = 1` reproduce the per-pair trace bit
+    /// for bit (`tests/batch_equivalence.rs` pins every built-in sampler
+    /// to this contract).
+    ///
+    /// `ctx.user_scores` is empty on the batch path; samplers needing
+    /// [`ScoreAccess::Full`] fetch rating vectors themselves (the default
+    /// below does it per pair into a local buffer, so only specialized
+    /// implementations are allocation-free — every built-in sampler
+    /// specializes).
+    fn sample_batch(
+        &mut self,
+        pairs: &[(u32, u32)],
+        k: usize,
+        ctx: &SampleContext<'_>,
+        rng: &mut dyn rand::RngCore,
+        out: &mut TripleBatch,
+    ) {
+        out.begin_fill(k);
+        let mut user_scores: Vec<f32> = Vec::new();
+        for &(u, pos) in pairs {
+            let full = self.score_access() == ScoreAccess::Full;
+            if full {
+                user_scores.resize(ctx.train.n_items() as usize, 0.0);
+                ctx.scorer.score_all(u, &mut user_scores);
+            }
+            let pair_ctx = SampleContext {
+                scorer: ctx.scorer,
+                train: ctx.train,
+                popularity: ctx.popularity,
+                user_scores: if full { &user_scores } else { &[] },
+                epoch: ctx.epoch,
+            };
+            let row = out.push_row(u, pos);
+            let mut filled = 0usize;
+            while filled < k {
+                match self.sample(u, pos, &pair_ctx, rng) {
+                    Some(j) => {
+                        row[filled] = j;
+                        filled += 1;
+                    }
+                    None => break,
+                }
+            }
+            if filled < k {
+                out.pop_row();
+            }
+        }
+    }
+
     /// The score access this sampler needs for its next draw (may vary
     /// with sampler state — BNS needs none during its warm-up epochs).
     /// The trainer precomputes the full rating vector only for
@@ -100,6 +159,51 @@ pub trait NegativeSampler {
     fn take_epoch_stats(&mut self) -> Option<crate::bns::PosteriorStats> {
         None
     }
+}
+
+/// Fills `out` with one row per pair, drawing each of the `k` negative
+/// slots from `draw` in pair-major, slot-minor order and dropping rows
+/// whose draw fails (`None` — a user with no negatives fails on the first
+/// slot without consuming RNG). This is the **one** copy of the
+/// row-abort contract of `sample_batch`, shared by every sampler whose
+/// batched path is a straight per-draw loop (RNS, PNS, SRNS, the BNS
+/// warm-up) so the partial-row semantics cannot drift between them.
+pub(crate) fn fill_rows(
+    pairs: &[(u32, u32)],
+    k: usize,
+    out: &mut TripleBatch,
+    rng: &mut dyn rand::RngCore,
+    mut draw: impl FnMut(u32, &mut dyn rand::RngCore) -> Option<u32>,
+) {
+    out.begin_fill(k);
+    for &(u, pos) in pairs {
+        let row = out.push_row(u, pos);
+        let mut filled = 0usize;
+        while filled < k {
+            match draw(u, rng) {
+                Some(j) => {
+                    row[filled] = j;
+                    filled += 1;
+                }
+                None => break,
+            }
+        }
+        if filled < k {
+            out.pop_row();
+        }
+    }
+}
+
+/// Fills `order` with the draw indices `0..users.len()` sorted by
+/// `(user, index)` — the by-user grouping the batched samplers use to turn
+/// per-draw score gathers into one gather (and, for BNS, one Eq. 16
+/// catalog pass) per distinct user of the batch. The secondary index key
+/// makes the grouping fully deterministic and keeps same-user draws in
+/// draw order.
+pub(crate) fn group_runs_by_user(users: &[u32], order: &mut Vec<u32>) {
+    order.clear();
+    order.extend(0..users.len() as u32);
+    order.sort_unstable_by_key(|&i| (users[i as usize], i));
 }
 
 /// Draws one uniform negative of `u` by rejection against the training
@@ -155,10 +259,30 @@ pub fn draw_candidate_set<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> bool {
     out.clear();
+    draw_candidate_append(train, u, m, out, rng)
+}
+
+/// [`draw_candidate_set`] without the clear: **appends** `m` uniform
+/// negatives of `u` to `out` (the batched samplers draw every pair's
+/// candidate set straight into one concatenated buffer, no per-draw copy).
+/// Consumes the RNG identically to [`draw_candidate_set`]; on failure
+/// (user has no negatives — detected before any RNG use) whatever was
+/// appended is truncated away and `false` is returned.
+pub fn draw_candidate_append<R: Rng + ?Sized>(
+    train: &Interactions,
+    u: u32,
+    m: usize,
+    out: &mut Vec<u32>,
+    rng: &mut R,
+) -> bool {
+    let start = out.len();
     for _ in 0..m {
         match draw_uniform_negative(train, u, rng) {
             Some(i) => out.push(i),
-            None => return false,
+            None => {
+                out.truncate(start);
+                return false;
+            }
         }
     }
     true

@@ -18,6 +18,7 @@
 
 use crate::sampler::{draw_uniform_negative, NegativeSampler, SampleContext, ScoreAccess};
 use crate::{CoreError, Result};
+use bns_model::TripleBatch;
 use bns_stats::Welford;
 use rand::Rng;
 
@@ -26,6 +27,14 @@ use rand::Rng;
 struct UserMemory {
     items: Vec<u32>,
     stats: Vec<Welford>,
+    /// Scores of `items`, valid only while `cache_stamp` matches the
+    /// sampler's current batch stamp (the model is frozen within one
+    /// `sample_batch` call, so same-user draws can reuse the gather).
+    cached_scores: Vec<f32>,
+    cache_stamp: u64,
+    /// Slots refreshed since the cache was filled (their cached score is
+    /// stale and re-gathered before the next same-user draw).
+    dirty: Vec<u32>,
 }
 
 /// Variance-aware sampler.
@@ -42,6 +51,11 @@ pub struct Srns {
     memories: Vec<Option<UserMemory>>,
     /// Reusable buffer for the S₁ memory-item scores of the current draw.
     score_scratch: Vec<f32>,
+    /// Monotone id of the current `sample_batch` call (cache validity).
+    batch_stamp: u64,
+    /// Reusable buffers for re-gathering refreshed (dirty) slots.
+    dirty_ids: Vec<u32>,
+    dirty_scores: Vec<f32>,
 }
 
 impl Srns {
@@ -70,6 +84,9 @@ impl Srns {
             refresh_prob,
             memories: Vec::new(),
             score_scratch: Vec::with_capacity(s1),
+            batch_stamp: 0,
+            dirty_ids: Vec::new(),
+            dirty_scores: Vec::new(),
         })
     }
 
@@ -93,9 +110,56 @@ impl Srns {
                 items.push(draw_uniform_negative(ctx.train, u, rng)?);
             }
             let stats = vec![Welford::new(); self.memory_size];
-            self.memories[u as usize] = Some(UserMemory { items, stats });
+            self.memories[u as usize] = Some(UserMemory {
+                items,
+                stats,
+                cached_scores: Vec::new(),
+                cache_stamp: 0,
+                dirty: Vec::new(),
+            });
         }
         self.memories[u as usize].as_mut()
+    }
+
+    /// The S₂-sample selection and stochastic refresh shared by the
+    /// per-pair and batched paths: `scores[slot]` must hold the current
+    /// score of `mem.items[slot]` and have already been pushed into the
+    /// Welford stats. Returns the selected item and the refreshed slot (if
+    /// any), consuming RNG in exactly the per-pair order.
+    #[allow(clippy::too_many_arguments)] // the flat per-draw state of one SRNS step
+    fn select_and_refresh(
+        sample_size: usize,
+        memory_size: usize,
+        alpha: f64,
+        refresh_prob: f64,
+        mem: &mut UserMemory,
+        scores: &[f32],
+        ctx: &SampleContext<'_>,
+        u: u32,
+        rng: &mut dyn rand::RngCore,
+    ) -> (Option<u32>, Option<usize>) {
+        // Examine S₂ random slots; pick argmax score + α·std.
+        let mut best: Option<(f64, u32)> = None;
+        for _ in 0..sample_size {
+            let slot = rng.random_range(0..memory_size);
+            let item = mem.items[slot];
+            let value = scores[slot] as f64 + alpha * mem.stats[slot].std_dev();
+            if best.map(|(v, _)| value > v).unwrap_or(true) {
+                best = Some((value, item));
+            }
+        }
+
+        // Stochastic memory refresh keeps exploration alive.
+        let mut refreshed = None;
+        if rng.random_range(0.0..1.0) < refresh_prob {
+            if let Some(fresh) = draw_uniform_negative(ctx.train, u, rng) {
+                let slot = rng.random_range(0..memory_size);
+                mem.items[slot] = fresh;
+                mem.stats[slot] = Welford::new();
+                refreshed = Some(slot);
+            }
+        }
+        (best.map(|(_, item)| item), refreshed)
     }
 }
 
@@ -129,26 +193,94 @@ impl NegativeSampler for Srns {
             stat.push(s as f64);
         }
 
-        // Examine S₂ random slots; pick argmax score + α·std.
-        let mut best: Option<(f64, u32)> = None;
-        for _ in 0..sample_size {
-            let slot = rng.random_range(0..memory_size);
-            let item = mem.items[slot];
-            let value = self.score_scratch[slot] as f64 + alpha * mem.stats[slot].std_dev();
-            if best.map(|(v, _)| value > v).unwrap_or(true) {
-                best = Some((value, item));
-            }
-        }
+        let (best, _) = Self::select_and_refresh(
+            sample_size,
+            memory_size,
+            alpha,
+            refresh_prob,
+            mem,
+            &self.score_scratch,
+            ctx,
+            u,
+            rng,
+        );
+        best
+    }
 
-        // Stochastic memory refresh keeps exploration alive.
-        if rng.random_range(0.0..1.0) < refresh_prob {
-            if let Some(fresh) = draw_uniform_negative(ctx.train, u, rng) {
-                let slot = rng.random_range(0..memory_size);
-                mem.items[slot] = fresh;
-                mem.stats[slot] = Welford::new();
+    /// The batched draw: draws are processed in pair order (the RNG
+    /// sequence is exactly the looped per-pair path), but the S₁-item
+    /// score gather is cached per user for the duration of the batch — the
+    /// model is frozen, so only slots touched by a stochastic refresh are
+    /// re-gathered. Same-user draws (every `k > 1` workload, and repeated
+    /// users within a shuffled batch) therefore pay one full gather plus
+    /// at most one-slot incremental gathers instead of a full S₁ gather
+    /// per draw.
+    fn sample_batch(
+        &mut self,
+        pairs: &[(u32, u32)],
+        k: usize,
+        ctx: &SampleContext<'_>,
+        rng: &mut dyn rand::RngCore,
+        out: &mut TripleBatch,
+    ) {
+        self.batch_stamp += 1;
+        let stamp = self.batch_stamp;
+        let sample_size = self.sample_size;
+        let alpha = self.alpha;
+        let refresh_prob = self.refresh_prob;
+        let memory_size = self.memory_size;
+
+        crate::sampler::fill_rows(pairs, k, out, rng, |u, rng| {
+            self.memory_for(u, ctx, rng)?;
+            let mem = self.memories[u as usize].as_mut().expect("just ensured");
+            if mem.cache_stamp != stamp {
+                // First draw for this user in the batch: full gather.
+                mem.cached_scores.clear();
+                mem.cached_scores.resize(mem.items.len(), 0.0);
+                ctx.scorer
+                    .score_items(u, &mem.items, &mut mem.cached_scores);
+                mem.cache_stamp = stamp;
+                mem.dirty.clear();
+            } else if !mem.dirty.is_empty() {
+                // Re-gather only the slots a refresh replaced.
+                self.dirty_ids.clear();
+                for &slot in &mem.dirty {
+                    self.dirty_ids.push(mem.items[slot as usize]);
+                }
+                self.dirty_scores.clear();
+                self.dirty_scores.resize(self.dirty_ids.len(), 0.0);
+                ctx.scorer
+                    .score_items(u, &self.dirty_ids, &mut self.dirty_scores);
+                for (&slot, &s) in mem.dirty.iter().zip(&self.dirty_scores) {
+                    mem.cached_scores[slot as usize] = s;
+                }
+                mem.dirty.clear();
             }
-        }
-        best.map(|(_, item)| item)
+            // Identical Welford pushes to the per-pair path (same values:
+            // the model is frozen for the whole batch).
+            for (stat, &s) in mem.stats.iter_mut().zip(&mem.cached_scores) {
+                stat.push(s as f64);
+            }
+            // Lend the cached scores out of `mem` (no copy) so the helper
+            // can mutate the memory while reading them.
+            let cached = std::mem::take(&mut mem.cached_scores);
+            let (best, refreshed) = Self::select_and_refresh(
+                sample_size,
+                memory_size,
+                alpha,
+                refresh_prob,
+                mem,
+                &cached,
+                ctx,
+                u,
+                rng,
+            );
+            mem.cached_scores = cached;
+            if let Some(slot) = refreshed {
+                mem.dirty.push(slot as u32);
+            }
+            best
+        });
     }
 
     fn score_access(&self) -> ScoreAccess {

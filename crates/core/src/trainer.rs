@@ -1,24 +1,32 @@
 //! Algorithm 1 — the BPR training loop with pluggable negative sampling.
 //!
-//! For each epoch: shuffle the training pairs, and for each `(u, i)` get
-//! the user's rating vector (when the sampler wants it), draw a negative
-//! `j`, and apply the model's BPR update. Observers receive every sampled
-//! triple (the TNR/INF quality probes of Fig. 4 hook in here) and an
-//! end-of-epoch callback (ranking evaluation, score-distribution probes).
+//! For each epoch: shuffle the training pairs, then process them in
+//! mini-batches through the SoA [`TripleBatch`] pipeline — a **fill
+//! phase** where the sampler draws [`TrainConfig::k_negatives`] negatives
+//! per pair ([`crate::NegativeSampler::sample_batch`], Algorithm 1 lines
+//! 5–13 batched) against the batch-start model state, and an **update
+//! phase** where the model consumes the whole batch
+//! ([`bns_model::PairwiseModel::update_batch`], line 14). Observers
+//! receive every applied triple (the TNR/INF quality probes of Fig. 4
+//! hook in here) and an end-of-epoch callback (ranking evaluation,
+//! score-distribution probes).
 //!
 //! [`train`] is the **serial, bit-exact** engine: one RNG stream, one
 //! deterministic schedule, reproducible to the bit (guarded by
-//! `tests/trainer_repro_guard.rs`). It doubles as the single-shard kernel
-//! of the sharded engine in [`crate::parallel`] — the multi-core path
-//! shares this module's per-pair sampling step
-//! ([`sample_pair`](fn@sample_pair), Algorithm 1 lines 4–13) and differs
-//! only in how updates are applied.
+//! `tests/trainer_repro_guard.rs`). At `batch_size = 1, k_negatives = 1`
+//! — the paper's MF setup — the batched pipeline consumes the RNG and
+//! applies updates exactly like the historical one-triple-at-a-time loop,
+//! so the pre-batching training trace is preserved bit for bit
+//! (`tests/batch_equivalence.rs` pins the sampler side of that contract;
+//! the blocked MF group update pins the model side). The multi-core
+//! engine in [`crate::parallel`] shares the same fill/update cycle and
+//! differs only in how updates are applied.
 
 use crate::bns::PosteriorStats;
 use crate::sampler::{NegativeSampler, SampleContext, ScoreAccess};
 use crate::{CoreError, Result};
 use bns_data::{Dataset, Interactions, Popularity};
-use bns_model::{PairwiseModel, Scorer};
+use bns_model::{PairwiseModel, Scorer, TripleBatch};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -52,6 +60,13 @@ pub struct TrainConfig {
     /// Mini-batch size. Paper: 1 for MF; 128 for LightGCN (1024 on
     /// MovieLens-1M).
     pub batch_size: usize,
+    /// Negatives sampled per positive pair, the `k` of the
+    /// [`bns_model::TripleBatch`] pipeline. Algorithm 1 of the paper is
+    /// `k = 1` (the default and the setting of every paper table); `k > 1`
+    /// is the multi-negative extension that feeds adaptive-hardness and
+    /// contrastive-style workloads (each of the `k` negatives is applied as
+    /// one BPR triple — MF folds them into one blocked group update).
+    pub k_negatives: usize,
     /// SGD hyperparameters. Paper: learning rate 0.01 and L2 regularization
     /// 0.01 for both models; LightGCN additionally step-decays the rate.
     pub sgd: bns_model::SgdConfig,
@@ -67,6 +82,7 @@ impl TrainConfig {
         Self {
             epochs,
             batch_size: 1,
+            k_negatives: 1,
             sgd: bns_model::SgdConfig::paper_mf(),
             seed,
         }
@@ -77,6 +93,7 @@ impl TrainConfig {
         Self {
             epochs,
             batch_size,
+            k_negatives: 1,
             sgd: bns_model::SgdConfig::paper_lightgcn(),
             seed,
         }
@@ -88,6 +105,9 @@ impl TrainConfig {
         }
         if self.batch_size == 0 {
             return Err(CoreError::InvalidConfig("batch_size must be > 0".into()));
+        }
+        if self.k_negatives == 0 {
+            return Err(CoreError::InvalidConfig("k_negatives must be > 0".into()));
         }
         self.sgd.validate().map_err(CoreError::from)
     }
@@ -135,8 +155,11 @@ pub struct TrainStats {
 /// rating vector `x̂ᵤ` when the sampler asks for [`ScoreAccess::Full`],
 /// then draw one negative.
 ///
-/// Shared verbatim between the serial loop below and each worker of the
-/// sharded engine in [`crate::parallel`], so the two paths cannot drift.
+/// This is the **per-pair** sampling step — the reference the batched
+/// pipeline is equivalence-tested against (`tests/batch_equivalence.rs`)
+/// and the baseline the benches compare batched throughput to. The
+/// training engines themselves go through
+/// [`crate::NegativeSampler::sample_batch`].
 /// `user_scores` is the caller's reusable rating-vector buffer: it is
 /// grown to `train.n_items()` and overwritten **only** under `Full`
 /// access, so callers pass `Vec::new()` and never pay a catalog-sized
@@ -228,9 +251,10 @@ pub fn train<M: PairwiseModel>(
     let popularity = dataset.popularity();
     let mut pairs: Vec<(u32, u32)> = train_set.iter_pairs().collect();
     let mut rng = StdRng::seed_from_u64(config.seed);
-    // Rating-vector buffer, grown by `sample_pair` only if the sampler
-    // ever asks for ScoreAccess::Full.
-    let mut user_scores: Vec<f32> = Vec::new();
+    // Reusable SoA batch buffer and per-triple info output — the whole
+    // fill/update cycle below is allocation-free in steady state.
+    let mut batch_buf = TripleBatch::new();
+    let mut infos: Vec<f32> = Vec::new();
 
     let mut stats = TrainStats {
         triples: 0,
@@ -251,32 +275,37 @@ pub fn train<M: PairwiseModel>(
 
         for batch in pairs.chunks(config.batch_size) {
             model.begin_batch();
-            for &(u, pos) in batch {
-                let neg = sample_pair(
-                    sampler,
-                    &*model,
-                    train_set,
+            // Fill phase: the sampler draws k negatives per pair against
+            // the batch-start model state (Algorithm 1 lines 5–13, batched;
+            // at batch_size = 1 this is exactly the per-pair schedule).
+            {
+                let ctx = SampleContext {
+                    scorer: &*model,
+                    train: train_set,
                     popularity,
-                    &mut user_scores,
-                    u,
-                    pos,
+                    user_scores: &[],
                     epoch,
-                    &mut rng,
-                );
-                let Some(neg) = neg else {
-                    stats.skipped += 1;
-                    continue;
                 };
-                debug_assert!(
-                    !train_set.contains(u, neg),
-                    "sampler returned a training positive"
-                );
-                let info = model.accumulate_triple(u, pos, neg, lr, config.sgd.reg);
-                observer.on_triple(epoch, u, pos, neg, info);
-                info_sum += info as f64;
-                info_count += 1;
-                stats.triples += 1;
+                sampler.sample_batch(batch, config.k_negatives, &ctx, &mut rng, &mut batch_buf);
             }
+            stats.skipped += batch.len() - batch_buf.len();
+            // Update phase: the model consumes the whole batch (line 14).
+            model.update_batch(&batch_buf, lr, config.sgd.reg, &mut infos);
+            debug_assert_eq!(infos.len(), batch_buf.n_triples());
+            let mut slot = 0usize;
+            for (u, pos, negs) in batch_buf.iter() {
+                for &neg in negs {
+                    debug_assert!(
+                        !train_set.contains(u, neg),
+                        "sampler returned a training positive"
+                    );
+                    observer.on_triple(epoch, u, pos, neg, infos[slot]);
+                    info_sum += infos[slot] as f64;
+                    slot += 1;
+                }
+            }
+            info_count += infos.len();
+            stats.triples += infos.len();
             model.end_batch(lr, config.sgd.reg);
         }
 

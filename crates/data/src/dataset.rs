@@ -14,6 +14,9 @@ pub struct Dataset {
     train: Interactions,
     test: Interactions,
     popularity: Popularity,
+    /// Users with ≥ 1 train and ≥ 1 test positive, computed once at
+    /// construction (the evaluation protocol reads it per epoch probe).
+    evaluable_users: Vec<u32>,
 }
 
 impl Dataset {
@@ -36,11 +39,15 @@ impl Dataset {
             }
         }
         let popularity = Popularity::from_interactions(&train);
+        let evaluable_users = (0..train.n_users())
+            .filter(|&u| train.degree(u) > 0 && test.degree(u) > 0)
+            .collect();
         Ok(Self {
             name: name.into(),
             train,
             test,
             popularity,
+            evaluable_users,
         })
     }
 
@@ -86,11 +93,10 @@ impl Dataset {
 
     /// Users that have at least one training positive *and* at least one
     /// test positive — the population over which ranking metrics are
-    /// averaged.
-    pub fn evaluable_users(&self) -> Vec<u32> {
-        (0..self.n_users())
-            .filter(|&u| self.train.degree(u) > 0 && self.test.degree(u) > 0)
-            .collect()
+    /// averaged. Cached at construction (the per-epoch evaluation probes
+    /// read it repeatedly), so this is a free slice borrow.
+    pub fn evaluable_users(&self) -> &[u32] {
+        &self.evaluable_users
     }
 }
 

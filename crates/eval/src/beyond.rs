@@ -33,7 +33,7 @@ pub fn beyond_accuracy(model: &dyn Scorer, dataset: &Dataset, k: usize) -> Beyon
     let mut scores = vec![0.0f32; n_items];
     let mut pop_sum = 0.0f64;
     let mut rec_count = 0usize;
-    for u in dataset.evaluable_users() {
+    for &u in dataset.evaluable_users() {
         model.score_all(u, &mut scores);
         let ranked = top_k_masked(&scores, dataset.train().items_of(u), k);
         for &i in &ranked {

@@ -97,7 +97,7 @@ fn evaluate_sequential(model: &dyn Scorer, dataset: &Dataset, k: usize) -> (f64,
     let mut scores = vec![0.0f32; dataset.n_items() as usize];
     let mut ndcg = 0.0;
     let mut recall = 0.0;
-    for &u in &users {
+    for &u in users {
         model.score_all(u, &mut scores);
         let ranked = top_k_masked(&scores, dataset.train().items_of(u), k);
         let relevant = dataset.test().items_of(u);

@@ -11,6 +11,9 @@
 //! --train-threads <n>   hogwild training shards for MF runs (default 1 =
 //!                       serial bit-exact; > 1 trades the bit-exact trace
 //!                       for multi-core throughput)
+//! --k-negatives <n>     negatives sampled per positive pair (default 1 =
+//!                       the paper's Algorithm 1; > 1 is the multi-negative
+//!                       batch workload)
 //! --csv <dir>           also write CSV series into <dir>
 //! --quick               tiny preset for smoke tests (scale 0.08, 12 epochs)
 //! ```
@@ -30,6 +33,8 @@ pub struct HarnessArgs {
     pub threads: usize,
     /// Hogwild training shards for MF runs (1 = serial bit-exact engine).
     pub train_threads: usize,
+    /// Negatives per positive pair (1 = the paper's Algorithm 1).
+    pub k_negatives: usize,
     /// Optional CSV output directory.
     pub csv: Option<PathBuf>,
 }
@@ -42,6 +47,7 @@ impl Default for HarnessArgs {
             seed: 42,
             threads: 4,
             train_threads: 1,
+            k_negatives: 1,
             csv: None,
         }
     }
@@ -59,6 +65,7 @@ impl HarnessArgs {
                 "--seed" => out.seed = take_value(&mut iter, "--seed")?,
                 "--threads" => out.threads = take_value(&mut iter, "--threads")?,
                 "--train-threads" => out.train_threads = take_value(&mut iter, "--train-threads")?,
+                "--k-negatives" => out.k_negatives = take_value(&mut iter, "--k-negatives")?,
                 "--csv" => {
                     let dir = iter.next().ok_or("--csv requires a directory")?;
                     out.csv = Some(PathBuf::from(dir));
@@ -83,6 +90,9 @@ impl HarnessArgs {
         if out.train_threads == 0 {
             return Err("--train-threads must be > 0".into());
         }
+        if out.k_negatives == 0 {
+            return Err("--k-negatives must be > 0".into());
+        }
         Ok(out)
     }
 
@@ -99,7 +109,7 @@ impl HarnessArgs {
 
     /// Usage text.
     pub fn usage() -> &'static str {
-        "usage: <bin> [--scale F] [--epochs N] [--seed N] [--threads N] [--train-threads N] [--csv DIR] [--quick]"
+        "usage: <bin> [--scale F] [--epochs N] [--seed N] [--threads N] [--train-threads N] [--k-negatives N] [--csv DIR] [--quick]"
     }
 }
 
@@ -141,6 +151,8 @@ mod tests {
             "2",
             "--train-threads",
             "4",
+            "--k-negatives",
+            "3",
             "--csv",
             "/tmp/x",
         ])
@@ -150,6 +162,7 @@ mod tests {
         assert_eq!(a.seed, 9);
         assert_eq!(a.threads, 2);
         assert_eq!(a.train_threads, 4);
+        assert_eq!(a.k_negatives, 3);
         assert_eq!(a.csv, Some(PathBuf::from("/tmp/x")));
     }
 
@@ -169,6 +182,7 @@ mod tests {
         assert!(parse(&["--epochs", "0"]).is_err());
         assert!(parse(&["--threads", "0"]).is_err());
         assert!(parse(&["--train-threads", "0"]).is_err());
+        assert!(parse(&["--k-negatives", "0"]).is_err());
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["--help"]).is_err());
     }

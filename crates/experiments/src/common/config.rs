@@ -49,6 +49,9 @@ pub struct RunConfig {
     /// Hogwild training shards for MF runs (1 = serial bit-exact engine;
     /// > 1 uses `bns_core::parallel::ParallelTrainer`).
     pub train_threads: usize,
+    /// Negatives sampled per positive pair (paper: 1; > 1 feeds the
+    /// multi-negative `TripleBatch` workload).
+    pub k_negatives: usize,
     /// Embedding dimensionality (paper: 32).
     pub dim: usize,
     /// Embedding init standard deviation.
@@ -68,6 +71,7 @@ impl RunConfig {
             seed: args.seed,
             threads: args.threads,
             train_threads: args.train_threads,
+            k_negatives: args.k_negatives,
             dim: 32,
             init_std: 0.1,
             gcn_layers: 1,

@@ -146,6 +146,21 @@ impl PairwiseModel for AnyModel {
         }
     }
 
+    fn update_batch(
+        &mut self,
+        batch: &bns_model::TripleBatch,
+        lr: f32,
+        reg: f32,
+        infos: &mut Vec<f32>,
+    ) {
+        // Forward explicitly so MF keeps its blocked group-update path (the
+        // trait default would silently fall back to per-triple loops).
+        match self {
+            AnyModel::Mf(m) => m.update_batch(batch, lr, reg, infos),
+            AnyModel::Gcn(m) => m.update_batch(batch, lr, reg, infos),
+        }
+    }
+
     fn end_batch(&mut self, lr: f32, reg: f32) {
         match self {
             AnyModel::Mf(m) => m.end_batch(lr, reg),
@@ -156,11 +171,15 @@ impl PairwiseModel for AnyModel {
 
 /// The paper's [`TrainConfig`] for a model kind / dataset / run config.
 pub fn paper_train_config(kind: ModelKind, preset: DatasetPreset, cfg: &RunConfig) -> TrainConfig {
-    match kind {
+    let base = match kind {
         ModelKind::Mf => TrainConfig::paper_mf(cfg.epochs, cfg.seed),
         ModelKind::LightGcn => {
             TrainConfig::paper_lightgcn(cfg.epochs, kind.paper_batch_size(preset), cfg.seed)
         }
+    };
+    TrainConfig {
+        k_negatives: cfg.k_negatives,
+        ..base
     }
 }
 
@@ -358,6 +377,63 @@ mod tests {
         assert!(hog_report.n_users == serial_report.n_users);
         for (a, b) in serial_report.rows.iter().zip(&hog_report.rows) {
             assert!((a.ndcg - b.ndcg).abs() < 0.2, "{} vs {}", a.ndcg, b.ndcg);
+        }
+    }
+
+    #[test]
+    fn any_model_forwards_update_batch_to_mf_blocked_path() {
+        // At k_negatives > 1 the MF blocked group update differs from the
+        // trait-default per-triple loop, so training through AnyModel must
+        // match training the inner MatrixFactorization directly bit for
+        // bit — this pins the explicit update_batch forwarding.
+        use bns_core::{train, NoopObserver};
+        use bns_model::MatrixFactorization;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mut cfg = quick_cfg();
+        cfg.k_negatives = 2;
+        let prepared = prepare_dataset(DatasetPreset::Ml100k, &cfg);
+        let tc = paper_train_config(ModelKind::Mf, DatasetPreset::Ml100k, &cfg);
+        assert_eq!(tc.k_negatives, 2);
+
+        let build_mf = |d: &Dataset| {
+            let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x6d0de1);
+            MatrixFactorization::new(d.n_users(), d.n_items(), cfg.dim, cfg.init_std, &mut rng)
+                .unwrap()
+        };
+        let mut direct = build_mf(&prepared.dataset);
+        let mut sampler =
+            bns_core::build_sampler(&SamplerConfig::Dns { m: 3 }, &prepared.dataset, None).unwrap();
+        train(
+            &mut direct,
+            &prepared.dataset,
+            sampler.as_mut(),
+            &tc,
+            &mut NoopObserver,
+        )
+        .unwrap();
+
+        let mut wrapped = AnyModel::Mf(build_mf(&prepared.dataset));
+        let mut sampler =
+            bns_core::build_sampler(&SamplerConfig::Dns { m: 3 }, &prepared.dataset, None).unwrap();
+        train(
+            &mut wrapped,
+            &prepared.dataset,
+            sampler.as_mut(),
+            &tc,
+            &mut NoopObserver,
+        )
+        .unwrap();
+
+        for u in 0..prepared.dataset.n_users() {
+            for i in 0..prepared.dataset.n_items() {
+                assert_eq!(
+                    direct.score(u, i).to_bits(),
+                    wrapped.score(u, i).to_bits(),
+                    "AnyModel dropped the blocked MF update_batch path"
+                );
+            }
         }
     }
 

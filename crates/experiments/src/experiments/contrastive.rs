@@ -33,9 +33,15 @@ pub fn lineup() -> Vec<SamplerConfig> {
 pub fn run_rows(cfg: &RunConfig) -> Vec<(&'static str, f64, f64, f64)> {
     let preset = DatasetPreset::Ml100k;
     let prepared = prepare_dataset(preset, cfg);
+    // batch_size 128: negatives for a whole chunk of anchors are drawn
+    // against the chunk-start encoder (the batched TripleBatch schedule).
+    // This intentionally departs from the historical anchor-at-a-time
+    // schedule (batch_size 1), so loss/metric values are not comparable
+    // to pre-batching runs of this binary.
     let ccfg = ContrastiveConfig {
         epochs: cfg.epochs,
         k_negatives: 8,
+        batch_size: 128,
         temperature: 0.5,
         lr: 0.05,
         reg: 1e-4,

@@ -1,0 +1,183 @@
+//! The SoA triple-batch buffer shared by the whole training stack.
+//!
+//! Algorithm 1 is written per-triple, but at production scale the hot path
+//! wants batches: samplers amortize score gathers and ECDF passes across
+//! all pairs of a batch, and models apply vectorized multi-negative BPR
+//! updates. [`TripleBatch`] is the one buffer both sides agree on — a
+//! structure-of-arrays `{ users, pos, negs }` with a fixed number of
+//! negatives `k ≥ 1` per positive (`k = 1` is the paper's Algorithm 1;
+//! `k > 1` is the multi-negative workload of contrastive/adaptive-hardness
+//! training).
+//!
+//! The buffer is reusable: the trainer allocates one per run and refills it
+//! per mini-batch via [`TripleBatch::begin_fill`] / [`TripleBatch::push_row`],
+//! so the steady-state loop is allocation-free once capacity has been
+//! reached.
+
+/// A structure-of-arrays batch of training triples with `k` negatives per
+/// `(user, positive)` row.
+///
+/// Rows are appended by the sampler; pairs whose user has no negatives are
+/// simply not pushed (or removed with [`TripleBatch::pop_row`]), so
+/// `len() ≤` the number of input pairs.
+#[derive(Debug, Clone, Default)]
+pub struct TripleBatch {
+    users: Vec<u32>,
+    pos: Vec<u32>,
+    /// Row-major `len × k` negatives.
+    negs: Vec<u32>,
+    k: usize,
+}
+
+impl TripleBatch {
+    /// Creates an empty batch (call [`TripleBatch::begin_fill`] before use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears the batch and fixes the negatives-per-row count for the
+    /// upcoming fill. Capacity is retained, so a reused buffer does not
+    /// re-allocate in steady state.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k == 0`.
+    pub fn begin_fill(&mut self, k: usize) {
+        assert!(k > 0, "a triple batch needs at least one negative per row");
+        self.users.clear();
+        self.pos.clear();
+        self.negs.clear();
+        self.k = k;
+    }
+
+    /// Appends a `(user, positive)` row and returns its `k` negative slots
+    /// (zero-initialized) for the sampler to fill.
+    pub fn push_row(&mut self, u: u32, pos: u32) -> &mut [u32] {
+        self.users.push(u);
+        self.pos.push(pos);
+        let start = self.negs.len();
+        self.negs.resize(start + self.k, 0);
+        &mut self.negs[start..]
+    }
+
+    /// Removes the most recently pushed row (a sampler aborting a row whose
+    /// user turned out to have no negatives).
+    pub fn pop_row(&mut self) {
+        if self.users.pop().is_some() {
+            self.pos.pop();
+            self.negs.truncate(self.negs.len() - self.k);
+        }
+    }
+
+    /// Number of `(user, positive)` rows.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// True when no rows have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// Negatives per row.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Total triples in the batch (`len · k`).
+    pub fn n_triples(&self) -> usize {
+        self.negs.len()
+    }
+
+    /// The user column.
+    pub fn users(&self) -> &[u32] {
+        &self.users
+    }
+
+    /// The positive-item column.
+    pub fn pos(&self) -> &[u32] {
+        &self.pos
+    }
+
+    /// The flat row-major `len × k` negatives.
+    pub fn negs(&self) -> &[u32] {
+        &self.negs
+    }
+
+    /// Mutable access to the flat negatives (samplers that fill slots in a
+    /// later pass than the one that pushed the rows).
+    pub fn negs_mut(&mut self) -> &mut [u32] {
+        &mut self.negs
+    }
+
+    /// The negatives of row `row`.
+    pub fn negs_of(&self, row: usize) -> &[u32] {
+        &self.negs[row * self.k..(row + 1) * self.k]
+    }
+
+    /// Iterates rows as `(user, pos, negatives)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, &[u32])> + '_ {
+        self.users
+            .iter()
+            .zip(&self.pos)
+            .zip(self.negs.chunks_exact(self.k.max(1)))
+            .map(|((&u, &p), n)| (u, p, n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_and_iterate() {
+        let mut b = TripleBatch::new();
+        b.begin_fill(2);
+        b.push_row(0, 5).copy_from_slice(&[1, 2]);
+        b.push_row(3, 7).copy_from_slice(&[4, 6]);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.k(), 2);
+        assert_eq!(b.n_triples(), 4);
+        assert_eq!(b.users(), &[0, 3]);
+        assert_eq!(b.pos(), &[5, 7]);
+        assert_eq!(b.negs(), &[1, 2, 4, 6]);
+        assert_eq!(b.negs_of(1), &[4, 6]);
+        let rows: Vec<(u32, u32, Vec<u32>)> =
+            b.iter().map(|(u, p, n)| (u, p, n.to_vec())).collect();
+        assert_eq!(rows, vec![(0, 5, vec![1, 2]), (3, 7, vec![4, 6])]);
+    }
+
+    #[test]
+    fn pop_row_aborts_the_last_row() {
+        let mut b = TripleBatch::new();
+        b.begin_fill(3);
+        b.push_row(1, 1).copy_from_slice(&[2, 3, 4]);
+        b.push_row(2, 2);
+        b.pop_row();
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.negs(), &[2, 3, 4]);
+        // Popping on empty is a no-op.
+        b.pop_row();
+        b.pop_row();
+        assert!(b.is_empty());
+        assert_eq!(b.n_triples(), 0);
+    }
+
+    #[test]
+    fn refill_resets_rows_and_k() {
+        let mut b = TripleBatch::new();
+        b.begin_fill(2);
+        b.push_row(0, 1).copy_from_slice(&[2, 3]);
+        b.begin_fill(1);
+        assert!(b.is_empty());
+        b.push_row(4, 5)[0] = 6;
+        assert_eq!(b.negs(), &[6]);
+        assert_eq!(b.k(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one negative")]
+    fn zero_k_is_rejected() {
+        TripleBatch::new().begin_fill(0);
+    }
+}

@@ -19,6 +19,7 @@
 //! updatable through `&self`. Convert from/to the serial
 //! [`MatrixFactorization`] at the edges of a parallel training run.
 
+use crate::batch::TripleBatch;
 use crate::embedding::Embedding;
 use crate::loss::info;
 use crate::mf::MatrixFactorization;
@@ -191,6 +192,96 @@ impl HogwildMf {
         }
         g
     }
+
+    /// Applies a whole sampled [`TripleBatch`] through `&self`, pushing
+    /// `info(j)` per applied triple into `infos` (row-major, the same
+    /// order as `PairwiseModel::update_batch`).
+    ///
+    /// * `k = 1` rows go through [`HogwildMf::apply_triple`] — the exact
+    ///   serial arithmetic, so a 1-thread hogwild run stays bitwise equal
+    ///   to the serial engine (`tests/parallel_equivalence.rs`).
+    /// * `k > 1` rows apply the same multi-negative group step as the
+    ///   blocked `MatrixFactorization::update_batch` (scores and gradients
+    ///   against the group's pre-update snapshot), with **batched atomic
+    ///   stores**: the user row is snapshotted once and written back once
+    ///   per group instead of once per triple, cutting the group's atomic
+    ///   write traffic on `wᵤ` from `k·d` to `d`.
+    ///
+    /// `scratch` holds the reusable gather buffers so worker loops stay
+    /// allocation-free in steady state.
+    pub fn apply_batch(
+        &self,
+        batch: &TripleBatch,
+        lr: f32,
+        reg: f32,
+        infos: &mut Vec<f32>,
+        scratch: &mut HogwildScratch,
+    ) {
+        infos.clear();
+        infos.reserve(batch.n_triples());
+        let k = batch.k();
+        const R: Ordering = Ordering::Relaxed;
+        for (row, (&u, &pos)) in batch.users().iter().zip(batch.pos()).enumerate() {
+            let negs = batch.negs_of(row);
+            if k == 1 {
+                infos.push(self.apply_triple(u, pos, negs[0], lr, reg));
+                continue;
+            }
+            // Snapshot the user row once for the whole group.
+            let dim = self.users.dim();
+            scratch.wu0.resize(dim, 0.0);
+            self.users.read_row(u as usize, &mut scratch.wu0);
+            // One gather for pos + negatives (bitwise equal to score()).
+            let s_pos = crate::kernel::dot_atomic(&scratch.wu0, self.items.row(pos as usize));
+            scratch.gs.clear();
+            let mut g_sum = 0.0f32;
+            for &neg in negs {
+                debug_assert_ne!(pos, neg, "positive and negative item must differ");
+                let s_neg = crate::kernel::dot_atomic(&scratch.wu0, self.items.row(neg as usize));
+                let g = info(s_pos, s_neg);
+                scratch.gs.push(g);
+                g_sum += g;
+                infos.push(g);
+            }
+            // wᵤ: summed gradient, one atomic store per dimension.
+            let wu = self.users.row(u as usize);
+            let hi = self.items.row(pos as usize);
+            for (d, wc) in wu.iter().enumerate() {
+                let hid = f32::from_bits(hi[d].load(R));
+                let mut acc = 0.0f32;
+                for (t, &neg) in negs.iter().enumerate() {
+                    let hjd = f32::from_bits(self.items.row(neg as usize)[d].load(R));
+                    acc += scratch.gs[t] * (hid - hjd);
+                }
+                let w0 = scratch.wu0[d];
+                wc.store((w0 + lr * (acc - reg * w0)).to_bits(), R);
+            }
+            // hᵢ: summed positive-side pull with the snapshot user row.
+            for (d, ic) in hi.iter().enumerate() {
+                let hid = f32::from_bits(ic.load(R));
+                ic.store(
+                    (hid + lr * (g_sum * scratch.wu0[d] - reg * hid)).to_bits(),
+                    R,
+                );
+            }
+            // hⱼₜ: one push per negative, sequential so duplicates stack.
+            for (t, &neg) in negs.iter().enumerate() {
+                let g = scratch.gs[t];
+                let hj = self.items.row(neg as usize);
+                for (d, jc) in hj.iter().enumerate() {
+                    let hjd = f32::from_bits(jc.load(R));
+                    jc.store((hjd + lr * (-g * scratch.wu0[d] - reg * hjd)).to_bits(), R);
+                }
+            }
+        }
+    }
+}
+
+/// Reusable buffers for [`HogwildMf::apply_batch`]; one per worker thread.
+#[derive(Debug, Default)]
+pub struct HogwildScratch {
+    gs: Vec<f32>,
+    wu0: Vec<f32>,
 }
 
 impl Scorer for HogwildMf {
@@ -289,6 +380,39 @@ mod tests {
         }
         for i in 0..6 {
             assert_eq!(serial.item_embedding(i), back.item_embedding(i));
+        }
+    }
+
+    #[test]
+    fn apply_batch_matches_serial_update_batch_bitwise() {
+        // Single-threaded, the hogwild batch update must agree bit-for-bit
+        // with the blocked serial path for both k = 1 and k > 1 groups.
+        for k in [1usize, 3] {
+            let mut serial = mf(7);
+            let shared = HogwildMf::from_mf(&serial);
+            let mut batch = TripleBatch::new();
+            batch.begin_fill(k);
+            let rows: [(u32, u32, [u32; 3]); 3] =
+                [(0, 1, [4, 5, 2]), (2, 3, [0, 5, 4]), (0, 2, [3, 3, 1])];
+            for &(u, pos, negs) in &rows {
+                batch.push_row(u, pos).copy_from_slice(&negs[..k]);
+            }
+            let mut serial_infos = Vec::new();
+            serial.update_batch(&batch, 0.05, 0.01, &mut serial_infos);
+            let mut hog_infos = Vec::new();
+            let mut scratch = HogwildScratch::default();
+            shared.apply_batch(&batch, 0.05, 0.01, &mut hog_infos, &mut scratch);
+            assert_eq!(serial_infos.len(), hog_infos.len());
+            for (a, b) in serial_infos.iter().zip(&hog_infos) {
+                assert_eq!(a.to_bits(), b.to_bits(), "k={k}: info diverged");
+            }
+            let back = shared.to_mf();
+            for u in 0..4 {
+                assert_eq!(serial.user_embedding(u), back.user_embedding(u), "k={k}");
+            }
+            for i in 0..6 {
+                assert_eq!(serial.item_embedding(i), back.item_embedding(i), "k={k}");
+            }
         }
     }
 

@@ -143,6 +143,33 @@ pub fn gather_dots(user: &[f32], items: &[f32], ids: &[u32], out: &mut [f32]) {
     }
 }
 
+/// One BPR SGD step over the three rows of a triple `(u, i, j)` with
+/// gradient magnitude `g = info(j)` (Rendle et al., UAI 2009):
+///
+/// ```text
+/// wᵤ += α (g·(hᵢ − hⱼ) − λ wᵤ)
+/// hᵢ += α (g·wᵤ        − λ hᵢ)
+/// hⱼ += α (−g·wᵤ       − λ hⱼ)
+/// ```
+///
+/// All three writes use the pre-update values of the current dimension.
+/// This is the **one** copy of the per-triple update arithmetic: both
+/// `MatrixFactorization::accumulate_triple` and the `k = 1` rows of the
+/// blocked `update_batch` path call it, which is what keeps the batched
+/// trainer bitwise identical to the per-triple trace at `k = 1`.
+#[inline]
+pub fn bpr_step(wu: &mut [f32], hi: &mut [f32], hj: &mut [f32], g: f32, lr: f32, reg: f32) {
+    let dim = wu.len();
+    debug_assert_eq!(hi.len(), dim, "row dims must agree");
+    debug_assert_eq!(hj.len(), dim, "row dims must agree");
+    for k in 0..dim {
+        let (wuk, hik, hjk) = (wu[k], hi[k], hj[k]);
+        wu[k] += lr * (g * (hik - hjk) - reg * wuk);
+        hi[k] += lr * (g * wuk - reg * hik);
+        hj[k] += lr * (-g * wuk - reg * hjk);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

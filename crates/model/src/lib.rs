@@ -25,8 +25,13 @@
 //!   SGD (relaxed-atomic embedding tables behind a safe API).
 //! * [`kernel`] — the unrolled `mul_add` scoring kernels (dot / GEMV /
 //!   gather-dot and the atomic hogwild variant) with one fixed summation
-//!   order shared by every scoring entry point.
+//!   order shared by every scoring entry point, plus the shared per-triple
+//!   BPR step.
+//! * [`batch`] — the SoA [`batch::TripleBatch`] buffer: `{users, pos,
+//!   negs}` with `k ≥ 1` negatives per positive, filled by batched
+//!   samplers and consumed by [`scorer::PairwiseModel::update_batch`].
 
+pub mod batch;
 pub mod embedding;
 pub mod hogwild;
 pub mod kernel;
@@ -36,8 +41,9 @@ pub mod mf;
 pub mod optim;
 pub mod scorer;
 
+pub use batch::TripleBatch;
 pub use embedding::Embedding;
-pub use hogwild::{AtomicEmbedding, HogwildMf};
+pub use hogwild::{AtomicEmbedding, HogwildMf, HogwildScratch};
 pub use lightgcn::LightGcn;
 pub use mf::MatrixFactorization;
 pub use optim::{LrSchedule, SgdConfig};

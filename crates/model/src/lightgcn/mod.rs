@@ -23,6 +23,7 @@ pub mod graph;
 
 pub use graph::NormAdjacency;
 
+use crate::batch::TripleBatch;
 use crate::embedding::Embedding;
 use crate::loss::info;
 use crate::scorer::{PairwiseModel, Scorer};
@@ -256,6 +257,30 @@ impl PairwiseModel for LightGcn {
         self.add_grad(pn, g, un);
         self.add_grad(nn, -g, un);
         g
+    }
+
+    /// The [`TripleBatch`] path: gradients accumulate sparsely exactly as
+    /// in [`PairwiseModel::accumulate_triple`], but `x̂ᵤᵢ` is computed once
+    /// per row group instead of once per negative (the propagated
+    /// embeddings are frozen between [`LightGcn::refresh`] calls, so the
+    /// value is identical — `k = 1` rows are bitwise the default path).
+    fn update_batch(&mut self, batch: &TripleBatch, _lr: f32, _reg: f32, infos: &mut Vec<f32>) {
+        infos.clear();
+        infos.reserve(batch.n_triples());
+        for (row, (&u, &pos)) in batch.users().iter().zip(batch.pos()).enumerate() {
+            let s_pos = self.score(u, pos);
+            let un = u as usize;
+            let pn = self.item_node(pos);
+            for &neg in batch.negs_of(row) {
+                debug_assert_ne!(pos, neg, "positive and negative item must differ");
+                let g = info(s_pos, self.score(u, neg));
+                let nn = self.item_node(neg);
+                self.add_grad_diff(un, g, pn, nn);
+                self.add_grad(pn, g, un);
+                self.add_grad(nn, -g, un);
+                infos.push(g);
+            }
+        }
     }
 
     fn end_batch(&mut self, lr: f32, reg: f32) {

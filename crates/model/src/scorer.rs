@@ -5,6 +5,8 @@
 //! implemented in `bns-core::trainer`) additionally needs BPR updates and
 //! batch hooks, provided by [`PairwiseModel`].
 
+use crate::batch::TripleBatch;
+
 /// Read-only access to predicted scores `x̂ᵤᵢ`.
 pub trait Scorer {
     /// Number of users in the model.
@@ -46,11 +48,12 @@ pub trait Scorer {
 /// A model trainable with pairwise BPR updates.
 ///
 /// The batch protocol mirrors mini-batch training: the trainer calls
-/// [`PairwiseModel::begin_batch`], then [`PairwiseModel::accumulate_triple`]
-/// once per sampled triple, then [`PairwiseModel::end_batch`]. MF (trained
-/// with batch size 1 in the paper) applies updates immediately inside
-/// `accumulate_triple`; LightGCN accumulates gradients on the propagated
-/// embeddings and backpropagates once per batch.
+/// [`PairwiseModel::begin_batch`], then [`PairwiseModel::update_batch`]
+/// with the sampled [`TripleBatch`], then [`PairwiseModel::end_batch`].
+/// MF (trained with batch size 1 in the paper) applies updates immediately
+/// inside `update_batch` through the blocked kernel path; LightGCN
+/// accumulates gradients on the propagated embeddings and backpropagates
+/// once per batch.
 pub trait PairwiseModel: Scorer {
     /// Called once per epoch before any batch (LightGCN refreshes its
     /// propagated embeddings here; MF is a no-op).
@@ -63,6 +66,26 @@ pub trait PairwiseModel: Scorer {
     /// informativeness `info(j) = 1 − σ(x̂ᵤᵢ − x̂ᵤⱼ)` of the sampled
     /// negative (Eq. 4), which the quality probes record.
     fn accumulate_triple(&mut self, u: u32, pos: u32, neg: u32, lr: f32, reg: f32) -> f32;
+
+    /// Processes one sampled [`TripleBatch`], pushing `info(j)` (Eq. 4) for
+    /// every applied triple into `infos` in row-major `(row, neg-slot)`
+    /// order — `batch.n_triples()` values total.
+    ///
+    /// The default loops [`PairwiseModel::accumulate_triple`] over every
+    /// `(u, i, jₜ)` of the batch, which preserves per-triple sequential-SGD
+    /// semantics exactly. Models with a cheaper blocked path (MF gathers
+    /// each row group's scores in one kernel pass) override it; overrides
+    /// must stay bitwise identical to the default at `k = 1`, which is
+    /// the contract `tests/trainer_repro_guard.rs` leans on.
+    fn update_batch(&mut self, batch: &TripleBatch, lr: f32, reg: f32, infos: &mut Vec<f32>) {
+        infos.clear();
+        infos.reserve(batch.n_triples());
+        for (u, pos, negs) in batch.iter() {
+            for &neg in negs {
+                infos.push(self.accumulate_triple(u, pos, neg, lr, reg));
+            }
+        }
+    }
 
     /// Called after each mini-batch; applies accumulated gradients.
     fn end_batch(&mut self, lr: f32, reg: f32);

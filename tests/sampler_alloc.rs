@@ -1,16 +1,18 @@
-//! Steady-state allocation audit of every sampler's `sample()` path.
+//! Steady-state allocation audit of every sampler's `sample()` and
+//! `sample_batch()` paths.
 //!
 //! Each sampler owns reusable scratch (AOBPR's rank buffer, SRNS's lazily
 //! built per-user memories, DNS candidate/score buffers, the BNS gather +
-//! fused-ECDF scratch). After a warm-up pass that touches every user once,
-//! **no draw may allocate**: a counting global allocator (this test binary
-//! only — integration tests are separate binaries) asserts the heap
-//! counter is flat across thousands of subsequent draws.
+//! fused-ECDF scratch, and every batched-draw grouping buffer). After a
+//! warm-up pass that touches every user once, **no draw may allocate**: a
+//! counting global allocator (this test binary only — integration tests
+//! are separate binaries) asserts the heap counter is flat across
+//! thousands of subsequent draws — per-pair and batched alike.
 
 use bns::core::trainer::sample_pair;
-use bns::core::{build_sampler, SamplerConfig};
+use bns::core::{build_sampler, SampleContext, SamplerConfig};
 use bns::data::{Dataset, Interactions};
-use bns::model::MatrixFactorization;
+use bns::model::{MatrixFactorization, TripleBatch};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -144,5 +146,75 @@ fn every_sampler_is_allocation_free_in_steady_state() {
             sampler.name(),
             after - before
         );
+    }
+}
+
+#[test]
+fn batched_sampling_is_allocation_free_in_steady_state() {
+    let d = dataset();
+    let mut rng_model = StdRng::seed_from_u64(2);
+    let model =
+        MatrixFactorization::new(d.n_users(), d.n_items(), 16, 0.1, &mut rng_model).unwrap();
+    let pairs: Vec<(u32, u32)> = d.train().iter_pairs().collect();
+
+    let lineup: Vec<SamplerConfig> = SamplerConfig::paper_lineup()
+        .into_iter()
+        .chain([
+            SamplerConfig::Bns {
+                config: bns::core::BnsConfig {
+                    m: usize::MAX,
+                    ..bns::core::BnsConfig::default()
+                },
+                prior: bns::core::PriorKind::Popularity,
+            },
+            SamplerConfig::Bns {
+                config: bns::core::BnsConfig {
+                    ecdf: bns::core::bns::EcdfStrategy::Subsample(16),
+                    ..bns::core::BnsConfig::default()
+                },
+                prior: bns::core::PriorKind::Popularity,
+            },
+        ])
+        .collect();
+
+    for cfg in lineup {
+        for k in [1usize, 3] {
+            let mut sampler = build_sampler(&cfg, &d, None).unwrap();
+            sampler.on_epoch_start(0);
+            let mut rng = StdRng::seed_from_u64(13);
+            let mut batch = TripleBatch::new();
+            let ctx = SampleContext {
+                scorer: &model,
+                train: d.train(),
+                popularity: d.popularity(),
+                user_scores: &[],
+                epoch: 0,
+            };
+
+            // Warm-up: several full passes so every reusable buffer (batch
+            // rows, grouped gather scratch, SRNS memories and caches)
+            // reaches steady-state capacity.
+            for _ in 0..3 {
+                for chunk in pairs.chunks(32) {
+                    sampler.sample_batch(chunk, k, &ctx, &mut rng, &mut batch);
+                }
+            }
+
+            let before = allocation_count();
+            for _ in 0..20 {
+                for chunk in pairs.chunks(32) {
+                    sampler.sample_batch(chunk, k, &ctx, &mut rng, &mut batch);
+                    assert!(!batch.is_empty());
+                }
+            }
+            let after = allocation_count();
+            assert_eq!(
+                after - before,
+                0,
+                "{} (k = {k}): {} heap allocations across steady-state batched draws",
+                sampler.name(),
+                after - before
+            );
+        }
     }
 }
