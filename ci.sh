@@ -25,9 +25,17 @@ run cargo bench --no-run --workspace --offline
 mkdir -p target
 run cargo run --release --offline -p bns-bench --bin bench_json -- \
     --users 40 --items 200 --draws 400 --out target/BENCH_smoke.json
-# Execute (not just compile) a root example: the four examples are
-# covered by clippy --all-targets at build level only, so runtime rot in
-# the public walkthrough API would otherwise be invisible.
+# Execute (not just compile) root examples: the examples are covered by
+# clippy --all-targets at build level only, so runtime rot in the public
+# walkthrough APIs would otherwise be invisible. `serve` additionally
+# asserts that frozen-artifact rankings are bitwise identical to the live
+# model's.
 run cargo run --release --offline --example quickstart
+run cargo run --release --offline --example serve -- --scale 0.05
+# serve_bench smoke: the serving load generator is gated like the
+# samplers' bench_json. The committed BENCH_serve.json is generated at
+# paper scale (10k items, d = 32); the smoke writes under target/.
+run cargo run --release --offline -p bns-bench --bin serve_bench -- \
+    --scale 0.05 --out target/BENCH_serve_smoke.json
 
 echo "CI green."

@@ -1,0 +1,260 @@
+//! Serving load generator → `BENCH_serve.json`.
+//!
+//! Freezes a paper-scale MF model into a `bns-serve` artifact and replays
+//! Zipf-distributed user traffic against the [`bns_serve::QueryEngine`],
+//! recording per-request latency percentiles and aggregate throughput the
+//! same machine-readable way `bench_json` records sampler draws:
+//!
+//! * artifact freeze/save/load wall time and encoded size;
+//! * single-thread and multi-thread engine runs (p50/p99 ms, queries/sec,
+//!   **scored items/sec** = queries × catalog — the acceptance number of
+//!   the serving PR is ≥ 1M at d = 32, 10k items multi-threaded);
+//! * a cached multi-thread run (generation-stamped LRU in front of the
+//!   GEMV path) with its hit rate.
+//!
+//! ```sh
+//! cargo run --release -p bns-bench --bin serve_bench              # paper scale
+//! cargo run --release -p bns-bench --bin serve_bench -- \
+//!     --scale 0.05 --out target/BENCH_serve_smoke.json            # CI smoke
+//! ```
+
+use bns_bench::fixture;
+use bns_model::Scorer;
+use bns_serve::{ModelArtifact, QueryEngine, Request, ServeReport};
+use bns_stats::AliasTable;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Args {
+    users: u32,
+    items: u32,
+    requests: usize,
+    k: usize,
+    threads: usize,
+    zipf: f64,
+    cache: usize,
+    seed: u64,
+    scale: f64,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        users: 200,
+        items: 10_000,
+        requests: 20_000,
+        k: 10,
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .max(2),
+        zipf: 1.0,
+        cache: 0, // 0 → capacity defaults to n_users in the cached run
+        seed: 41,
+        scale: 1.0,
+        out: "BENCH_serve.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--users" => args.users = value().parse().expect("--users takes a u32"),
+            "--items" => args.items = value().parse().expect("--items takes a u32"),
+            "--requests" => args.requests = value().parse().expect("--requests takes a usize"),
+            "--k" => args.k = value().parse().expect("--k takes a usize"),
+            "--threads" => args.threads = value().parse().expect("--threads takes a usize"),
+            "--zipf" => args.zipf = value().parse().expect("--zipf takes an f64"),
+            "--cache" => args.cache = value().parse().expect("--cache takes a usize"),
+            "--seed" => args.seed = value().parse().expect("--seed takes a u64"),
+            "--scale" => args.scale = value().parse().expect("--scale takes an f64"),
+            "--out" => args.out = value(),
+            other => panic!(
+                "unknown flag {other} (expected --users/--items/--requests/--k/--threads/--zipf/--cache/--seed/--scale/--out)"
+            ),
+        }
+    }
+    assert!(
+        args.scale > 0.0 && args.scale <= 1.0,
+        "--scale must be in (0, 1]"
+    );
+    if args.scale < 1.0 {
+        let s = args.scale;
+        args.users = ((args.users as f64 * s) as u32).max(8);
+        args.items = ((args.items as f64 * s) as u32).max(64);
+        args.requests = ((args.requests as f64 * s) as usize).max(200);
+    }
+    args
+}
+
+/// Zipf-distributed users: user `u` has weight `1 / (u + 1)^s`, sampled
+/// through the alias table (O(1) per draw) — the standard skewed-traffic
+/// model where a few head users dominate the request stream.
+fn zipf_requests(args: &Args, rng: &mut StdRng) -> Vec<Request> {
+    let weights: Vec<f64> = (0..args.users)
+        .map(|u| 1.0 / ((u + 1) as f64).powf(args.zipf))
+        .collect();
+    let alias = AliasTable::new(&weights).expect("valid Zipf weights");
+    (0..args.requests)
+        .map(|_| Request {
+            user: alias.sample(rng) as u32,
+            k: args.k,
+            exclude_seen: true,
+        })
+        .collect()
+}
+
+struct RunStats {
+    label: &'static str,
+    threads: usize,
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    scored_items_per_sec: f64,
+    cache_hit_rate: f64,
+}
+
+fn run_stats(
+    label: &'static str,
+    report: &ServeReport,
+    n_items: u32,
+    scored_queries: usize,
+    cache_hit_rate: f64,
+) -> RunStats {
+    RunStats {
+        label,
+        threads: report.threads,
+        qps: report.queries_per_sec(),
+        p50_ms: report.latency_percentile_ms(0.5),
+        p99_ms: report.latency_percentile_ms(0.99),
+        scored_items_per_sec: scored_queries as f64 * n_items as f64
+            / report.wall_seconds.max(1e-12),
+        cache_hit_rate,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let fx = fixture(args.users, args.items, args.seed);
+    let n_items = fx.dataset.n_items();
+
+    // Freeze → save → load round trip, timed.
+    let t0 = Instant::now();
+    let artifact = ModelArtifact::freeze(&fx.model, fx.dataset.train()).expect("freezable model");
+    let freeze_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let encoded = artifact.encode();
+    let artifact_bytes = encoded.len();
+    // PID-suffixed: concurrent invocations (ci.sh plus a manual run) must
+    // not race on one file with non-atomic writes.
+    let path = std::env::temp_dir().join(format!("bns_serve_bench_{}.bnsa", std::process::id()));
+    let t0 = Instant::now();
+    artifact.save(&path).expect("artifact saved");
+    let save_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let loaded = ModelArtifact::load(&path).expect("artifact reloaded");
+    let load_ms = t0.elapsed().as_secs_f64() * 1e3;
+    std::fs::remove_file(&path).ok();
+
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0x21F);
+    let requests = zipf_requests(&args, &mut rng);
+
+    let mut runs: Vec<RunStats> = Vec::new();
+
+    // Single-thread baseline.
+    let engine = QueryEngine::new(loaded.clone());
+    let warm: Vec<Request> = requests.iter().take(200).copied().collect();
+    engine.serve(&warm, 1).expect("warm-up");
+    let report = engine.serve(&requests, 1).expect("valid requests");
+    runs.push(run_stats(
+        "single_thread",
+        &report,
+        n_items,
+        requests.len(),
+        0.0,
+    ));
+
+    // Multi-thread work-stealing run — the acceptance configuration.
+    let engine = QueryEngine::new(loaded.clone());
+    engine.serve(&warm, args.threads).expect("warm-up");
+    let report = engine
+        .serve(&requests, args.threads)
+        .expect("valid requests");
+    runs.push(run_stats(
+        "multi_thread",
+        &report,
+        n_items,
+        requests.len(),
+        0.0,
+    ));
+
+    // Cached multi-thread run: Zipf traffic repeats head users constantly,
+    // so the generation-stamped LRU absorbs most of the scoring work.
+    let capacity = if args.cache > 0 {
+        args.cache
+    } else {
+        args.users as usize
+    };
+    let engine = QueryEngine::with_cache(loaded.clone(), capacity);
+    let report = engine
+        .serve(&requests, args.threads)
+        .expect("valid requests");
+    let hits = engine.cache_hits() as usize;
+    let hit_rate = hits as f64 / engine.cache_lookups().max(1) as f64;
+    runs.push(run_stats(
+        "cached_multi_thread",
+        &report,
+        n_items,
+        requests.len() - hits, // cache hits score nothing
+        hit_rate,
+    ));
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"schema\": 1,");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{ \"n_users\": {}, \"n_items\": {}, \"dim\": {}, \"requests\": {}, \"k\": {}, \"zipf_exponent\": {}, \"threads\": {}, \"cache_capacity\": {} }},",
+        args.users,
+        args.items,
+        fx.model.dim(),
+        args.requests,
+        args.k,
+        args.zipf,
+        args.threads,
+        capacity
+    );
+    let _ = writeln!(
+        json,
+        "  \"artifact\": {{ \"bytes\": {artifact_bytes}, \"kind\": \"{}\", \"freeze_ms\": {freeze_ms:.3}, \"save_ms\": {save_ms:.3}, \"load_ms\": {load_ms:.3} }},",
+        artifact.kind().name()
+    );
+    for (i, r) in runs.iter().enumerate() {
+        let comma = if i + 1 < runs.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "  \"{}\": {{ \"threads\": {}, \"queries_per_sec\": {:.1}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \"scored_items_per_sec\": {:.1}, \"cache_hit_rate\": {:.4} }}{comma}",
+            r.label, r.threads, r.qps, r.p50_ms, r.p99_ms, r.scored_items_per_sec, r.cache_hit_rate
+        );
+    }
+    let _ = writeln!(json, "}}");
+
+    std::fs::write(&args.out, &json).expect("writing the serve benchmark JSON");
+    println!("wrote {}", args.out);
+    print!("{json}");
+
+    // Sanity: the loaded artifact must reproduce the live model bitwise —
+    // a load generator that silently served wrong scores would be worse
+    // than useless.
+    let u = requests[0].user;
+    for i in 0..n_items.min(64) {
+        assert_eq!(
+            loaded.score(u, i).to_bits(),
+            fx.model.score(u, i).to_bits(),
+            "frozen score diverged from the live model"
+        );
+    }
+}

@@ -15,6 +15,9 @@
 //!                       the paper's Algorithm 1; > 1 is the multi-negative
 //!                       batch workload)
 //! --csv <dir>           also write CSV series into <dir>
+//! --save-artifact <p>   freeze each trained model into a bns-serve
+//!                       ModelArtifact at <p> (multi-run binaries
+//!                       overwrite: the last completed run wins)
 //! --quick               tiny preset for smoke tests (scale 0.08, 12 epochs)
 //! ```
 
@@ -37,6 +40,8 @@ pub struct HarnessArgs {
     pub k_negatives: usize,
     /// Optional CSV output directory.
     pub csv: Option<PathBuf>,
+    /// Optional path to freeze trained models into (`bns-serve` artifact).
+    pub save_artifact: Option<PathBuf>,
 }
 
 impl Default for HarnessArgs {
@@ -49,6 +54,7 @@ impl Default for HarnessArgs {
             train_threads: 1,
             k_negatives: 1,
             csv: None,
+            save_artifact: None,
         }
     }
 }
@@ -69,6 +75,10 @@ impl HarnessArgs {
                 "--csv" => {
                     let dir = iter.next().ok_or("--csv requires a directory")?;
                     out.csv = Some(PathBuf::from(dir));
+                }
+                "--save-artifact" => {
+                    let path = iter.next().ok_or("--save-artifact requires a path")?;
+                    out.save_artifact = Some(PathBuf::from(path));
                 }
                 "--quick" => {
                     out.scale = 0.08;
@@ -109,7 +119,7 @@ impl HarnessArgs {
 
     /// Usage text.
     pub fn usage() -> &'static str {
-        "usage: <bin> [--scale F] [--epochs N] [--seed N] [--threads N] [--train-threads N] [--k-negatives N] [--csv DIR] [--quick]"
+        "usage: <bin> [--scale F] [--epochs N] [--seed N] [--threads N] [--train-threads N] [--k-negatives N] [--csv DIR] [--save-artifact PATH] [--quick]"
     }
 }
 
@@ -155,6 +165,8 @@ mod tests {
             "3",
             "--csv",
             "/tmp/x",
+            "--save-artifact",
+            "/tmp/model.bnsa",
         ])
         .unwrap();
         assert_eq!(a.scale, 0.5);
@@ -164,6 +176,7 @@ mod tests {
         assert_eq!(a.train_threads, 4);
         assert_eq!(a.k_negatives, 3);
         assert_eq!(a.csv, Some(PathBuf::from("/tmp/x")));
+        assert_eq!(a.save_artifact, Some(PathBuf::from("/tmp/model.bnsa")));
     }
 
     #[test]
@@ -183,6 +196,7 @@ mod tests {
         assert!(parse(&["--threads", "0"]).is_err());
         assert!(parse(&["--train-threads", "0"]).is_err());
         assert!(parse(&["--k-negatives", "0"]).is_err());
+        assert!(parse(&["--save-artifact"]).is_err());
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["--help"]).is_err());
     }

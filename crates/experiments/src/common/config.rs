@@ -60,6 +60,10 @@ pub struct RunConfig {
     pub gcn_layers: usize,
     /// Ranking cutoffs (paper: 5, 10, 20).
     pub ks: Vec<usize>,
+    /// Optional path to freeze each trained model into a `bns-serve`
+    /// [`ModelArtifact`](bns_serve::ModelArtifact). Multi-run binaries
+    /// overwrite it per run; the last completed run's model wins.
+    pub save_artifact: Option<std::path::PathBuf>,
 }
 
 impl RunConfig {
@@ -76,6 +80,7 @@ impl RunConfig {
             init_std: 0.1,
             gcn_layers: 1,
             ks: vec![5, 10, 20],
+            save_artifact: args.save_artifact.clone(),
         }
     }
 

@@ -16,7 +16,9 @@ use bns_core::{
 use bns_data::synthetic::generate;
 use bns_data::{split_random, Dataset, DatasetPreset, Occupations, SplitConfig};
 use bns_eval::{evaluate_ranking, RankingReport};
-use bns_model::{LightGcn, MatrixFactorization, PairwiseModel, Scorer};
+use bns_model::snapshot::{SnapshotKind, SnapshotScorer};
+use bns_model::{Embedding, LightGcn, MatrixFactorization, PairwiseModel, Scorer};
+use bns_serve::ModelArtifact;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -120,6 +122,22 @@ impl Scorer for AnyModel {
         match self {
             AnyModel::Mf(m) => m.score_items(u, items, out),
             AnyModel::Gcn(m) => m.score_items(u, items, out),
+        }
+    }
+}
+
+impl SnapshotScorer for AnyModel {
+    fn snapshot_kind(&self) -> SnapshotKind {
+        match self {
+            AnyModel::Mf(m) => m.snapshot_kind(),
+            AnyModel::Gcn(m) => m.snapshot_kind(),
+        }
+    }
+
+    fn snapshot_embeddings(&self) -> bns_model::Result<(Embedding, Embedding)> {
+        match self {
+            AnyModel::Mf(m) => m.snapshot_embeddings(),
+            AnyModel::Gcn(m) => m.snapshot_embeddings(),
         }
     }
 }
@@ -269,8 +287,44 @@ pub fn train_and_eval(
     } else {
         train_model(prepared, preset, kind, sampler_cfg, cfg, &mut NoopObserver)
     };
+    if let Some(path) = &cfg.save_artifact {
+        save_artifact(&model, prepared, path);
+    }
     let report = evaluate_ranking(&model, &prepared.dataset, &cfg.ks, cfg.threads);
     (report, stats)
+}
+
+/// Freezes a trained model into a `bns-serve` [`ModelArtifact`] at `path`,
+/// embedding the training-positive CSR for seen-item filtering. The frozen
+/// scores are bitwise identical to what `evaluate_ranking` measures, so
+/// the reported metrics carry over to serving exactly.
+///
+/// Failures (an unwritable path, a full disk) are reported to stderr but
+/// do **not** abort the run — a paper-scale training run must never be
+/// thrown away because its artifact could not be written; the evaluation
+/// still completes and reports.
+pub fn save_artifact(model: &AnyModel, prepared: &PreparedDataset, path: &std::path::Path) {
+    let artifact = match ModelArtifact::freeze(model, prepared.dataset.train()) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("warning: could not freeze model artifact: {e}");
+            return;
+        }
+    };
+    match artifact.save(path) {
+        Ok(()) => eprintln!(
+            "saved {} artifact ({} users × {} items, d = {}) to {}",
+            artifact.kind().name(),
+            artifact.n_users(),
+            artifact.n_items(),
+            artifact.dim(),
+            path.display()
+        ),
+        Err(e) => eprintln!(
+            "warning: could not write model artifact to {}: {e}",
+            path.display()
+        ),
+    }
 }
 
 /// Fans observer callbacks out to several observers.
@@ -435,6 +489,32 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn save_artifact_round_trips_bitwise_for_both_models() {
+        let mut cfg = quick_cfg();
+        let prepared = prepare_dataset(DatasetPreset::Ml100k, &cfg);
+        let path = std::env::temp_dir().join(format!(
+            "bns_runner_artifact_test_{}.bnsa",
+            std::process::id()
+        ));
+        cfg.save_artifact = Some(path.clone());
+        for kind in [ModelKind::Mf, ModelKind::LightGcn] {
+            let (report, _) = train_and_eval(
+                &prepared,
+                DatasetPreset::Ml100k,
+                kind,
+                &SamplerConfig::Rns,
+                &cfg,
+            );
+            let artifact = ModelArtifact::load(&path).expect("artifact written and loadable");
+            // The frozen scores reproduce the just-evaluated metrics exactly.
+            let frozen_report =
+                evaluate_ranking(&artifact, &prepared.dataset, &cfg.ks, cfg.threads);
+            assert_eq!(report, frozen_report, "{}: metrics diverged", kind.name());
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

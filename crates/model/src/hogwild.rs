@@ -168,6 +168,16 @@ impl HogwildMf {
         self.users.dim()
     }
 
+    /// The shared user table.
+    pub fn users(&self) -> &AtomicEmbedding {
+        &self.users
+    }
+
+    /// The shared item table.
+    pub fn items(&self) -> &AtomicEmbedding {
+        &self.items
+    }
+
     /// One BPR SGD step for the triple `(u, pos, neg)` through `&self`.
     ///
     /// Identical arithmetic to

@@ -30,6 +30,9 @@
 //! * [`batch`] — the SoA [`batch::TripleBatch`] buffer: `{users, pos,
 //!   negs}` with `k ≥ 1` negatives per positive, filled by batched
 //!   samplers and consumed by [`scorer::PairwiseModel::update_batch`].
+//! * [`snapshot`] — the [`snapshot::SnapshotScorer`] freeze point: dense
+//!   `(users, items)` tables reproducing a trained scorer's values
+//!   bitwise, consumed by the `bns-serve` artifact format.
 
 pub mod batch;
 pub mod embedding;
@@ -40,6 +43,7 @@ pub mod loss;
 pub mod mf;
 pub mod optim;
 pub mod scorer;
+pub mod snapshot;
 
 pub use batch::TripleBatch;
 pub use embedding::Embedding;
@@ -48,6 +52,7 @@ pub use lightgcn::LightGcn;
 pub use mf::MatrixFactorization;
 pub use optim::{LrSchedule, SgdConfig};
 pub use scorer::{PairwiseModel, Scorer};
+pub use snapshot::{SnapshotKind, SnapshotScorer};
 
 /// Errors produced by the model layer.
 #[derive(Debug)]

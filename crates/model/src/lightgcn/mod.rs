@@ -115,6 +115,13 @@ impl LightGcn {
         self.layers
     }
 
+    /// Whether the propagated embeddings are stale (a base-embedding update
+    /// has been applied since the last [`LightGcn::refresh`]). Scores and
+    /// snapshots must only be read when this is `false`.
+    pub fn is_stale(&self) -> bool {
+        self.stale
+    }
+
     /// Embedding dimensionality.
     pub fn dim(&self) -> usize {
         self.dim

@@ -1,0 +1,397 @@
+//! The frozen model artifact: a versioned, checksummed binary freeze of a
+//! trained scorer plus its seen-item CSR.
+//!
+//! ## Format (all integers little-endian)
+//!
+//! ```text
+//! magic    4 bytes = b"BNSA" (u32 LE 0x414E5342)
+//! version  u32  = 1
+//! kind     u32  SnapshotKind tag (provenance only; all kinds serve alike)
+//! n_users  u32
+//! n_items  u32
+//! dim      u32
+//! users    n_users·dim × u32   f32 bit patterns, row-major
+//! items    n_items·dim × u32   f32 bit patterns, row-major
+//! seen_len u64, then seen_len bytes: bns_data::serialize::encode_interactions
+//!          of the training-positive CSR (the per-user exclusion mask)
+//! checksum u64  FNV-1a 64 over every preceding byte
+//! ```
+//!
+//! The layout is **memory-stable**: floats are stored as their exact bit
+//! patterns and re-materialized into the same row-major [`Embedding`]
+//! tables the live models score from, so a loaded artifact reproduces the
+//! model's scores bitwise (see [`ModelArtifact::freeze`]). Integrity is
+//! three-layered: magic/version gate the format, the FNV-1a checksum
+//! rejects any bit flip in the payload, and the CSR section re-validates
+//! every structural invariant through [`bns_data::serialize`].
+
+use crate::{Result, ServeError};
+use bns_data::serialize::{decode_interactions, encode_interactions};
+use bns_data::Interactions;
+use bns_model::snapshot::{SnapshotKind, SnapshotScorer};
+use bns_model::{kernel, Embedding, Scorer};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Format magic — the file starts with the literal bytes `b"BNSA"`
+/// (BNS Artifact), stored here as the little-endian `u32` the encoder
+/// writes so the first four bytes of an artifact read "BNSA" in a hex
+/// dump.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"BNSA");
+
+/// Current format version. Decoders reject anything else with
+/// [`ServeError::UnsupportedVersion`].
+pub const VERSION: u32 = 1;
+
+/// FNV-1a 64-bit hash — the artifact integrity checksum.
+///
+/// Chosen over a CRC because it needs no table, is a few lines of
+/// dependency-free code, and at artifact sizes (megabytes) any accidental
+/// corruption flips the digest with probability ≈ 1 − 2⁻⁶⁴. It is *not*
+/// cryptographic; artifacts are trusted inputs.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// An immutable frozen scorer: dense user/item tables plus the seen-item
+/// CSR, scoring through the same kernel as the live models.
+///
+/// ```
+/// use bns_data::Interactions;
+/// use bns_model::{MatrixFactorization, Scorer};
+/// use bns_serve::ModelArtifact;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let model = MatrixFactorization::new(3, 5, 8, 0.1, &mut rng)?;
+/// let seen = Interactions::from_pairs(3, 5, &[(0, 1), (1, 0), (2, 4)])?;
+///
+/// // Freeze, round-trip through the binary format, and verify bitwise.
+/// let artifact = ModelArtifact::freeze(&model, &seen)?;
+/// let reloaded = ModelArtifact::decode(&artifact.encode())?;
+/// for u in 0..3u32 {
+///     for i in 0..5u32 {
+///         assert_eq!(reloaded.score(u, i).to_bits(), model.score(u, i).to_bits());
+///     }
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ModelArtifact {
+    kind: SnapshotKind,
+    users: Embedding,
+    items: Embedding,
+    seen: Interactions,
+}
+
+impl ModelArtifact {
+    /// Freezes a trained scorer together with the training-positive CSR
+    /// used for `exclude_seen` filtering at query time.
+    ///
+    /// The frozen scores are bitwise identical to the live model's: the
+    /// dense tables come from [`SnapshotScorer::snapshot_embeddings`]
+    /// (whose contract is exactness) and this type scores them through
+    /// the same [`bns_model::kernel`] entry points.
+    pub fn freeze<S: SnapshotScorer + ?Sized>(scorer: &S, seen: &Interactions) -> Result<Self> {
+        if seen.n_users() != scorer.n_users() || seen.n_items() != scorer.n_items() {
+            return Err(ServeError::Invalid(format!(
+                "seen CSR shape ({} users × {} items) does not match scorer ({} × {})",
+                seen.n_users(),
+                seen.n_items(),
+                scorer.n_users(),
+                scorer.n_items()
+            )));
+        }
+        let (users, items) = scorer
+            .snapshot_embeddings()
+            .map_err(|e| ServeError::Invalid(format!("snapshot failed: {e}")))?;
+        Ok(Self {
+            kind: scorer.snapshot_kind(),
+            users,
+            items,
+            seen: seen.clone(),
+        })
+    }
+
+    /// Provenance: which live scorer this artifact was frozen from.
+    pub fn kind(&self) -> SnapshotKind {
+        self.kind
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.users.dim()
+    }
+
+    /// The frozen seen-item CSR (training positives at freeze time).
+    pub fn seen(&self) -> &Interactions {
+        &self.seen
+    }
+
+    /// The frozen user table.
+    pub fn users(&self) -> &Embedding {
+        &self.users
+    }
+
+    /// The frozen item table.
+    pub fn items(&self) -> &Embedding {
+        &self.items
+    }
+
+    /// Encodes into the self-describing checksummed binary format.
+    pub fn encode(&self) -> Bytes {
+        let dim = self.users.dim();
+        let seen_bytes = encode_interactions(&self.seen);
+        let mut buf = BytesMut::with_capacity(
+            24 + 4 * (self.users.as_slice().len() + self.items.as_slice().len())
+                + 16
+                + seen_bytes.len(),
+        );
+        buf.put_u32_le(MAGIC);
+        buf.put_u32_le(VERSION);
+        buf.put_u32_le(self.kind.tag());
+        buf.put_u32_le(self.users.len() as u32);
+        buf.put_u32_le(self.items.len() as u32);
+        buf.put_u32_le(dim as u32);
+        for &v in self.users.as_slice() {
+            buf.put_u32_le(v.to_bits());
+        }
+        for &v in self.items.as_slice() {
+            buf.put_u32_le(v.to_bits());
+        }
+        buf.put_u64_le(seen_bytes.len() as u64);
+        buf.put_slice(&seen_bytes);
+        let checksum = fnv1a64(&buf);
+        buf.put_u64_le(checksum);
+        buf.freeze()
+    }
+
+    /// Decodes a buffer produced by [`ModelArtifact::encode`], verifying
+    /// magic, version, checksum and every structural invariant.
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        // Header (24) + seen_len (8) + checksum (8) is the smallest
+        // well-formed artifact; shorter buffers cannot even be framed.
+        if buf.len() < 40 {
+            return Err(ServeError::Truncated {
+                what: "artifact frame",
+            });
+        }
+        let (payload, tail) = buf.split_at(buf.len() - 8);
+        let mut cursor = payload;
+        let magic = cursor.get_u32_le();
+        if magic != MAGIC {
+            return Err(ServeError::BadMagic { found: magic });
+        }
+        let version = cursor.get_u32_le();
+        if version != VERSION {
+            return Err(ServeError::UnsupportedVersion { found: version });
+        }
+        let stored = u64::from_le_bytes(tail.try_into().expect("split_at(len - 8)"));
+        let computed = fnv1a64(payload);
+        if stored != computed {
+            return Err(ServeError::ChecksumMismatch { stored, computed });
+        }
+
+        let need = |cursor: &&[u8], n: usize, what: &'static str| -> Result<()> {
+            if cursor.remaining() < n {
+                Err(ServeError::Truncated { what })
+            } else {
+                Ok(())
+            }
+        };
+        need(&cursor, 16, "header")?;
+        let kind_tag = cursor.get_u32_le();
+        let kind = SnapshotKind::from_tag(kind_tag)
+            .ok_or_else(|| ServeError::Invalid(format!("unknown snapshot kind tag {kind_tag}")))?;
+        let n_users = cursor.get_u32_le() as usize;
+        let n_items = cursor.get_u32_le() as usize;
+        let dim = cursor.get_u32_le() as usize;
+        if n_users == 0 || n_items == 0 || dim == 0 {
+            return Err(ServeError::Invalid(format!(
+                "degenerate shape: {n_users} users × {n_items} items × dim {dim}"
+            )));
+        }
+        let table = |cursor: &mut &[u8], rows: usize, what: &'static str| -> Result<Embedding> {
+            // checked_mul guards genuine usize overflow; any in-range size
+            // the encoder can produce must round-trip, however large.
+            let len = rows
+                .checked_mul(dim)
+                .ok_or_else(|| ServeError::Invalid(format!("{what} table size overflows")))?;
+            need(cursor, len.saturating_mul(4), what)?;
+            let mut data = Vec::with_capacity(len);
+            for _ in 0..len {
+                data.push(f32::from_bits(cursor.get_u32_le()));
+            }
+            Embedding::from_vec(rows, dim, data)
+                .map_err(|e| ServeError::Invalid(format!("{what} table: {e}")))
+        };
+        let users = table(&mut cursor, n_users, "users")?;
+        let items = table(&mut cursor, n_items, "items")?;
+
+        need(&cursor, 8, "seen length")?;
+        let seen_len = cursor.get_u64_le() as usize;
+        need(&cursor, seen_len, "seen CSR")?;
+        let seen = decode_interactions(&cursor[..seen_len])
+            .map_err(|e| ServeError::Invalid(format!("seen CSR: {e}")))?;
+        cursor.advance(seen_len);
+        if cursor.remaining() != 0 {
+            return Err(ServeError::Invalid(
+                "trailing bytes after artifact payload".into(),
+            ));
+        }
+        if seen.n_users() as usize != n_users || seen.n_items() as usize != n_items {
+            return Err(ServeError::Invalid(format!(
+                "seen CSR shape ({} × {}) does not match tables ({n_users} × {n_items})",
+                seen.n_users(),
+                seen.n_items()
+            )));
+        }
+        Ok(Self {
+            kind,
+            users,
+            items,
+            seen,
+        })
+    }
+
+    /// Writes the encoded artifact to a file.
+    pub fn save(&self, path: &std::path::Path) -> Result<()> {
+        std::fs::write(path, self.encode())?;
+        Ok(())
+    }
+
+    /// Reads and decodes an artifact file.
+    pub fn load(path: &std::path::Path) -> Result<Self> {
+        let data = std::fs::read(path)?;
+        Self::decode(&data)
+    }
+}
+
+impl Scorer for ModelArtifact {
+    fn n_users(&self) -> u32 {
+        self.users.len() as u32
+    }
+
+    fn n_items(&self) -> u32 {
+        self.items.len() as u32
+    }
+
+    #[inline]
+    fn score(&self, u: u32, i: u32) -> f32 {
+        kernel::dot(self.users.row(u as usize), self.items.row(i as usize))
+    }
+
+    fn score_all(&self, u: u32, out: &mut [f32]) {
+        debug_assert_eq!(out.len(), self.items.len());
+        kernel::gemv(self.users.row(u as usize), self.items.as_slice(), out);
+    }
+
+    fn score_items(&self, u: u32, items: &[u32], out: &mut [f32]) {
+        kernel::gather_dots(
+            self.users.row(u as usize),
+            self.items.as_slice(),
+            items,
+            out,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bns_model::MatrixFactorization;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fixture() -> (MatrixFactorization, Interactions) {
+        let mut rng = StdRng::seed_from_u64(11);
+        let model = MatrixFactorization::new(4, 7, 8, 0.1, &mut rng).unwrap();
+        let seen =
+            Interactions::from_pairs(4, 7, &[(0, 1), (0, 3), (1, 0), (2, 6), (3, 2)]).unwrap();
+        (model, seen)
+    }
+
+    #[test]
+    fn encode_decode_round_trip_is_bitwise() {
+        let (model, seen) = fixture();
+        let artifact = ModelArtifact::freeze(&model, &seen).unwrap();
+        let reloaded = ModelArtifact::decode(&artifact.encode()).unwrap();
+        assert_eq!(reloaded.kind(), SnapshotKind::Mf);
+        assert_eq!(reloaded.seen(), &seen);
+        for u in 0..4u32 {
+            for i in 0..7u32 {
+                assert_eq!(
+                    reloaded.score(u, i).to_bits(),
+                    model.score(u, i).to_bits(),
+                    "score diverged at ({u}, {i})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn score_paths_agree_bitwise() {
+        let (model, seen) = fixture();
+        let artifact = ModelArtifact::freeze(&model, &seen).unwrap();
+        let mut all = vec![0.0f32; 7];
+        artifact.score_all(2, &mut all);
+        let ids: Vec<u32> = (0..7).collect();
+        let mut gathered = vec![0.0f32; 7];
+        artifact.score_items(2, &ids, &mut gathered);
+        for i in 0..7u32 {
+            let s = artifact.score(2, i);
+            assert_eq!(s.to_bits(), all[i as usize].to_bits());
+            assert_eq!(s.to_bits(), gathered[i as usize].to_bits());
+        }
+    }
+
+    #[test]
+    fn freeze_rejects_shape_mismatch() {
+        let (model, _) = fixture();
+        let wrong = Interactions::from_pairs(3, 7, &[(0, 1)]).unwrap();
+        assert!(matches!(
+            ModelArtifact::freeze(&model, &wrong),
+            Err(ServeError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let (model, seen) = fixture();
+        let artifact = ModelArtifact::freeze(&model, &seen).unwrap();
+        let path = std::env::temp_dir().join(format!(
+            "bns_artifact_unit_test_{}.bnsa",
+            std::process::id()
+        ));
+        artifact.save(&path).unwrap();
+        let reloaded = ModelArtifact::load(&path).unwrap();
+        assert_eq!(
+            reloaded.score(1, 2).to_bits(),
+            artifact.score(1, 2).to_bits()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn on_disk_file_starts_with_bnsa() {
+        let (model, seen) = fixture();
+        let buf = ModelArtifact::freeze(&model, &seen).unwrap().encode();
+        assert_eq!(
+            &buf[..4],
+            b"BNSA",
+            "magic must be recognizable in a hex dump"
+        );
+    }
+
+    #[test]
+    fn fnv_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xAF63_DC4C_8601_EC8C);
+    }
+}

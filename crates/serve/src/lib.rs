@@ -1,0 +1,131 @@
+#![deny(missing_docs)]
+
+//! # bns-serve — model artifacts and a concurrent top-k query engine
+//!
+//! Training (the `bns-core` trainers) produces a scorer that dies with the
+//! process. This crate is the inference half of the system:
+//!
+//! * [`artifact`] — [`ModelArtifact`]: a versioned, checksummed,
+//!   memory-layout-stable binary freeze of any trained
+//!   [`bns_model::SnapshotScorer`] (MF, hogwild MF, LightGCN with the
+//!   propagation baked in) together with the training-positive CSR used
+//!   for seen-item filtering. Save → load → score is **bitwise identical**
+//!   to the live model, so offline evaluation numbers carry over to
+//!   serving exactly.
+//! * [`query`] — [`QueryEngine`]: answers `top_k(user, k, exclude_seen)`
+//!   over an artifact through the same unrolled GEMV kernel and top-k
+//!   selection heap the evaluation protocol uses, with reusable per-worker
+//!   [`QueryScratch`] so the steady-state query path is allocation-free.
+//! * [`engine`] — the multi-threaded request loop: `std::thread::scope`
+//!   workers draining a sharded work-stealing queue of [`Request`]s,
+//!   recording per-request latency into a [`ServeReport`].
+//! * [`cache`] — [`TopKCache`]: an optional generation-stamped LRU for
+//!   repeated-user traffic; one [`QueryEngine::swap_artifact`] bump
+//!   invalidates every cached list without touching the map.
+//!
+//! End-to-end walkthrough: `examples/serve.rs` at the workspace root
+//! (train → freeze → reload → serve). Load-generator numbers:
+//! `cargo run --release -p bns-bench --bin serve_bench` writes
+//! `BENCH_serve.json` (p50/p99 latency, queries/sec, scored items/sec
+//! under Zipf-distributed user traffic).
+//!
+//! ## Determinism contract
+//!
+//! Serving is **bitwise deterministic given an artifact**: the engine only
+//! reads frozen tables through the fixed-summation-order kernel, ties
+//! break toward lower item ids (`bns_eval::topk`), and the work-stealing
+//! scheduler affects only *which thread* answers a request, never the
+//! answer. The only nondeterminism in the subsystem is upstream: hogwild
+//! training produces run-dependent tables; freezing any table makes every
+//! downstream query of it reproducible.
+
+pub mod artifact;
+pub mod cache;
+pub mod engine;
+pub mod query;
+
+pub use artifact::ModelArtifact;
+pub use cache::TopKCache;
+pub use engine::{RankedList, Request, ServeReport};
+pub use query::{QueryEngine, QueryScratch};
+
+/// Errors produced by the serving subsystem.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The buffer does not start with the artifact magic.
+    BadMagic {
+        /// The magic field actually found.
+        found: u32,
+    },
+    /// The artifact was written by an unknown format version.
+    UnsupportedVersion {
+        /// The version field actually found.
+        found: u32,
+    },
+    /// The buffer ended before the named field could be read.
+    Truncated {
+        /// Which field the decoder was reading when the buffer ran out.
+        what: &'static str,
+    },
+    /// The stored checksum does not match the payload.
+    ChecksumMismatch {
+        /// Checksum stored in the artifact tail.
+        stored: u64,
+        /// Checksum recomputed over the payload.
+        computed: u64,
+    },
+    /// A query referenced a user id outside the artifact's id space.
+    UnknownUser {
+        /// The offending user id.
+        user: u32,
+        /// Number of users in the artifact.
+        n_users: u32,
+    },
+    /// A structural invariant was violated (shape mismatch, bad CSR, …).
+    Invalid(String),
+    /// I/O failure while reading or writing an artifact file.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::BadMagic { found } => {
+                write!(f, "bad artifact magic 0x{found:08X}")
+            }
+            ServeError::UnsupportedVersion { found } => {
+                write!(f, "unsupported artifact version {found}")
+            }
+            ServeError::Truncated { what } => {
+                write!(f, "truncated artifact while reading {what}")
+            }
+            ServeError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "artifact checksum mismatch: stored 0x{stored:016X}, computed 0x{computed:016X}"
+            ),
+            ServeError::UnknownUser { user, n_users } => {
+                write!(f, "user {user} outside artifact id space ({n_users} users)")
+            }
+            ServeError::Invalid(msg) => write!(f, "invalid artifact: {msg}"),
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ServeError>;

@@ -1,0 +1,321 @@
+//! The top-k query engine over a frozen [`ModelArtifact`].
+//!
+//! One query is the read-only half of the evaluation protocol
+//! (`bns_eval::ranking`): materialize the user's rating vector with the
+//! unrolled GEMV kernel, mask the seen items from the artifact's CSR, and
+//! extract the top-k list with the bounded selection buffer of
+//! [`bns_eval::topk`]. Ties break toward lower item ids, so a query's
+//! answer is a pure function of the artifact — bit-for-bit reproducible
+//! across runs, threads and machines.
+//!
+//! The hot path is **allocation-free in steady state**: callers (or the
+//! [`crate::engine`] workers) hold one [`QueryScratch`] per thread and the
+//! score vector, selection buffer and output list are all reused — the
+//! same discipline the samplers follow (`tests/sampler_alloc.rs`), pinned
+//! for this crate by `crates/serve/tests/query_alloc.rs`.
+
+use crate::cache::TopKCache;
+use crate::engine::{serve_parallel, Request, ServeReport};
+use crate::{ModelArtifact, Result, ServeError};
+use bns_eval::topk::{top_k_masked_into, TopKBuffer};
+use bns_model::Scorer;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Reusable per-worker buffers for [`QueryEngine::top_k_into`]: the score
+/// vector and the top-k selection scratch. Steady-state allocation-free
+/// once warm.
+#[derive(Debug, Default)]
+pub struct QueryScratch {
+    pub(crate) scores: Vec<f32>,
+    pub(crate) topk: TopKBuffer,
+}
+
+impl QueryScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Answers `top_k(user, k, exclude_seen)` queries over a frozen artifact,
+/// optionally through a generation-stamped LRU cache, and fans request
+/// batches out to a work-stealing thread pool ([`QueryEngine::serve`]).
+///
+/// ```
+/// use bns_data::Interactions;
+/// use bns_model::MatrixFactorization;
+/// use bns_serve::{ModelArtifact, QueryEngine};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let model = MatrixFactorization::new(2, 6, 4, 0.1, &mut rng)?;
+/// let seen = Interactions::from_pairs(2, 6, &[(0, 1), (1, 4)])?;
+/// let engine = QueryEngine::new(ModelArtifact::freeze(&model, &seen)?);
+///
+/// let ranked = engine.top_k(0, 3, true)?;
+/// assert_eq!(ranked.len(), 3);
+/// assert!(!ranked.contains(&1), "seen item must be filtered");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct QueryEngine {
+    artifact: ModelArtifact,
+    cache: Option<Mutex<TopKCache>>,
+    generation: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_lookups: AtomicU64,
+}
+
+impl QueryEngine {
+    /// Creates an engine with no cache: every query runs the full
+    /// GEMV + top-k path.
+    pub fn new(artifact: ModelArtifact) -> Self {
+        Self {
+            artifact,
+            cache: None,
+            generation: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_lookups: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates an engine with a generation-stamped LRU cache of
+    /// `capacity` entries in front of the scoring path. A `capacity` of
+    /// zero disables the cache entirely (identical to
+    /// [`QueryEngine::new`]), so callers can wire the capacity straight
+    /// from configuration without an off-switch.
+    pub fn with_cache(artifact: ModelArtifact, capacity: usize) -> Self {
+        Self {
+            cache: (capacity > 0).then(|| Mutex::new(TopKCache::new(capacity))),
+            ..Self::new(artifact)
+        }
+    }
+
+    /// The frozen artifact being served.
+    pub fn artifact(&self) -> &ModelArtifact {
+        &self.artifact
+    }
+
+    /// Current artifact generation (bumped by
+    /// [`QueryEngine::swap_artifact`]).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Cache hits since construction (0 when no cache is configured).
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache lookups since construction (0 when no cache is configured).
+    pub fn cache_lookups(&self) -> u64 {
+        self.cache_lookups.load(Ordering::Relaxed)
+    }
+
+    /// Replaces the served artifact (a model hot-swap after retraining)
+    /// and bumps the generation, which invalidates every cached top-k
+    /// list in one step. Returns the previous artifact.
+    ///
+    /// Takes `&mut self`: a swap is an exclusive operation between serve
+    /// batches, never racing in-flight queries.
+    pub fn swap_artifact(&mut self, artifact: ModelArtifact) -> ModelArtifact {
+        self.generation.fetch_add(1, Ordering::Relaxed);
+        std::mem::replace(&mut self.artifact, artifact)
+    }
+
+    /// Answers one query into caller-owned buffers: `out` receives the
+    /// ranked item ids (best first, at most `k`), `scratch` holds the
+    /// reusable score/selection buffers. Allocation-free once warm
+    /// (except on a cache *insert*, which clones the list it stores).
+    ///
+    /// With `exclude_seen`, the user's frozen training positives are
+    /// masked out — the §II recommendation-list protocol; without it, the
+    /// raw top-k over the whole catalog is returned.
+    pub fn top_k_into(
+        &self,
+        user: u32,
+        k: usize,
+        exclude_seen: bool,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<u32>,
+    ) -> Result<()> {
+        let n_users = self.artifact.n_users();
+        if user >= n_users {
+            return Err(ServeError::UnknownUser { user, n_users });
+        }
+        let generation = self.generation.load(Ordering::Relaxed);
+        let key = cache_key(user, k, exclude_seen);
+        if let Some(cache) = &self.cache {
+            self.cache_lookups.fetch_add(1, Ordering::Relaxed);
+            let mut cache = cache.lock().expect("cache mutex poisoned");
+            if let Some(items) = cache.get(key, generation) {
+                out.clear();
+                out.extend_from_slice(items);
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+        }
+
+        let n_items = self.artifact.n_items() as usize;
+        scratch.scores.resize(n_items, 0.0);
+        self.artifact.score_all(user, &mut scratch.scores);
+        let masked: &[u32] = if exclude_seen {
+            self.artifact.seen().items_of(user)
+        } else {
+            &[]
+        };
+        top_k_masked_into(&scratch.scores, masked, k, &mut scratch.topk, out);
+
+        if let Some(cache) = &self.cache {
+            let mut cache = cache.lock().expect("cache mutex poisoned");
+            cache.insert(key, generation, out);
+        }
+        Ok(())
+    }
+
+    /// Convenience wrapper over [`QueryEngine::top_k_into`] that
+    /// allocates fresh buffers — fine for one-off queries and doc
+    /// examples; hot loops should reuse a [`QueryScratch`].
+    pub fn top_k(&self, user: u32, k: usize, exclude_seen: bool) -> Result<Vec<u32>> {
+        let mut scratch = QueryScratch::new();
+        let mut out = Vec::with_capacity(k);
+        self.top_k_into(user, k, exclude_seen, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Serves a batch of requests on `n_threads` scoped workers draining
+    /// a work-stealing queue; see [`crate::engine`] for the scheduling
+    /// contract. Validates every request up front, so the report covers
+    /// all of them in input order.
+    pub fn serve(&self, requests: &[Request], n_threads: usize) -> Result<ServeReport> {
+        let n_users = self.artifact.n_users();
+        for r in requests {
+            if r.user >= n_users {
+                return Err(ServeError::UnknownUser {
+                    user: r.user,
+                    n_users,
+                });
+            }
+        }
+        Ok(serve_parallel(self, requests, n_threads))
+    }
+}
+
+/// Packs `(user, k, exclude_seen)` into one cache key. `k` is truncated
+/// to 31 bits — far beyond any real recommendation cutoff.
+fn cache_key(user: u32, k: usize, exclude_seen: bool) -> u64 {
+    (user as u64) | (((k as u64) & 0x7FFF_FFFF) << 32) | ((exclude_seen as u64) << 63)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bns_data::Interactions;
+    use bns_model::{Embedding, MatrixFactorization};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// 2 users × 4 items with hand-set scores via an MF whose dim-1
+    /// embeddings multiply to the fixed table below.
+    fn engine() -> QueryEngine {
+        // users: [1], [2]; items: [0.9, 0.5, 0.7, 0.1]
+        let users = Embedding::from_vec(2, 1, vec![1.0, 2.0]).unwrap();
+        let items = Embedding::from_vec(4, 1, vec![0.9, 0.5, 0.7, 0.1]).unwrap();
+        let model = MatrixFactorization::from_embeddings(users, items).unwrap();
+        let seen = Interactions::from_pairs(2, 4, &[(0, 0), (1, 2)]).unwrap();
+        QueryEngine::new(ModelArtifact::freeze(&model, &seen).unwrap())
+    }
+
+    #[test]
+    fn ranks_by_score_with_mask() {
+        let e = engine();
+        // User 0 scores: [0.9, 0.5, 0.7, 0.1]; item 0 seen.
+        assert_eq!(e.top_k(0, 2, true).unwrap(), vec![2, 1]);
+        assert_eq!(e.top_k(0, 2, false).unwrap(), vec![0, 2]);
+        // User 1 scores doubled, same order; item 2 seen.
+        assert_eq!(e.top_k(1, 4, true).unwrap(), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn unknown_user_is_typed() {
+        let e = engine();
+        assert!(matches!(
+            e.top_k(9, 2, true),
+            Err(ServeError::UnknownUser {
+                user: 9,
+                n_users: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn cached_engine_returns_identical_lists_and_counts_hits() {
+        let users = Embedding::from_vec(2, 1, vec![1.0, 2.0]).unwrap();
+        let items = Embedding::from_vec(4, 1, vec![0.9, 0.5, 0.7, 0.1]).unwrap();
+        let model = MatrixFactorization::from_embeddings(users, items).unwrap();
+        let seen = Interactions::from_pairs(2, 4, &[(0, 0), (1, 2)]).unwrap();
+        let e = QueryEngine::with_cache(ModelArtifact::freeze(&model, &seen).unwrap(), 8);
+        let first = e.top_k(0, 2, true).unwrap();
+        assert_eq!(e.cache_hits(), 0);
+        let second = e.top_k(0, 2, true).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(e.cache_hits(), 1);
+        // Different k or mask is a different key.
+        let _ = e.top_k(0, 3, true).unwrap();
+        let _ = e.top_k(0, 2, false).unwrap();
+        assert_eq!(e.cache_hits(), 1);
+    }
+
+    #[test]
+    fn zero_cache_capacity_disables_the_cache() {
+        let users = Embedding::from_vec(2, 1, vec![1.0, 2.0]).unwrap();
+        let items = Embedding::from_vec(4, 1, vec![0.9, 0.5, 0.7, 0.1]).unwrap();
+        let model = MatrixFactorization::from_embeddings(users, items).unwrap();
+        let seen = Interactions::from_pairs(2, 4, &[(0, 0)]).unwrap();
+        let e = QueryEngine::with_cache(ModelArtifact::freeze(&model, &seen).unwrap(), 0);
+        let first = e.top_k(0, 2, true).unwrap();
+        assert_eq!(first, e.top_k(0, 2, true).unwrap());
+        assert_eq!(e.cache_lookups(), 0, "capacity 0 must bypass the cache");
+        assert_eq!(e.cache_hits(), 0);
+    }
+
+    #[test]
+    fn swap_artifact_bumps_generation_and_invalidates() {
+        let users = Embedding::from_vec(2, 1, vec![1.0, 2.0]).unwrap();
+        let items = Embedding::from_vec(4, 1, vec![0.9, 0.5, 0.7, 0.1]).unwrap();
+        let model = MatrixFactorization::from_embeddings(users, items).unwrap();
+        let seen = Interactions::from_pairs(2, 4, &[(0, 0)]).unwrap();
+        let mut e = QueryEngine::with_cache(ModelArtifact::freeze(&model, &seen).unwrap(), 8);
+        assert_eq!(e.top_k(0, 2, true).unwrap(), vec![2, 1]);
+
+        // Retrained model: item 3 is now the best for user 0.
+        let users2 = Embedding::from_vec(2, 1, vec![1.0, 2.0]).unwrap();
+        let items2 = Embedding::from_vec(4, 1, vec![0.1, 0.2, 0.3, 0.9]).unwrap();
+        let model2 = MatrixFactorization::from_embeddings(users2, items2).unwrap();
+        let old = e.swap_artifact(ModelArtifact::freeze(&model2, &seen).unwrap());
+        assert_eq!(e.generation(), 1);
+        assert_eq!(old.score(0, 0), 0.9);
+        // The cached [2, 1] must not leak through.
+        assert_eq!(e.top_k(0, 2, true).unwrap(), vec![3, 2]);
+    }
+
+    #[test]
+    fn matches_live_scorer_rankings_bitwise() {
+        // Freeze a random MF and compare every user's full ranking against
+        // the live model's score_all + top_k_masked.
+        let mut rng = StdRng::seed_from_u64(5);
+        let model = MatrixFactorization::new(6, 20, 8, 0.1, &mut rng).unwrap();
+        let seen =
+            Interactions::from_pairs(6, 20, &[(0, 3), (1, 7), (2, 0), (3, 19), (4, 4), (5, 11)])
+                .unwrap();
+        let e = QueryEngine::new(ModelArtifact::freeze(&model, &seen).unwrap());
+        let mut scores = vec![0.0f32; 20];
+        for u in 0..6u32 {
+            model.score_all(u, &mut scores);
+            let expected = bns_eval::topk::top_k_masked(&scores, seen.items_of(u), 10);
+            assert_eq!(e.top_k(u, 10, true).unwrap(), expected, "user {u}");
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Artifact integrity suite: every corruption class is rejected with the
+//! right **typed** error, and save → load → score is bitwise identical to
+//! the live model for all three freezable scorers.
+
+use bns_data::Interactions;
+use bns_model::{HogwildMf, LightGcn, MatrixFactorization, Scorer, SnapshotKind, SnapshotScorer};
+use bns_serve::artifact::{fnv1a64, MAGIC, VERSION};
+use bns_serve::{ModelArtifact, ServeError};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fixture() -> (MatrixFactorization, Interactions) {
+    let mut rng = StdRng::seed_from_u64(99);
+    let model = MatrixFactorization::new(5, 9, 8, 0.1, &mut rng).unwrap();
+    let seen = Interactions::from_pairs(
+        5,
+        9,
+        &[(0, 0), (0, 4), (1, 2), (2, 8), (3, 1), (3, 7), (4, 5)],
+    )
+    .unwrap();
+    (model, seen)
+}
+
+fn encoded() -> Vec<u8> {
+    let (model, seen) = fixture();
+    ModelArtifact::freeze(&model, &seen)
+        .unwrap()
+        .encode()
+        .to_vec()
+}
+
+/// Re-stamps the trailing checksum after a deliberate mutation, so tests
+/// can reach the validation layers *behind* the checksum.
+fn restamp(buf: &mut [u8]) {
+    let n = buf.len();
+    let sum = fnv1a64(&buf[..n - 8]);
+    buf[n - 8..].copy_from_slice(&sum.to_le_bytes());
+}
+
+#[test]
+fn bad_magic_is_typed() {
+    let mut buf = encoded();
+    buf[0] ^= 0xFF;
+    restamp(&mut buf);
+    match ModelArtifact::decode(&buf) {
+        Err(ServeError::BadMagic { found }) => assert_ne!(found, MAGIC),
+        other => panic!("expected BadMagic, got {other:?}"),
+    }
+}
+
+#[test]
+fn future_version_is_typed() {
+    let mut buf = encoded();
+    buf[4..8].copy_from_slice(&(VERSION + 1).to_le_bytes());
+    restamp(&mut buf);
+    match ModelArtifact::decode(&buf) {
+        Err(ServeError::UnsupportedVersion { found }) => assert_eq!(found, VERSION + 1),
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_snapshot_kind_is_rejected() {
+    let mut buf = encoded();
+    buf[8..12].copy_from_slice(&7u32.to_le_bytes());
+    restamp(&mut buf);
+    assert!(matches!(
+        ModelArtifact::decode(&buf),
+        Err(ServeError::Invalid(_))
+    ));
+}
+
+#[test]
+fn every_single_byte_flip_is_rejected() {
+    // Without re-stamping, any payload flip must trip the checksum (and
+    // header flips their own typed error); a tail flip corrupts the
+    // stored checksum itself.
+    let buf = encoded();
+    for pos in 0..buf.len() {
+        let mut corrupt = buf.clone();
+        corrupt[pos] ^= 0x01;
+        assert!(
+            ModelArtifact::decode(&corrupt).is_err(),
+            "flip at byte {pos} was accepted"
+        );
+    }
+}
+
+#[test]
+fn truncation_at_every_length_is_rejected() {
+    let buf = encoded();
+    for cut in 0..buf.len() {
+        let err = ModelArtifact::decode(&buf[..cut]).expect_err("truncation accepted");
+        assert!(
+            matches!(
+                err,
+                ServeError::Truncated { .. } | ServeError::ChecksumMismatch { .. }
+            ),
+            "cut at {cut} gave unexpected error {err:?}"
+        );
+    }
+}
+
+#[test]
+fn trailing_garbage_is_rejected() {
+    let mut buf = encoded();
+    buf.push(0);
+    assert!(ModelArtifact::decode(&buf).is_err());
+}
+
+#[test]
+fn payload_corruption_reports_checksum_mismatch() {
+    let mut buf = encoded();
+    let mid = buf.len() / 2;
+    buf[mid] ^= 0x40;
+    assert!(matches!(
+        ModelArtifact::decode(&buf),
+        Err(ServeError::ChecksumMismatch { .. })
+    ));
+}
+
+#[test]
+fn corrupted_seen_csr_behind_a_valid_checksum_is_rejected() {
+    // Flip the last item id of the embedded CSR out of range and re-stamp:
+    // the checksum passes, the CSR re-validation must still refuse it.
+    let mut buf = encoded();
+    let n = buf.len();
+    // Last 4 CSR bytes sit just before the 8-byte checksum tail.
+    buf[n - 12..n - 8].copy_from_slice(&10_000u32.to_le_bytes());
+    restamp(&mut buf);
+    assert!(matches!(
+        ModelArtifact::decode(&buf),
+        Err(ServeError::Invalid(_))
+    ));
+}
+
+#[test]
+fn load_of_missing_file_is_io() {
+    let path = std::env::temp_dir().join("bns_artifact_definitely_missing.bnsa");
+    assert!(matches!(ModelArtifact::load(&path), Err(ServeError::Io(_))));
+}
+
+#[test]
+fn hogwild_freeze_round_trips_bitwise() {
+    let (mf, seen) = fixture();
+    let hog = HogwildMf::from_mf(&mf);
+    let artifact = ModelArtifact::freeze(&hog, &seen).unwrap();
+    assert_eq!(artifact.kind(), SnapshotKind::HogwildMf);
+    let reloaded = ModelArtifact::decode(&artifact.encode()).unwrap();
+    for u in 0..5u32 {
+        for i in 0..9u32 {
+            assert_eq!(reloaded.score(u, i).to_bits(), hog.score(u, i).to_bits());
+        }
+    }
+}
+
+#[test]
+fn lightgcn_freeze_round_trips_bitwise() {
+    let (_, seen) = fixture();
+    let mut rng = StdRng::seed_from_u64(123);
+    let gcn = LightGcn::new(&seen, 8, 2, 0.1, &mut rng).unwrap();
+    let artifact = ModelArtifact::freeze(&gcn, &seen).unwrap();
+    assert_eq!(artifact.kind(), SnapshotKind::LightGcnPropagated);
+    let reloaded = ModelArtifact::decode(&artifact.encode()).unwrap();
+    let mut live = vec![0.0f32; 9];
+    let mut frozen = vec![0.0f32; 9];
+    for u in 0..5u32 {
+        gcn.score_all(u, &mut live);
+        reloaded.score_all(u, &mut frozen);
+        for i in 0..9 {
+            assert_eq!(frozen[i].to_bits(), live[i].to_bits());
+        }
+    }
+}
+
+proptest! {
+    /// The acceptance property of the artifact format: for any model shape
+    /// and seed, and any of the three freezable scorers, encode → decode →
+    /// `score_items` reproduces the live model's scores bit for bit.
+    #[test]
+    fn save_load_score_items_is_bitwise_for_all_scorers(
+        n_users in 2u32..8,
+        n_items in 3u32..16,
+        dim in 1usize..12,
+        seed in 0u64..200,
+        kind in 0u32..3,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pairs: Vec<(u32, u32)> = (0..n_users)
+            .flat_map(|u| {
+                let a = (u * 7 + seed as u32) % n_items;
+                let b = (u * 3 + 1) % n_items;
+                [(u, a), (u, b)]
+            })
+            .collect();
+        let seen = Interactions::from_pairs(n_users, n_items, &pairs).unwrap();
+        let mf = MatrixFactorization::new(n_users, n_items, dim, 0.1, &mut rng).unwrap();
+        let hog;
+        let gcn;
+        let live: &dyn SnapshotScorer = match kind {
+            0 => &mf,
+            1 => {
+                hog = HogwildMf::from_mf(&mf);
+                &hog
+            }
+            _ => {
+                gcn = LightGcn::new(&seen, dim, 1, 0.1, &mut rng).unwrap();
+                &gcn
+            }
+        };
+        let artifact = ModelArtifact::freeze(live, &seen).unwrap();
+        let reloaded = ModelArtifact::decode(&artifact.encode()).unwrap();
+
+        let ids: Vec<u32> = (0..n_items).collect();
+        let mut live_scores = vec![0.0f32; n_items as usize];
+        let mut frozen_scores = vec![0.0f32; n_items as usize];
+        for u in 0..n_users {
+            live.score_items(u, &ids, &mut live_scores);
+            reloaded.score_items(u, &ids, &mut frozen_scores);
+            for i in 0..n_items as usize {
+                prop_assert_eq!(frozen_scores[i].to_bits(), live_scores[i].to_bits());
+            }
+        }
+    }
+}

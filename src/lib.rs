@@ -9,11 +9,15 @@
 //! * [`model`] — BPR-trained MF and LightGCN recommendation models.
 //! * [`core`] — the BNS sampler and all baseline samplers.
 //! * [`eval`] — ranking metrics and sampling-quality trackers.
+//! * [`serve`] — frozen model artifacts and the concurrent top-k query
+//!   engine.
 //!
-//! See `examples/quickstart.rs` for an end-to-end walkthrough.
+//! See `examples/quickstart.rs` for an end-to-end training walkthrough and
+//! `examples/serve.rs` for train → freeze → serve.
 
 pub use bns_core as core;
 pub use bns_data as data;
 pub use bns_eval as eval;
 pub use bns_model as model;
+pub use bns_serve as serve;
 pub use bns_stats as stats;

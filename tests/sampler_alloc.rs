@@ -8,6 +8,9 @@
 //! counting global allocator (this test binary only — integration tests
 //! are separate binaries) asserts the heap counter is flat across
 //! thousands of subsequent draws — per-pair and batched alike.
+//!
+//! The allocator harness itself lives in `tests/support/counting_alloc.rs`
+//! and is shared with the serving audit (`crates/serve/tests/query_alloc.rs`).
 
 use bns::core::trainer::sample_pair;
 use bns::core::{build_sampler, SampleContext, SamplerConfig};
@@ -15,35 +18,8 @@ use bns::data::{Dataset, Interactions};
 use bns::model::{MatrixFactorization, TripleBatch};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicUsize, Ordering};
 
-struct CountingAllocator;
-
-static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
-
-unsafe impl GlobalAlloc for CountingAllocator {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
-    }
-}
-
-#[global_allocator]
-static ALLOCATOR: CountingAllocator = CountingAllocator;
-
-fn allocation_count() -> usize {
-    ALLOCATIONS.load(Ordering::Relaxed)
-}
+include!("support/counting_alloc.rs");
 
 fn dataset() -> Dataset {
     let mut pairs = Vec::new();

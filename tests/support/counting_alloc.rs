@@ -1,0 +1,60 @@
+// Shared counting-allocator harness for the steady-state allocation
+// audits, spliced into each audit test binary with `include!` (files in
+// `tests/support/` are not themselves test targets, and `//!` inner docs
+// would be illegal at the include site). One source of truth:
+// `tests/sampler_alloc.rs` at the repo root and
+// `crates/serve/tests/query_alloc.rs` both use it, so an allocator-gate
+// fix lands in every audit at once.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Only allocations made on a thread that opted in are counted. The
+    /// libtest harness thread lazily initializes its MPMC channel context
+    /// (two small allocations) at a *nondeterministic* time while parked
+    /// waiting for the test thread — without this gate, that init lands
+    /// inside a measured window once in a few runs and flakes the audit.
+    /// Const-initialized TLS is allocation-free to access.
+    static TRACKING: Cell<bool> = const { Cell::new(false) };
+}
+
+fn count_if_tracking() {
+    let _ = TRACKING.try_with(|t| {
+        if t.get() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count_if_tracking();
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count_if_tracking();
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Reads the counter, opting the calling thread into tracking — the
+/// audits read it immediately before the measured window, so everything
+/// the test thread allocates from then on is counted.
+fn allocation_count() -> usize {
+    TRACKING.with(|t| t.set(true));
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
