@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI gate for the bns workspace. Mirrors the tier-1 verify plus hygiene:
-#   build (release) → tests → fmt → clippy → benches compile.
-# Runs fully offline; all dependencies are path crates (see vendor/).
+#   build (release) → tests → fmt → clippy → lint → model check → benches.
+# Runs fully offline; all dependencies are path crates (see vendor/), and
+# --locked refuses any drift from the committed Cargo.lock.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -10,32 +11,43 @@ run() {
     "$@"
 }
 
-run cargo build --release --workspace --offline
-run cargo test -q --workspace --offline
-run cargo test -q --doc --workspace --offline
+run cargo build --release --workspace --offline --locked
+run cargo test -q --workspace --offline --locked
+run cargo test -q --doc --workspace --offline --locked
 run cargo fmt --all --check
-run cargo clippy --workspace --all-targets --offline -- -D warnings
-RUSTDOCFLAGS="-D warnings" run cargo doc --no-deps --workspace --offline
+run cargo clippy --workspace --all-targets --offline --locked -- -D warnings
+RUSTDOCFLAGS="-D warnings" run cargo doc --no-deps --workspace --offline --locked
+# Invariant linter: concurrency and hygiene rules over the whole workspace
+# (raw-atomic imports, unjustified Relaxed, SeqCst ban, SAFETY comments,
+# wall-clock bans, missing_docs). vendor/ and target/ are skipped by the
+# walker itself. Nonzero exit on any violation fails CI here.
+run cargo run --release --offline --locked -p bns-lint
+# Model-check scenario suite: bns-sync's deterministic scheduler explores
+# thread interleavings of the lock-free protocols. The cfg comes in via
+# RUSTFLAGS, which REPLACES .cargo/config.toml's rustflags — so restate
+# target-cpu=native to keep the build cache warm and codegen consistent.
+RUSTFLAGS="-C target-cpu=native --cfg bns_model_check" \
+    run cargo test -q -p bns-check --offline --locked
 # Compiles every Criterion target (sampler_micro, fused_draw,
 # parallel_scaling, …) without running them.
-run cargo bench --no-run --workspace --offline
+run cargo bench --no-run --workspace --offline --locked
 # bench_json smoke at tiny sizes: keeps the machine-readable perf runner
 # from rotting. The committed BENCH_samplers.json is generated at paper
 # scale (defaults: 10k items, d = 32); the smoke writes under target/.
 mkdir -p target
-run cargo run --release --offline -p bns-bench --bin bench_json -- \
+run cargo run --release --offline --locked -p bns-bench --bin bench_json -- \
     --users 40 --items 200 --draws 400 --out target/BENCH_smoke.json
 # Execute (not just compile) root examples: the examples are covered by
 # clippy --all-targets at build level only, so runtime rot in the public
 # walkthrough APIs would otherwise be invisible. `serve` additionally
 # asserts that frozen-artifact rankings are bitwise identical to the live
 # model's.
-run cargo run --release --offline --example quickstart
-run cargo run --release --offline --example serve -- --scale 0.05
+run cargo run --release --offline --locked --example quickstart
+run cargo run --release --offline --locked --example serve -- --scale 0.05
 # serve_bench smoke: the serving load generator is gated like the
 # samplers' bench_json. The committed BENCH_serve.json is generated at
 # paper scale (10k items, d = 32); the smoke writes under target/.
-run cargo run --release --offline -p bns-bench --bin serve_bench -- \
+run cargo run --release --offline --locked -p bns-bench --bin serve_bench -- \
     --scale 0.05 --out target/BENCH_serve_smoke.json
 
 echo "CI green."

@@ -1,0 +1,58 @@
+//! Epoch-merge scenarios: per-shard [`PosteriorStats`] merged under the
+//! facade mutex equal the serial sum across every interleaving — the
+//! barrier-merge step of the hogwild trainer (`bns_core::parallel`).
+#![cfg(bns_model_check)]
+
+use bns_core::PosteriorStats;
+use bns_sync::model::{check, spawn, Mode};
+use bns_sync::Mutex;
+use std::sync::Arc;
+
+fn shard_stats(w: u64) -> PosteriorStats {
+    PosteriorStats {
+        draws: 10 + w,
+        info_sum: 0.5 * (w + 1) as f64,
+        likelihood_sum: 0.25 * (w + 1) as f64,
+        prior_sum: 0.125 * (w + 1) as f64,
+        unbias_sum: 0.0625 * (w + 1) as f64,
+        risk_sum: -0.03125 * (w + 1) as f64,
+    }
+}
+
+#[test]
+fn epoch_merge_equals_serial_sum_across_interleavings() {
+    let mut expected = PosteriorStats::default();
+    for w in 0..3 {
+        expected.merge(&shard_stats(w));
+    }
+    let report = check(
+        "posterior: 3-shard merge over all schedules",
+        Mode::Exhaustive {
+            max_executions: 200_000,
+        },
+        || {
+            let total = Arc::new(Mutex::new(PosteriorStats::default()));
+            let workers: Vec<_> = (0..3)
+                .map(|w| {
+                    let total = Arc::clone(&total);
+                    spawn(move || total.lock().merge(&shard_stats(w)))
+                })
+                .collect();
+            for worker in workers {
+                worker.join();
+            }
+            let got = total.lock();
+            assert_eq!(got.draws, expected.draws, "a shard's draws went missing");
+            // f64 addition is commutative over these exact dyadic values,
+            // so every merge order must land on identical bits.
+            assert_eq!(got.info_sum.to_bits(), expected.info_sum.to_bits());
+            assert_eq!(got.unbias_sum.to_bits(), expected.unbias_sum.to_bits());
+            assert_eq!(got.risk_sum.to_bits(), expected.risk_sum.to_bits());
+        },
+    );
+    assert!(report.complete, "state space must be fully enumerated");
+    assert!(
+        report.executions > 1,
+        "merge order must branch the schedule"
+    );
+}

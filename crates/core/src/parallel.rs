@@ -52,12 +52,12 @@ use crate::trainer::{TrainConfig, TrainObserver, TrainStats};
 use crate::{CoreError, Result};
 use bns_data::{Dataset, Occupations};
 use bns_model::{HogwildMf, HogwildScratch, MatrixFactorization, Scorer, TripleBatch};
+use bns_sync::PoisonFlag;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Barrier, Mutex};
 
 /// How strictly a parallel run must reproduce the serial trace.
@@ -232,6 +232,8 @@ impl ParallelTrainer {
         // workers can unwrap their per-shard builds.
         drop(build_sampler(sampler_cfg, dataset, occupations)?);
 
+        // lint:allow(wall-clock) — wall_seconds is reporting-only output;
+        // no training decision reads it.
         let started = std::time::Instant::now();
         let threads = self.parallel.threads;
         let train_set = dataset.train();
@@ -266,10 +268,10 @@ impl ParallelTrainer {
         // everyone skips real work and the loops drain fast; the payload
         // is re-thrown after the scope joins, matching the serial engine's
         // panic behavior.
-        let poisoned = AtomicBool::new(false);
+        let poisoned = PoisonFlag::new();
         let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
         let poison = |payload: Box<dyn std::any::Any + Send>| {
-            poisoned.store(true, Ordering::Release);
+            poisoned.set();
             panic_payload
                 .lock()
                 .expect("panic payload lock")
@@ -295,7 +297,7 @@ impl ParallelTrainer {
                     let mut infos: Vec<f32> = Vec::new();
                     let mut scratch = HogwildScratch::default();
                     for epoch in 0..epochs {
-                        if !poisoned.load(Ordering::Acquire) {
+                        if !poisoned.is_set() {
                             let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
                                 let lr = config.sgd.lr.at(epoch);
                                 sampler.on_epoch_start(epoch);
@@ -356,7 +358,7 @@ impl ParallelTrainer {
 
             for epoch in 0..epochs {
                 barrier.wait();
-                if !poisoned.load(Ordering::Acquire) {
+                if !poisoned.is_set() {
                     let mut info_sum = 0.0f64;
                     let mut info_count = 0usize;
                     let mut posterior = PosteriorStats::default();

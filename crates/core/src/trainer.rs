@@ -246,6 +246,8 @@ pub fn train<M: PairwiseModel>(
         )));
     }
 
+    // lint:allow(wall-clock) — wall_seconds is reporting-only output; the
+    // training trace never branches on it.
     let started = std::time::Instant::now();
     let train_set = dataset.train();
     let popularity = dataset.popularity();

@@ -1,0 +1,49 @@
+//! CLI for the workspace invariant linter.
+//!
+//! ```text
+//! bns-lint [--root <path>]
+//! ```
+//!
+//! Prints one `path:line: rule: message` diagnostic per violation to
+//! stdout and exits nonzero if any were found; prints `bns-lint: clean`
+//! otherwise. `ci.sh` runs it from the workspace root.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("bns-lint: --root requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: bns-lint [--root <path>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("bns-lint: unknown argument '{other}' (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let diags = bns_lint::lint_workspace(&root);
+    if diags.is_empty() {
+        println!("bns-lint: clean");
+        return ExitCode::SUCCESS;
+    }
+    for d in &diags {
+        println!("{d}");
+    }
+    eprintln!("bns-lint: {} violation(s)", diags.len());
+    ExitCode::FAILURE
+}

@@ -1,0 +1,3 @@
+//! A published crate root that forgot `#![deny(missing_docs)]`.
+
+pub fn undocumented_api() {}

@@ -1,0 +1,10 @@
+pub fn timed() -> f64 {
+    let started = std::time::Instant::now();
+    started.elapsed().as_secs_f64()
+}
+
+pub fn justified() -> f64 {
+    // lint:allow(wall-clock) — fixture: reporting-only timing.
+    let started = std::time::Instant::now();
+    started.elapsed().as_secs_f64()
+}

@@ -1,0 +1,11 @@
+use std::sync::atomic::{AtomicU32, Ordering};
+
+pub struct Cell(AtomicU32);
+
+impl Cell {
+    pub fn get(&self) -> u32 {
+        // ordering: Relaxed — fixture: the facade path may use raw atomics
+        // (with justification), so this file must stay clean.
+        self.0.load(Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,6 @@
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn next(c: &AtomicUsize) -> usize {
+    // ordering: fixture — justified so only the import above is flagged.
+    c.fetch_add(1, Ordering::Relaxed)
+}

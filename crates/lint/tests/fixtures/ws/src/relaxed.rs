@@ -1,0 +1,8 @@
+pub fn unjustified(c: &AtomicU64) -> u64 {
+    c.load(Ordering::Relaxed)
+}
+
+pub fn justified(c: &AtomicU64) -> u64 {
+    // ordering: Relaxed — fixture: a justified site must not be flagged.
+    c.load(Ordering::Relaxed)
+}

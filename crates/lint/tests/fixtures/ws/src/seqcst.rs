@@ -1,0 +1,8 @@
+pub fn banned(c: &AtomicBool) -> bool {
+    c.load(Ordering::SeqCst)
+}
+
+pub fn escaped(c: &AtomicBool) -> bool {
+    // lint:allow(seqcst-ban) — fixture: the escape hatch must suppress.
+    c.load(Ordering::SeqCst)
+}

@@ -1,0 +1,11 @@
+//! Tokenizer fixture: every banned pattern below lives in a string, raw
+//! string, or comment — none may be flagged. Ordering::SeqCst, unsafe,
+//! std::sync::atomic, Instant::now.
+
+/// Doc comments mentioning Ordering::Relaxed and unsafe are prose.
+pub fn clean() -> (&'static str, &'static str) {
+    let a = "Ordering::SeqCst and unsafe and std::sync::atomic";
+    let b = r#"Ordering::Relaxed with "quotes" and unsafe"#;
+    /* block comment: Ordering::SeqCst, unsafe, Instant::now() */
+    (a, b)
+}

@@ -1,0 +1,8 @@
+pub fn undocumented(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+pub fn documented(p: *const u32) -> u32 {
+    // SAFETY: fixture — a documented block must not be flagged.
+    unsafe { *p }
+}

@@ -1,0 +1,94 @@
+//! Golden-diagnostics tests: the linter must flag every seeded fixture at
+//! the exact `file:line`, honor the escape hatches, and pass the real
+//! workspace.
+
+use bns_lint::lint_workspace;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws")
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// `(path, line, rule)` of every expected fixture finding, in the
+/// path-sorted order the linter reports.
+const GOLDEN: [(&str, usize, &str); 6] = [
+    ("crates/badcrate/src/lib.rs", 1, "missing-docs"),
+    ("crates/core/src/wall_clock.rs", 2, "wall-clock"),
+    ("src/atomic_import.rs", 1, "atomic-import"),
+    ("src/relaxed.rs", 2, "relaxed-justify"),
+    ("src/seqcst.rs", 2, "seqcst-ban"),
+    ("src/unsafe_no_safety.rs", 2, "unsafe-safety"),
+];
+
+#[test]
+fn fixtures_produce_exactly_the_golden_diagnostics() {
+    let diags = lint_workspace(&fixture_root());
+    let got: Vec<(String, usize, &str)> = diags
+        .iter()
+        .map(|d| (d.path.clone(), d.line, d.rule))
+        .collect();
+    let want: Vec<(String, usize, &str)> = GOLDEN
+        .iter()
+        .map(|&(p, l, r)| (p.to_string(), l, r))
+        .collect();
+    assert_eq!(got, want, "full diagnostics: {diags:#?}");
+}
+
+#[test]
+fn clean_fixtures_stay_clean() {
+    // The escape-hatch and tokenizer fixtures must contribute nothing.
+    let diags = lint_workspace(&fixture_root());
+    for clean in ["src/strings_and_docs.rs", "crates/sync/src/facade_ok.rs"] {
+        assert!(
+            diags.iter().all(|d| d.path != clean),
+            "{clean} was flagged: {diags:?}"
+        );
+    }
+}
+
+#[test]
+fn binary_reports_fixture_diagnostics_and_exits_nonzero() {
+    let out = Command::new(env!("CARGO_BIN_EXE_bns-lint"))
+        .arg("--root")
+        .arg(fixture_root())
+        .output()
+        .expect("run bns-lint");
+    assert!(!out.status.success(), "must exit nonzero on violations");
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), GOLDEN.len());
+    for (line, (path, lineno, rule)) in lines.iter().zip(GOLDEN) {
+        assert!(
+            line.starts_with(&format!("{path}:{lineno}: {rule}: ")),
+            "unexpected diagnostic line: {line}"
+        );
+    }
+    let stderr = String::from_utf8(out.stderr).expect("utf-8 stderr");
+    assert!(stderr.contains("6 violation(s)"), "stderr: {stderr}");
+}
+
+#[test]
+fn binary_is_clean_on_the_real_workspace() {
+    let out = Command::new(env!("CARGO_BIN_EXE_bns-lint"))
+        .arg("--root")
+        .arg(workspace_root())
+        .output()
+        .expect("run bns-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "workspace must lint clean; output:\n{stdout}"
+    );
+    assert_eq!(stdout.trim(), "bns-lint: clean");
+}
+
+#[test]
+fn library_agrees_with_binary_on_the_workspace() {
+    let diags = lint_workspace(&workspace_root());
+    assert!(diags.is_empty(), "{diags:#?}");
+}

@@ -6,13 +6,15 @@
 //! workers collide rarely and lost updates merely add sampling noise of the
 //! same order as SGD noise itself.
 //!
-//! Rust forbids plain data races, so the shared tables store `f32` bit
-//! patterns in [`AtomicU32`] cells accessed with `Ordering::Relaxed`. On
-//! mainstream ISAs a relaxed atomic load/store compiles to an ordinary
-//! `mov`, which keeps the hot path within a few percent of the serial
-//! [`Embedding`] path while staying free of undefined behavior. Read-modify-write sequences are intentionally *not* atomic —
-//! a racing worker may overwrite a concurrent update, which is precisely
-//! the hogwild contract.
+//! Rust forbids plain data races, so the shared tables store their values
+//! in [`AtomicF32Cell`]s — the `bns-sync` facade type whose load/store are
+//! relaxed-atomic f32 bit patterns. On mainstream ISAs a relaxed atomic
+//! load/store compiles to an ordinary `mov`, which keeps the hot path
+//! within a few percent of the serial [`Embedding`] path while staying
+//! free of undefined behavior. Read-modify-write sequences are
+//! intentionally *not* atomic — a racing worker may overwrite a concurrent
+//! update, which is precisely the hogwild contract (and exactly what the
+//! `bns-check` hogwild scenarios pin down under the model checker).
 //!
 //! [`HogwildMf`] wraps two [`AtomicEmbedding`] tables into a matrix-
 //! factorization model that is [`Sync`], scoreable from any thread, and
@@ -24,13 +26,13 @@ use crate::embedding::Embedding;
 use crate::loss::info;
 use crate::mf::MatrixFactorization;
 use crate::scorer::Scorer;
-use std::sync::atomic::{AtomicU32, Ordering};
+use bns_sync::AtomicF32Cell;
 
-/// An `n × dim` table of `f32` embeddings stored as relaxed-atomic bits,
+/// An `n × dim` table of `f32` embeddings stored as relaxed-atomic cells,
 /// shareable across threads for hogwild updates.
 #[derive(Debug)]
 pub struct AtomicEmbedding {
-    data: Vec<AtomicU32>,
+    data: Vec<AtomicF32Cell>,
     n: usize,
     dim: usize,
 }
@@ -42,7 +44,7 @@ impl AtomicEmbedding {
             data: e
                 .as_slice()
                 .iter()
-                .map(|&x| AtomicU32::new(x.to_bits()))
+                .map(|&x| AtomicF32Cell::new(x))
                 .collect(),
             n: e.len(),
             dim: e.dim(),
@@ -55,11 +57,7 @@ impl AtomicEmbedding {
     /// training scope has joined); a racing writer would not be unsound,
     /// but the snapshot would mix epochs.
     pub fn to_embedding(&self) -> Embedding {
-        let data: Vec<f32> = self
-            .data
-            .iter()
-            .map(|cell| f32::from_bits(cell.load(Ordering::Relaxed)))
-            .collect();
+        let data: Vec<f32> = self.data.iter().map(|cell| cell.load()).collect();
         Embedding::from_vec(self.n, self.dim, data).expect("shape preserved by construction")
     }
 
@@ -82,28 +80,28 @@ impl AtomicEmbedding {
     #[inline]
     pub fn get(&self, i: usize, k: usize) -> f32 {
         debug_assert!(i < self.n && k < self.dim, "index out of range");
-        f32::from_bits(self.data[i * self.dim + k].load(Ordering::Relaxed))
+        self.data[i * self.dim + k].load()
     }
 
     /// Writes element `(i, k)` with relaxed ordering.
     #[inline]
     pub fn set(&self, i: usize, k: usize, v: f32) {
         debug_assert!(i < self.n && k < self.dim, "index out of range");
-        self.data[i * self.dim + k].store(v.to_bits(), Ordering::Relaxed);
+        self.data[i * self.dim + k].store(v);
     }
 
     /// Copies row `i` into `out` (length `dim`).
     pub fn read_row(&self, i: usize, out: &mut [f32]) {
         debug_assert_eq!(out.len(), self.dim);
         for (slot, cell) in out.iter_mut().zip(self.row(i)) {
-            *slot = f32::from_bits(cell.load(Ordering::Relaxed));
+            *slot = cell.load();
         }
     }
 
     /// Row `i` as a slice of atomic cells (the zero-bounds-check access
     /// the update/scoring hot paths iterate over).
     #[inline]
-    fn row(&self, i: usize) -> &[AtomicU32] {
+    fn row(&self, i: usize) -> &[AtomicF32Cell] {
         &self.data[i * self.dim..(i + 1) * self.dim]
     }
 
@@ -191,14 +189,13 @@ impl HogwildMf {
         let wu = self.users.row(u as usize);
         let hi = self.items.row(pos as usize);
         let hj = self.items.row(neg as usize);
-        const R: Ordering = Ordering::Relaxed;
         for ((wc, ic), jc) in wu.iter().zip(hi).zip(hj) {
-            let wuk = f32::from_bits(wc.load(R));
-            let hik = f32::from_bits(ic.load(R));
-            let hjk = f32::from_bits(jc.load(R));
-            wc.store((wuk + lr * (g * (hik - hjk) - reg * wuk)).to_bits(), R);
-            ic.store((hik + lr * (g * wuk - reg * hik)).to_bits(), R);
-            jc.store((hjk + lr * (-g * wuk - reg * hjk)).to_bits(), R);
+            let wuk = wc.load();
+            let hik = ic.load();
+            let hjk = jc.load();
+            wc.store(wuk + lr * (g * (hik - hjk) - reg * wuk));
+            ic.store(hik + lr * (g * wuk - reg * hik));
+            jc.store(hjk + lr * (-g * wuk - reg * hjk));
         }
         g
     }
@@ -230,7 +227,6 @@ impl HogwildMf {
         infos.clear();
         infos.reserve(batch.n_triples());
         let k = batch.k();
-        const R: Ordering = Ordering::Relaxed;
         for (row, (&u, &pos)) in batch.users().iter().zip(batch.pos()).enumerate() {
             let negs = batch.negs_of(row);
             if k == 1 {
@@ -257,30 +253,27 @@ impl HogwildMf {
             let wu = self.users.row(u as usize);
             let hi = self.items.row(pos as usize);
             for (d, wc) in wu.iter().enumerate() {
-                let hid = f32::from_bits(hi[d].load(R));
+                let hid = hi[d].load();
                 let mut acc = 0.0f32;
                 for (t, &neg) in negs.iter().enumerate() {
-                    let hjd = f32::from_bits(self.items.row(neg as usize)[d].load(R));
+                    let hjd = self.items.row(neg as usize)[d].load();
                     acc += scratch.gs[t] * (hid - hjd);
                 }
                 let w0 = scratch.wu0[d];
-                wc.store((w0 + lr * (acc - reg * w0)).to_bits(), R);
+                wc.store(w0 + lr * (acc - reg * w0));
             }
             // hᵢ: summed positive-side pull with the snapshot user row.
             for (d, ic) in hi.iter().enumerate() {
-                let hid = f32::from_bits(ic.load(R));
-                ic.store(
-                    (hid + lr * (g_sum * scratch.wu0[d] - reg * hid)).to_bits(),
-                    R,
-                );
+                let hid = ic.load();
+                ic.store(hid + lr * (g_sum * scratch.wu0[d] - reg * hid));
             }
             // hⱼₜ: one push per negative, sequential so duplicates stack.
             for (t, &neg) in negs.iter().enumerate() {
                 let g = scratch.gs[t];
                 let hj = self.items.row(neg as usize);
                 for (d, jc) in hj.iter().enumerate() {
-                    let hjd = f32::from_bits(jc.load(R));
-                    jc.store((hjd + lr * (-g * scratch.wu0[d] - reg * hjd)).to_bits(), R);
+                    let hjd = jc.load();
+                    jc.store(hjd + lr * (-g * scratch.wu0[d] - reg * hjd));
                 }
             }
         }

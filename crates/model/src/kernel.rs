@@ -14,7 +14,7 @@
 //! * [`gemv`] — user row × the whole item table (the full rating vector),
 //! * [`gather_dots`] — user row × an arbitrary subset of item rows (the
 //!   candidate-scoring path of `ScoreAccess::Candidates` samplers),
-//! * [`dot_atomic`] — the same arithmetic over relaxed-atomic cells (the
+//! * [`dot_atomic`] — the same arithmetic over [`AtomicF32Cell`] rows (the
 //!   hogwild tables of [`crate::hogwild`]).
 //!
 //! Because all four share one accumulation structure, `score(u, i)`,
@@ -28,7 +28,7 @@
 //! touching it. Accuracy against an `f64` scalar reference is property-
 //! tested here and in `tests/proptests.rs` (≤ 1e-5 relative).
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use bns_sync::AtomicF32Cell;
 
 /// Number of independent accumulators in the unrolled kernels.
 pub const LANES: usize = 8;
@@ -92,9 +92,8 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
 /// the hogwild variant. Identical accumulation structure, so for equal
 /// values the result is bitwise equal to [`dot`].
 #[inline]
-pub fn dot_atomic(a: &[f32], cells: &[AtomicU32]) -> f32 {
+pub fn dot_atomic(a: &[f32], cells: &[AtomicF32Cell]) -> f32 {
     debug_assert_eq!(a.len(), cells.len(), "dot operands must have equal length");
-    const R: Ordering = Ordering::Relaxed;
     let mut acc = [0.0f32; LANES];
     let a_chunks = a.chunks_exact(LANES);
     let c_chunks = cells.chunks_exact(LANES);
@@ -102,12 +101,12 @@ pub fn dot_atomic(a: &[f32], cells: &[AtomicU32]) -> f32 {
     let c_rem = c_chunks.remainder();
     for (ca, cc) in a_chunks.zip(c_chunks) {
         for l in 0..LANES {
-            acc[l] = fmadd(ca[l], f32::from_bits(cc[l].load(R)), acc[l]);
+            acc[l] = fmadd(ca[l], cc[l].load(), acc[l]);
         }
     }
     let mut tail = 0.0f32;
     for (&x, cell) in a_rem.iter().zip(c_rem) {
-        tail = fmadd(x, f32::from_bits(cell.load(R)), tail);
+        tail = fmadd(x, cell.load(), tail);
     }
     reduce(acc, tail)
 }
@@ -217,7 +216,7 @@ mod tests {
         for n in [3usize, 8, 32, 50] {
             let a = pseudo(n, 3);
             let b = pseudo(n, 4);
-            let cells: Vec<AtomicU32> = b.iter().map(|&x| AtomicU32::new(x.to_bits())).collect();
+            let cells: Vec<AtomicF32Cell> = b.iter().map(|&x| AtomicF32Cell::new(x)).collect();
             assert_eq!(dot(&a, &b).to_bits(), dot_atomic(&a, &cells).to_bits());
         }
     }

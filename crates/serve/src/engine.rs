@@ -16,7 +16,7 @@
 //! the thread count — only the latency distribution moves.
 
 use crate::query::{QueryEngine, QueryScratch};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use bns_sync::ClaimCursor;
 use std::time::Instant;
 
 /// One top-k query: `user`, cutoff `k`, and whether the user's frozen
@@ -92,13 +92,14 @@ pub(crate) fn serve_parallel(
     let n_threads = n_threads.max(1).min(n);
     let chunk = n.div_ceil(n_threads);
     // Shard s covers [s·chunk, min((s+1)·chunk, n)); cursor s is the next
-    // unclaimed index in that shard. fetch_add claims are exclusive, so
-    // every request is answered exactly once; overshoot past the shard end
-    // is bounded by one failed claim per visiting worker.
+    // unclaimed index in that shard. ClaimCursor claims are exclusive, so
+    // every request is answered exactly once (pinned across interleavings
+    // by the bns-check `steal` scenarios); overshoot past the shard end is
+    // bounded by one failed claim per visiting worker.
     let bounds: Vec<(usize, usize)> = (0..n_threads)
         .map(|s| (s * chunk, ((s + 1) * chunk).min(n)))
         .collect();
-    let cursors: Vec<AtomicUsize> = bounds.iter().map(|&(lo, _)| AtomicUsize::new(lo)).collect();
+    let cursors: Vec<ClaimCursor> = bounds.iter().map(|&(lo, _)| ClaimCursor::new(lo)).collect();
 
     let started = Instant::now();
     let mut parts: Vec<Vec<(usize, RankedList)>> = std::thread::scope(|scope| {
@@ -113,7 +114,7 @@ pub(crate) fn serve_parallel(
                         let shard = (w + visit) % n_threads;
                         let (_, end) = bounds[shard];
                         loop {
-                            let idx = cursors[shard].fetch_add(1, Ordering::Relaxed);
+                            let idx = cursors[shard].claim();
                             if idx >= end {
                                 break;
                             }

@@ -19,8 +19,7 @@ use crate::engine::{serve_parallel, Request, ServeReport};
 use crate::{ModelArtifact, Result, ServeError};
 use bns_eval::topk::{top_k_masked_into, TopKBuffer};
 use bns_model::Scorer;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use bns_sync::{Counter, Generation, Mutex};
 
 /// Reusable per-worker buffers for [`QueryEngine::top_k_into`]: the score
 /// vector and the top-k selection scratch. Steady-state allocation-free
@@ -63,9 +62,9 @@ impl QueryScratch {
 pub struct QueryEngine {
     artifact: ModelArtifact,
     cache: Option<Mutex<TopKCache>>,
-    generation: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_lookups: AtomicU64,
+    generation: Generation,
+    cache_hits: Counter,
+    cache_lookups: Counter,
 }
 
 impl QueryEngine {
@@ -75,9 +74,9 @@ impl QueryEngine {
         Self {
             artifact,
             cache: None,
-            generation: AtomicU64::new(0),
-            cache_hits: AtomicU64::new(0),
-            cache_lookups: AtomicU64::new(0),
+            generation: Generation::new(),
+            cache_hits: Counter::new(),
+            cache_lookups: Counter::new(),
         }
     }
 
@@ -101,17 +100,17 @@ impl QueryEngine {
     /// Current artifact generation (bumped by
     /// [`QueryEngine::swap_artifact`]).
     pub fn generation(&self) -> u64 {
-        self.generation.load(Ordering::Relaxed)
+        self.generation.current()
     }
 
     /// Cache hits since construction (0 when no cache is configured).
     pub fn cache_hits(&self) -> u64 {
-        self.cache_hits.load(Ordering::Relaxed)
+        self.cache_hits.get()
     }
 
     /// Cache lookups since construction (0 when no cache is configured).
     pub fn cache_lookups(&self) -> u64 {
-        self.cache_lookups.load(Ordering::Relaxed)
+        self.cache_lookups.get()
     }
 
     /// Replaces the served artifact (a model hot-swap after retraining)
@@ -119,9 +118,13 @@ impl QueryEngine {
     /// list in one step. Returns the previous artifact.
     ///
     /// Takes `&mut self`: a swap is an exclusive operation between serve
-    /// batches, never racing in-flight queries.
+    /// batches, never racing in-flight queries. [`Generation::bump`] is
+    /// nevertheless a Release store (and reads Acquire), so the protocol
+    /// stays correct when the planned online-learning path starts swapping
+    /// through a shared reference; the `cache_swap` scenarios in
+    /// `bns-check` pin the invariant either way.
     pub fn swap_artifact(&mut self, artifact: ModelArtifact) -> ModelArtifact {
-        self.generation.fetch_add(1, Ordering::Relaxed);
+        self.generation.bump();
         std::mem::replace(&mut self.artifact, artifact)
     }
 
@@ -145,15 +148,19 @@ impl QueryEngine {
         if user >= n_users {
             return Err(ServeError::UnknownUser { user, n_users });
         }
-        let generation = self.generation.load(Ordering::Relaxed);
+        // Read the generation once and use it for both the lookup and the
+        // insert below: re-reading at insert time could stamp a list
+        // computed against the old artifact with the new generation (the
+        // staleness bug the bns-check `cache_swap` scenario demonstrates).
+        let generation = self.generation.current();
         let key = cache_key(user, k, exclude_seen);
         if let Some(cache) = &self.cache {
-            self.cache_lookups.fetch_add(1, Ordering::Relaxed);
-            let mut cache = cache.lock().expect("cache mutex poisoned");
+            self.cache_lookups.incr();
+            let mut cache = cache.lock();
             if let Some(items) = cache.get(key, generation) {
                 out.clear();
                 out.extend_from_slice(items);
-                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                self.cache_hits.incr();
                 return Ok(());
             }
         }
@@ -169,8 +176,7 @@ impl QueryEngine {
         top_k_masked_into(&scratch.scores, masked, k, &mut scratch.topk, out);
 
         if let Some(cache) = &self.cache {
-            let mut cache = cache.lock().expect("cache mutex poisoned");
-            cache.insert(key, generation, out);
+            cache.lock().insert(key, generation, out);
         }
         Ok(())
     }

@@ -1,0 +1,100 @@
+//! Racy-by-design f32 cell for hogwild embedding tables.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// An `f32` stored as atomic bits, read and written with `Relaxed`
+/// ordering.
+///
+/// This is the cell type of the hogwild embedding tables
+/// (`bns-model::hogwild`): concurrent trainers race on it *on purpose* —
+/// Hogwild!-style SGD tolerates lost updates — but every load must still
+/// observe some value that was actually stored (no tearing), which the
+/// atomic guarantees and a plain `f32` would not.
+///
+/// ```
+/// use bns_sync::AtomicF32Cell;
+///
+/// let cell = AtomicF32Cell::new(1.5);
+/// cell.store(2.5);
+/// assert_eq!(cell.load(), 2.5);
+/// ```
+#[derive(Default)]
+pub struct AtomicF32Cell {
+    bits: AtomicU32,
+}
+
+impl AtomicF32Cell {
+    /// Creates a cell holding `value`.
+    pub fn new(value: f32) -> Self {
+        Self {
+            bits: AtomicU32::new(value.to_bits()),
+        }
+    }
+
+    /// Loads the current value.
+    #[inline]
+    pub fn load(&self) -> f32 {
+        #[cfg(bns_model_check)]
+        crate::model::point("AtomicF32Cell::load");
+        // ordering: Relaxed — hogwild reads race with concurrent writers by
+        // design; only per-cell value atomicity (no tearing) is required,
+        // and no other memory is published through this load.
+        f32::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// Stores `value`.
+    #[inline]
+    pub fn store(&self, value: f32) {
+        #[cfg(bns_model_check)]
+        crate::model::point("AtomicF32Cell::store");
+        // ordering: Relaxed — lost updates between racing trainers are
+        // accepted by the hogwild algorithm; the store publishes nothing
+        // beyond its own bits.
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for AtomicF32Cell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // ordering: Relaxed — debug formatting reads the raw bits directly
+        // (not through `load`) so it never takes a model-check schedule
+        // point from inside formatting machinery.
+        let value = f32::from_bits(self.bits.load(Ordering::Relaxed));
+        f.debug_tuple("AtomicF32Cell").field(&value).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_bits() {
+        for v in [0.0f32, -0.0, 1.5, -3.25, f32::MIN_POSITIVE, f32::MAX] {
+            let cell = AtomicF32Cell::new(v);
+            assert_eq!(cell.load().to_bits(), v.to_bits());
+            cell.store(-v);
+            assert_eq!(cell.load().to_bits(), (-v).to_bits());
+        }
+    }
+
+    #[test]
+    fn nan_survives_bitwise() {
+        let nan = f32::from_bits(0x7FC0_0001);
+        let cell = AtomicF32Cell::new(nan);
+        assert_eq!(cell.load().to_bits(), 0x7FC0_0001);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(AtomicF32Cell::default().load(), 0.0);
+    }
+
+    #[test]
+    fn debug_shows_value() {
+        assert_eq!(
+            format!("{:?}", AtomicF32Cell::new(1.5)),
+            "AtomicF32Cell(1.5)"
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Sticky cross-thread failure latch.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A one-way boolean latch: once [`set`](Self::set), it stays set.
+///
+/// Used by `bns-core::parallel` to propagate a worker failure to its
+/// siblings so they stop early instead of burning through a batch whose
+/// result will be discarded.
+///
+/// ```
+/// use bns_sync::PoisonFlag;
+///
+/// let poisoned = PoisonFlag::new();
+/// assert!(!poisoned.is_set());
+/// poisoned.set();
+/// assert!(poisoned.is_set());
+/// ```
+#[derive(Debug, Default)]
+pub struct PoisonFlag {
+    poisoned: AtomicBool,
+}
+
+impl PoisonFlag {
+    /// Creates an unset flag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Latches the flag.
+    #[inline]
+    pub fn set(&self) {
+        #[cfg(bns_model_check)]
+        crate::model::point("PoisonFlag::set");
+        // ordering: Release — pairs with the Acquire in `is_set`: a sibling
+        // that observes the latch also observes whatever failure state the
+        // setter wrote before latching.
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    /// Whether the flag has been latched.
+    #[inline]
+    pub fn is_set(&self) -> bool {
+        #[cfg(bns_model_check)]
+        crate::model::point("PoisonFlag::is_set");
+        // ordering: Acquire — see `set`; an observed latch carries the
+        // setter's prior writes with it.
+        self.poisoned.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latch_is_sticky() {
+        let f = PoisonFlag::new();
+        assert!(!f.is_set());
+        f.set();
+        f.set();
+        assert!(f.is_set());
+    }
+}

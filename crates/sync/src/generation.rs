@@ -1,0 +1,70 @@
+//! Cache-invalidation epoch counter.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonic epoch counter that publishes artifact swaps.
+///
+/// The serve path stamps every cache entry with the generation observed at
+/// query start; [`bump`](Self::bump) (called by `swap_artifact`) makes all
+/// previously stamped entries stale at once, without walking the cache.
+///
+/// ```
+/// use bns_sync::Generation;
+///
+/// let generation = Generation::new();
+/// assert_eq!(generation.current(), 0);
+/// assert_eq!(generation.bump(), 1);
+/// assert_eq!(generation.current(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct Generation {
+    epoch: AtomicU64,
+}
+
+impl Generation {
+    /// Creates a counter at generation 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads the current generation.
+    #[inline]
+    pub fn current(&self) -> u64 {
+        #[cfg(bns_model_check)]
+        crate::model::point("Generation::current");
+        // ordering: Acquire — pairs with the Release in `bump` so a reader
+        // that observes generation g+1 also observes every write the
+        // swapper made before bumping (the new artifact's state). Today
+        // `swap_artifact` takes `&mut self`, which already excludes
+        // concurrent readers, but the Acquire pins the protocol the
+        // planned shared-reference hot-swap (ROADMAP items 3–4) will need,
+        // and is free on x86 loads anyway.
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Advances to the next generation and returns it.
+    #[inline]
+    pub fn bump(&self) -> u64 {
+        #[cfg(bns_model_check)]
+        crate::model::point("Generation::bump");
+        // ordering: Release — the bump is the publication point of an
+        // artifact swap: everything written before it (the new artifact)
+        // must be visible to any thread that Acquire-reads the new value.
+        // See `current` for the pairing and the &mut-exclusivity caveat.
+        self.epoch.fetch_add(1, Ordering::Release) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_is_monotonic_and_returns_new_value() {
+        let g = Generation::new();
+        assert_eq!(g.current(), 0);
+        assert_eq!(g.bump(), 1);
+        assert_eq!(g.bump(), 2);
+        assert_eq!(g.current(), 2);
+    }
+}

@@ -1,0 +1,153 @@
+//! Mutual exclusion, modeled under the checker.
+
+use std::sync::Mutex as StdMutex;
+use std::sync::MutexGuard as StdMutexGuard;
+
+/// A mutex whose lock acquisition is a schedule point of the model
+/// checker.
+///
+/// In normal builds this is a zero-cost wrapper over `std::sync::Mutex`
+/// that panics on poison (a poisoned lock means a worker already panicked;
+/// continuing with its half-updated state would corrupt results silently).
+/// Under `--cfg bns_model_check` the *logical* acquisition is arbitrated by
+/// the deterministic scheduler — contenders block in the model, never on
+/// the OS — so lock-ordering deadlocks and atomicity violations show up as
+/// replayable counterexamples.
+///
+/// ```
+/// use bns_sync::Mutex;
+///
+/// let cache = Mutex::new(vec![1, 2]);
+/// cache.lock().push(3);
+/// assert_eq!(cache.lock().len(), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex protecting `value`.
+    pub fn new(value: T) -> Self {
+        Self {
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// Acquires the lock, blocking until it is available. Panics if a
+    /// previous holder panicked (poison).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        #[cfg(bns_model_check)]
+        let key = {
+            // The mutex's address identifies it to the model scheduler;
+            // logical ownership is granted before the (then uncontended)
+            // real lock is taken.
+            let key = self as *const Self as usize;
+            crate::model::mutex_acquire(key, "Mutex::lock");
+            key
+        };
+        let guard = self
+            .inner
+            .lock()
+            .expect("bns_sync::Mutex poisoned: a previous holder panicked");
+        MutexGuard {
+            guard: Some(guard),
+            #[cfg(bns_model_check)]
+            key,
+        }
+    }
+
+    /// Consumes the mutex and returns the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .expect("bns_sync::Mutex poisoned: a previous holder panicked")
+    }
+
+    /// Mutable access without locking — the `&mut` receiver proves
+    /// exclusivity statically.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner
+            .get_mut()
+            .expect("bns_sync::Mutex poisoned: a previous holder panicked")
+    }
+}
+
+/// RAII guard for [`Mutex`]; releases on drop.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    // `Option` so `Drop` can release the real lock *before* telling the
+    // model scheduler, mirroring acquisition order.
+    guard: Option<StdMutexGuard<'a, T>>,
+    #[cfg(bns_model_check)]
+    key: usize,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present until drop")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard present until drop")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.guard.take();
+        #[cfg(bns_model_check)]
+        // `mutex_release` never panics: guards drop during unwinds.
+        crate::model::mutex_release(self.key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_round_trip() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn get_mut_skips_locking() {
+        let mut m = Mutex::new(String::from("a"));
+        m.get_mut().push('b');
+        assert_eq!(&*m.lock(), "ab");
+    }
+
+    #[test]
+    fn contended_increments_all_land() {
+        let m = Mutex::new(0u64);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = &m;
+                s.spawn(move || {
+                    for _ in 0..250 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(m.into_inner(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "poisoned")]
+    fn poison_panics_on_lock() {
+        let m = Mutex::new(0);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = m.lock();
+            panic!("holder dies");
+        }));
+        let _ = m.lock();
+    }
+}

@@ -8,6 +8,10 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
+// lint:allow(atomic-import) — the global allocator must not route through
+// instrumented workspace types: a bns-sync facade call could itself
+// allocate (model-check op logs) or take a schedule point, deadlocking the
+// allocator. A raw relaxed counter is the only safe shape here.
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 struct CountingAllocator;
@@ -27,21 +31,30 @@ thread_local! {
 fn count_if_tracking() {
     let _ = TRACKING.try_with(|t| {
         if t.get() {
+            // ordering: Relaxed — a statistics tally; the audits read it
+            // from the same thread that increments it, and cross-thread
+            // counts only need each increment to land (RMW atomicity).
             ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         }
     });
 }
 
+// SAFETY: every method forwards to the `System` allocator with the exact
+// layout/pointer it was given, so `System`'s contract is preserved; the
+// only addition is a thread-local counter bump that never allocates.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: same layout contract as `System.alloc`; see impl comment.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         count_if_tracking();
         System.alloc(layout)
     }
 
+    // SAFETY: `ptr`/`layout` pass through unchanged to `System.dealloc`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
 
+    // SAFETY: arguments pass through unchanged to `System.realloc`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         count_if_tracking();
         System.realloc(ptr, layout, new_size)
@@ -56,5 +69,6 @@ static ALLOCATOR: CountingAllocator = CountingAllocator;
 /// the test thread allocates from then on is counted.
 fn allocation_count() -> usize {
     TRACKING.with(|t| t.set(true));
+    // ordering: Relaxed — same-thread read of a statistics counter.
     ALLOCATIONS.load(Ordering::Relaxed)
 }
