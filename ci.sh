@@ -49,5 +49,11 @@ run cargo run --release --offline --locked --example serve -- --scale 0.05
 # paper scale (10k items, d = 32); the smoke writes under target/.
 run cargo run --release --offline --locked -p bns-bench --bin serve_bench -- \
     --scale 0.05 --out target/BENCH_serve_smoke.json
+# scale_bench smoke: exercises the streamed generator, both artifact load
+# paths (buffered + mmap), sampler draws and serving at 1% of each tier.
+# The committed BENCH_scale.json is generated at full scale (up to
+# 1M users × 1M items); the smoke writes under target/.
+run cargo run --release --offline --locked -p bns-bench --bin scale_bench -- \
+    --scale 0.01 --out target/BENCH_scale_smoke.json
 
 echo "CI green."

@@ -46,10 +46,12 @@ fn parse_args() -> Args {
         items: 10_000,
         requests: 20_000,
         k: 10,
+        // Default to exactly the core count: requesting more threads than
+        // cores only oversubscribes the CPU and inflates p99 by scheduler
+        // timeslices (the engine clamps to the core count regardless).
         threads: std::thread::available_parallelism()
             .map(|n| n.get())
-            .unwrap_or(4)
-            .max(2),
+            .unwrap_or(4),
         zipf: 1.0,
         cache: 0, // 0 → capacity defaults to n_users in the cached run
         seed: 41,

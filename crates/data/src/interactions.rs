@@ -5,19 +5,77 @@
 //! draws from. The CSR layout gives cache-friendly iteration over a user's
 //! positives and `O(log |I⁺ᵤ|)` membership tests, both of which sit in the
 //! trainer's hot loop.
+//!
+//! The two CSR arrays live behind [`crate::storage::U32Buf`], so an
+//! `Interactions` can either own its arrays (every mutation/construction
+//! path) or borrow them zero-copy from a memory-mapped file
+//! ([`crate::serialize::map_interactions`]). Every accessor returns plain
+//! slices, so samplers, trainers and the serve engine are oblivious to the
+//! backing store.
 
+use crate::storage::U32Buf;
 use crate::{DataError, Result};
 
 /// Immutable user→item interaction matrix in CSR form.
 ///
 /// Items within each user row are sorted ascending and deduplicated.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Interactions {
     n_users: u32,
     n_items: u32,
     /// `offsets.len() == n_users + 1`; row `u` is `items[offsets[u]..offsets[u+1]]`.
-    offsets: Vec<u32>,
-    items: Vec<u32>,
+    offsets: U32Buf,
+    items: U32Buf,
+}
+
+impl PartialEq for Interactions {
+    fn eq(&self, other: &Self) -> bool {
+        self.n_users == other.n_users
+            && self.n_items == other.n_items
+            && self.offsets.as_slice() == other.offsets.as_slice()
+            && self.items.as_slice() == other.items.as_slice()
+    }
+}
+
+impl Eq for Interactions {}
+
+/// Validates every CSR invariant over raw arrays: offsets shape and
+/// monotonicity, strictly ascending in-range rows. Shared by the owned
+/// and the zero-copy construction paths so mapped data is held to exactly
+/// the same standard as decoded data.
+pub(crate) fn validate_csr(
+    n_users: u32,
+    n_items: u32,
+    offsets: &[u32],
+    items: &[u32],
+) -> Result<()> {
+    if offsets.len() != n_users as usize + 1 {
+        return Err(DataError::Invalid(format!(
+            "offsets length {} does not match n_users {} + 1",
+            offsets.len(),
+            n_users
+        )));
+    }
+    if offsets[0] != 0 || *offsets.last().expect("non-empty") as usize != items.len() {
+        return Err(DataError::Invalid(
+            "offsets must start at 0 and end at items.len()".into(),
+        ));
+    }
+    for w in offsets.windows(2) {
+        if w[0] > w[1] {
+            return Err(DataError::Invalid("offsets must be non-decreasing".into()));
+        }
+        let row = &items[w[0] as usize..w[1] as usize];
+        if !row.windows(2).all(|p| p[0] < p[1]) {
+            return Err(DataError::Invalid(
+                "row items must be strictly ascending".into(),
+            ));
+        }
+        if row.iter().any(|&i| i >= n_items) {
+            return Err(DataError::Invalid("item id out of range".into()));
+        }
+    }
+    Ok(())
 }
 
 impl Interactions {
@@ -46,20 +104,27 @@ impl Interactions {
     /// Total number of stored interactions (the paper's `N` in Eq. 17 when
     /// called on the training set).
     pub fn len(&self) -> usize {
-        self.items.len()
+        self.items.as_slice().len()
     }
 
     /// True when no interactions are stored.
     pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
+        self.items.as_slice().is_empty()
+    }
+
+    /// Whether the CSR arrays borrow from a memory-mapped file rather
+    /// than owned heap memory.
+    pub fn is_mapped(&self) -> bool {
+        self.offsets.is_mapped() || self.items.is_mapped()
     }
 
     /// The sorted item slice of user `u` (`I⁺ᵤ`).
     pub fn items_of(&self, u: u32) -> &[u32] {
         debug_assert!(u < self.n_users, "user id out of range");
-        let lo = self.offsets[u as usize] as usize;
-        let hi = self.offsets[u as usize + 1] as usize;
-        &self.items[lo..hi]
+        let offsets = self.offsets.as_slice();
+        let lo = offsets[u as usize] as usize;
+        let hi = offsets[u as usize + 1] as usize;
+        &self.items.as_slice()[lo..hi]
     }
 
     /// Degree of user `u` (number of positives).
@@ -85,7 +150,7 @@ impl Interactions {
     /// Per-item interaction counts (`popₗ` of Eq. 17).
     pub fn item_counts(&self) -> Vec<u32> {
         let mut counts = vec![0u32; self.n_items as usize];
-        for &i in &self.items {
+        for &i in self.items.as_slice() {
             counts[i as usize] += 1;
         }
         counts
@@ -99,7 +164,12 @@ impl Interactions {
     /// Raw CSR parts `(n_users, n_items, offsets, items)`, for serialization
     /// and for the LightGCN adjacency builder.
     pub fn csr_parts(&self) -> (u32, u32, &[u32], &[u32]) {
-        (self.n_users, self.n_items, &self.offsets, &self.items)
+        (
+            self.n_users,
+            self.n_items,
+            self.offsets.as_slice(),
+            self.items.as_slice(),
+        )
     }
 
     /// Rebuilds from CSR parts, validating every invariant. The inverse of
@@ -110,32 +180,26 @@ impl Interactions {
         offsets: Vec<u32>,
         items: Vec<u32>,
     ) -> Result<Self> {
-        if offsets.len() != n_users as usize + 1 {
-            return Err(DataError::Invalid(format!(
-                "offsets length {} does not match n_users {} + 1",
-                offsets.len(),
-                n_users
-            )));
-        }
-        if offsets[0] != 0 || *offsets.last().expect("non-empty") as usize != items.len() {
-            return Err(DataError::Invalid(
-                "offsets must start at 0 and end at items.len()".into(),
-            ));
-        }
-        for w in offsets.windows(2) {
-            if w[0] > w[1] {
-                return Err(DataError::Invalid("offsets must be non-decreasing".into()));
-            }
-            let row = &items[w[0] as usize..w[1] as usize];
-            if !row.windows(2).all(|p| p[0] < p[1]) {
-                return Err(DataError::Invalid(
-                    "row items must be strictly ascending".into(),
-                ));
-            }
-            if row.iter().any(|&i| i >= n_items) {
-                return Err(DataError::Invalid("item id out of range".into()));
-            }
-        }
+        validate_csr(n_users, n_items, &offsets, &items)?;
+        Ok(Self {
+            n_users,
+            n_items,
+            offsets: offsets.into(),
+            items: items.into(),
+        })
+    }
+
+    /// Builds from pre-validated-shape buffers (owned **or** mapped),
+    /// running the same invariant validation as
+    /// [`Interactions::from_csr_parts`]. Zero-copy loaders use this to
+    /// wrap views into a shared [`crate::storage::Storage`].
+    pub fn from_csr_views(
+        n_users: u32,
+        n_items: u32,
+        offsets: U32Buf,
+        items: U32Buf,
+    ) -> Result<Self> {
+        validate_csr(n_users, n_items, offsets.as_slice(), items.as_slice())?;
         Ok(Self {
             n_users,
             n_items,
@@ -232,8 +296,141 @@ impl InteractionsBuilder {
         Ok(Interactions {
             n_users: self.n_users,
             n_items: self.n_items,
+            offsets: offsets.into(),
+            items: items.into(),
+        })
+    }
+
+    /// Builds a CSR **directly from an in-order row stream** — the
+    /// constant-overhead path of the streamed synthetic generator: no
+    /// global pair buffer, no `O(N log N)` sort; memory is exactly the
+    /// output CSR.
+    ///
+    /// `rows` yields `(user, items)` with users strictly ascending (users
+    /// absent from the stream get empty rows) and each row's items sorted
+    /// strictly ascending; violations and out-of-range ids are typed
+    /// errors, as is a total interaction count that would overflow the
+    /// `u32` offset space.
+    ///
+    /// ```
+    /// use bns_data::{Interactions, InteractionsBuilder};
+    ///
+    /// let rows: Vec<(u32, Vec<u32>)> = vec![(0, vec![1, 3]), (2, vec![0])];
+    /// let x = InteractionsBuilder::from_stream(
+    ///     3,
+    ///     4,
+    ///     rows.iter().map(|(u, row)| Ok((*u, row.as_slice()))),
+    /// )?;
+    /// assert_eq!(x.items_of(0), &[1, 3]);
+    /// assert!(x.items_of(1).is_empty());
+    /// assert_eq!(x.items_of(2), &[0]);
+    /// # Ok::<(), bns_data::DataError>(())
+    /// ```
+    pub fn from_stream<'a, I>(n_users: u32, n_items: u32, rows: I) -> Result<Interactions>
+    where
+        I: IntoIterator<Item = Result<(u32, &'a [u32])>>,
+    {
+        let mut stream = RowStreamBuilder::new(n_users, n_items);
+        for row in rows {
+            let (u, items) = row?;
+            stream.push_row(u, items)?;
+        }
+        stream.finish()
+    }
+}
+
+/// The push-style core behind [`InteractionsBuilder::from_stream`]: rows
+/// arrive in ascending user order and are appended straight into the CSR
+/// arrays. Generators that reuse a per-row scratch buffer drive this
+/// directly to stay allocation-flat per row.
+#[derive(Debug)]
+pub struct RowStreamBuilder {
+    n_users: u32,
+    n_items: u32,
+    offsets: Vec<u32>,
+    items: Vec<u32>,
+}
+
+impl RowStreamBuilder {
+    /// Starts an empty stream over the given id space.
+    pub fn new(n_users: u32, n_items: u32) -> Self {
+        let mut offsets = Vec::with_capacity(n_users as usize + 1);
+        offsets.push(0);
+        Self {
+            n_users,
+            n_items,
             offsets,
-            items,
+            items: Vec::new(),
+        }
+    }
+
+    /// Pre-sizes the item array for an expected interaction total.
+    pub fn reserve(&mut self, n: usize) {
+        self.items.reserve(n);
+    }
+
+    /// Appends user `u`'s full row. `u` must be ≥ every previously pushed
+    /// user + 1 (skipped users get empty rows); `row` must be strictly
+    /// ascending and in item range.
+    pub fn push_row(&mut self, u: u32, row: &[u32]) -> Result<()> {
+        let next = self.offsets.len() as u32 - 1;
+        if u < next || u >= self.n_users {
+            return Err(DataError::Invalid(format!(
+                "stream row for user {u} out of order or out of range (next expected ≥ {next}, n_users = {})",
+                self.n_users
+            )));
+        }
+        if !row.windows(2).all(|p| p[0] < p[1]) {
+            return Err(DataError::Invalid(format!(
+                "stream row for user {u} is not strictly ascending"
+            )));
+        }
+        if row.last().is_some_and(|&i| i >= self.n_items) {
+            return Err(DataError::Invalid(format!(
+                "stream row for user {u} references an item ≥ n_items {}",
+                self.n_items
+            )));
+        }
+        if self.items.len() + row.len() > u32::MAX as usize {
+            return Err(DataError::Invalid(
+                "interaction count overflows the u32 CSR offset space".into(),
+            ));
+        }
+        // Empty rows for users skipped by the stream.
+        for _ in next..u {
+            self.offsets.push(self.items.len() as u32);
+        }
+        self.items.extend_from_slice(row);
+        self.offsets.push(self.items.len() as u32);
+        Ok(())
+    }
+
+    /// Interactions pushed so far.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether no interactions were pushed.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Closes out trailing empty rows and freezes the CSR. Invariants
+    /// were enforced row-by-row, so this cannot fail structurally — the
+    /// debug re-validation documents the claim.
+    pub fn finish(mut self) -> Result<Interactions> {
+        while self.offsets.len() < self.n_users as usize + 1 {
+            self.offsets.push(self.items.len() as u32);
+        }
+        debug_assert!(
+            validate_csr(self.n_users, self.n_items, &self.offsets, &self.items).is_ok(),
+            "row-stream invariants must imply CSR invariants"
+        );
+        Ok(Interactions {
+            n_users: self.n_users,
+            n_items: self.n_items,
+            offsets: self.offsets.into(),
+            items: self.items.into(),
         })
     }
 }
@@ -253,6 +450,7 @@ mod tests {
         assert_eq!(x.n_items(), 5);
         assert_eq!(x.len(), 6);
         assert!(!x.is_empty());
+        assert!(!x.is_mapped());
         assert_eq!(x.items_of(0), &[1, 3]);
         assert_eq!(x.items_of(1), &[0, 1, 4]);
         assert_eq!(x.items_of(2), &[2]);
@@ -351,5 +549,58 @@ mod tests {
         assert!(b.push(0, 9).is_err());
         let x = b.build().unwrap();
         assert_eq!(x.len(), 2);
+    }
+
+    #[test]
+    fn stream_builder_matches_pair_builder() {
+        // The same data through both construction paths must be equal.
+        let x = sample();
+        let rows: Vec<(u32, Vec<u32>)> = (0..3u32).map(|u| (u, x.items_of(u).to_vec())).collect();
+        let y = InteractionsBuilder::from_stream(
+            3,
+            5,
+            rows.iter().map(|(u, row)| Ok((*u, row.as_slice()))),
+        )
+        .unwrap();
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn stream_builder_fills_skipped_and_trailing_rows() {
+        let mut b = RowStreamBuilder::new(5, 4);
+        b.push_row(1, &[0, 2]).unwrap();
+        b.push_row(3, &[3]).unwrap();
+        let x = b.finish().unwrap();
+        assert_eq!(x.items_of(0), &[] as &[u32]);
+        assert_eq!(x.items_of(1), &[0, 2]);
+        assert_eq!(x.items_of(2), &[] as &[u32]);
+        assert_eq!(x.items_of(3), &[3]);
+        assert_eq!(x.items_of(4), &[] as &[u32]);
+    }
+
+    #[test]
+    fn stream_builder_rejects_violations() {
+        let mut b = RowStreamBuilder::new(3, 4);
+        b.push_row(1, &[0]).unwrap();
+        // Out of order.
+        assert!(b.push_row(0, &[1]).is_err());
+        // Same user twice.
+        assert!(b.push_row(1, &[1]).is_err());
+        // Out of user range.
+        assert!(b.push_row(3, &[1]).is_err());
+        // Unsorted row.
+        assert!(b.push_row(2, &[2, 1]).is_err());
+        // Duplicate within row.
+        assert!(b.push_row(2, &[1, 1]).is_err());
+        // Item out of range.
+        assert!(b.push_row(2, &[4]).is_err());
+    }
+
+    #[test]
+    fn stream_builder_empty_stream_is_all_empty_rows() {
+        let x = RowStreamBuilder::new(3, 2).finish().unwrap();
+        assert!(x.is_empty());
+        assert_eq!(x.n_users(), 3);
+        assert_eq!(x.degree(2), 0);
     }
 }

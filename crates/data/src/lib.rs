@@ -21,7 +21,10 @@
 //!   variant of Table III.
 //! * [`presets`] — the three paper datasets at paper scale or scaled down.
 //! * [`stats`] — the Table I statistics.
-//! * [`serialize`] — binary round-tripping of interaction data.
+//! * [`serialize`] — binary round-tripping of interaction data, with a
+//!   zero-copy mmap-backed load path for large artifacts.
+//! * [`storage`] — the byte-buffer substrate behind the zero-copy path:
+//!   an owned/mapped [`storage::Storage`] enum plus aligned typed views.
 
 pub mod dataset;
 pub mod filter;
@@ -33,6 +36,7 @@ pub mod presets;
 pub mod serialize;
 pub mod split;
 pub mod stats;
+pub mod storage;
 pub mod synthetic;
 
 pub use dataset::Dataset;
@@ -43,6 +47,7 @@ pub use popularity::Popularity;
 pub use presets::{DatasetPreset, Scale};
 pub use split::{split_leave_one_out, split_random, SplitConfig};
 pub use stats::DatasetStats;
+pub use storage::{F32Buf, Storage, U32Buf};
 pub use synthetic::{SyntheticConfig, SyntheticDataset};
 
 /// Errors produced by the dataset substrate.

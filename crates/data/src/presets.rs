@@ -113,6 +113,7 @@ impl DatasetPreset {
             n_occupations: 21,
             occupation_mix: 0.3,
             seed,
+            emission: crate::synthetic::EmissionMode::Auto,
         }
     }
 }

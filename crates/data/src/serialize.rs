@@ -12,10 +12,19 @@
 //! n_offsets u64, then offsets as u32 LE
 //! n_items_arr u64, then items as u32 LE
 //! ```
+//!
+//! Both `u32` arrays start at 4-byte-aligned file offsets (20 and
+//! `28 + 4·n_offsets`), which is what lets [`map_interactions`] hand out
+//! CSR views directly over the mapped file with no copy and no
+//! per-element decode loop. [`load_interactions`] remains the buffered
+//! path; the two agree bit-for-bit
+//! (`mapped_load_agrees_with_buffered_load` below).
 
 use crate::interactions::Interactions;
+use crate::storage::{Storage, U32Buf};
 use crate::{DataError, Result};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::sync::Arc;
 
 /// Format magic — "BNS1".
 const MAGIC: u32 = 0x424E_5331;
@@ -94,6 +103,85 @@ pub fn load_interactions(path: &std::path::Path) -> Result<Interactions> {
     decode_interactions(&data)
 }
 
+/// Loads interactions zero-copy: the file is memory-mapped and the CSR
+/// arrays are aligned views straight into the mapping — no read pass, no
+/// copy, no per-element decode. All CSR invariants are still validated
+/// over the views; if the platform disqualifies zero-copy (big-endian or
+/// an unaligned base) this silently degrades to an owned decode of the
+/// mapped bytes, so the result is identical either way.
+pub fn map_interactions(path: &std::path::Path) -> Result<Interactions> {
+    let storage = Arc::new(Storage::map(path)?);
+    let len = storage.as_bytes().len();
+    decode_interactions_storage(&storage, 0, len)
+}
+
+/// Decodes a `BNS1` region embedded in a shared [`Storage`] blob at
+/// `[start, start + len)`, preferring zero-copy views. This is the
+/// region-decode core behind [`map_interactions`], also driven by
+/// `bns-serve` for the CSR sections of mapped model artifacts.
+pub fn decode_interactions_storage(
+    storage: &Arc<Storage>,
+    start: usize,
+    len: usize,
+) -> Result<Interactions> {
+    let all = storage.as_bytes();
+    let end = start
+        .checked_add(len)
+        .filter(|&e| e <= all.len())
+        .ok_or_else(|| DataError::Invalid("interaction region out of bounds".into()))?;
+    let region = &all[start..end];
+
+    let need = |pos: usize, n: usize, what: &str| -> Result<usize> {
+        pos.checked_add(n)
+            .filter(|&e| e <= region.len())
+            .ok_or_else(|| DataError::Invalid(format!("truncated buffer while reading {what}")))
+    };
+    let u32_at = |pos: usize| -> u32 {
+        u32::from_le_bytes(region[pos..pos + 4].try_into().expect("4 bytes"))
+    };
+    let u64_at = |pos: usize| -> u64 {
+        u64::from_le_bytes(region[pos..pos + 8].try_into().expect("8 bytes"))
+    };
+
+    need(0, 4, "magic")?;
+    let magic = u32_at(0);
+    if magic != MAGIC {
+        return Err(DataError::Invalid(format!(
+            "bad magic 0x{magic:08X}, expected 0x{MAGIC:08X}"
+        )));
+    }
+    need(4, 8, "header")?;
+    let n_users = u32_at(4);
+    let n_items = u32_at(8);
+
+    need(12, 8, "offsets length")?;
+    let n_offsets = u64_at(12) as usize;
+    let offsets_at = need(12, 8, "offsets length")?;
+    let items_len_at = need(offsets_at, n_offsets.saturating_mul(4), "offsets")?;
+
+    need(items_len_at, 8, "items length")?;
+    let n_arr = u64_at(items_len_at) as usize;
+    let items_at = items_len_at + 8;
+    let payload_end = need(items_at, n_arr.saturating_mul(4), "items")?;
+    if payload_end != region.len() {
+        return Err(DataError::Invalid("trailing bytes after payload".into()));
+    }
+
+    let decode_owned =
+        |pos: usize, n: usize| -> Vec<u32> { (0..n).map(|k| u32_at(pos + 4 * k)).collect() };
+    let (offsets, items) = match (
+        U32Buf::mapped(storage, start + offsets_at, n_offsets),
+        U32Buf::mapped(storage, start + items_at, n_arr),
+    ) {
+        (Some(o), Some(i)) => (o, i),
+        _ => (
+            decode_owned(offsets_at, n_offsets).into(),
+            decode_owned(items_at, n_arr).into(),
+        ),
+    };
+    Interactions::from_csr_views(n_users, n_items, offsets, items)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,5 +248,67 @@ mod tests {
         let y = load_interactions(&path).unwrap();
         assert_eq!(x, y);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mapped_load_agrees_with_buffered_load() {
+        let x = sample();
+        let path =
+            std::env::temp_dir().join(format!("bns_serialize_map_{}.bin", std::process::id()));
+        save_interactions(&x, &path).unwrap();
+        let buffered = load_interactions(&path).unwrap();
+        let mapped = map_interactions(&path).unwrap();
+        assert_eq!(buffered, mapped);
+        #[cfg(all(unix, target_endian = "little"))]
+        assert!(
+            mapped.is_mapped(),
+            "unix LE load must take the zero-copy path"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mapped_load_rejects_every_truncation() {
+        let x = sample();
+        let buf = encode_interactions(&x).to_vec();
+        let path =
+            std::env::temp_dir().join(format!("bns_serialize_trunc_{}.bin", std::process::id()));
+        for cut in 0..buf.len() {
+            std::fs::write(&path, &buf[..cut]).unwrap();
+            assert!(
+                map_interactions(&path).is_err(),
+                "mapped truncation at {cut} was accepted"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mapped_load_rejects_corrupt_payload() {
+        let x = sample();
+        let mut buf = encode_interactions(&x).to_vec();
+        let last = buf.len() - 4;
+        buf[last..].copy_from_slice(&1000u32.to_le_bytes());
+        let path =
+            std::env::temp_dir().join(format!("bns_serialize_corrupt_{}.bin", std::process::id()));
+        std::fs::write(&path, &buf).unwrap();
+        assert!(map_interactions(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn storage_region_decode_honours_offsets() {
+        // Embed the payload at a 4-aligned offset inside a larger blob, as
+        // the serve artifact does, and decode just that region.
+        let x = sample();
+        let payload = encode_interactions(&x).to_vec();
+        let mut blob = vec![0xAAu8; 64];
+        blob.extend_from_slice(&payload);
+        let storage = Arc::new(Storage::Owned(blob));
+        let y = decode_interactions_storage(&storage, 64, payload.len()).unwrap();
+        assert_eq!(x, y);
+        // A region that runs past the blob is an error, not a panic.
+        assert!(decode_interactions_storage(&storage, 64, payload.len() + 1).is_err());
+        assert!(decode_interactions_storage(&storage, usize::MAX, 4).is_err());
     }
 }

@@ -16,7 +16,7 @@
 //! | `relaxed-justify` | `Ordering::Relaxed` without an `// ordering:` justification comment |
 //! | `seqcst-ban` | any `Ordering::SeqCst` (a SeqCst that seems needed means the protocol is not understood) |
 //! | `unsafe-safety` | `unsafe` without a `// SAFETY:` comment |
-//! | `wall-clock` | `SystemTime` / `Instant::now` in the determinism-critical crates (`crates/core/src/`, `crates/model/src/`) |
+//! | `wall-clock` | `SystemTime` / `Instant::now` in the determinism-critical crates (`crates/core/src/`, `crates/model/src/`, `crates/data/src/`) |
 //! | `missing-docs` | a published crate root (`crates/*/src/lib.rs`) without `#![deny(missing_docs)]` |
 //!
 //! Justification markers (`ordering:`, `SAFETY:`) and the escape hatch
@@ -134,8 +134,9 @@ pub fn lint_source(relpath: &str, text: &str) -> Vec<Diagnostic> {
     check_missing_docs(relpath, &lines, &mut diags);
 
     let in_facade = relpath.starts_with("crates/sync/src/");
-    let determinism_critical =
-        relpath.starts_with("crates/core/src/") || relpath.starts_with("crates/model/src/");
+    let determinism_critical = relpath.starts_with("crates/core/src/")
+        || relpath.starts_with("crates/model/src/")
+        || relpath.starts_with("crates/data/src/");
 
     for (i, line) in lines.iter().enumerate() {
         let lineno = i + 1;
@@ -203,8 +204,10 @@ pub fn lint_source(relpath: &str, text: &str) -> Vec<Diagnostic> {
                 path: relpath.to_string(),
                 line: lineno,
                 rule: "wall-clock",
-                message: "wall-clock reads in bns-core/bns-model break run determinism; \
-                          keep timing in reporting layers or justify with lint:allow"
+                message: "wall-clock reads in bns-core/bns-model/bns-data break run \
+                          determinism (the streamed generator must be reproducible from \
+                          its seed alone); keep timing in reporting layers or justify \
+                          with lint:allow"
                     .to_string(),
             });
         }
@@ -546,10 +549,11 @@ mod tests {
     }
 
     #[test]
-    fn wall_clock_scoped_to_core_and_model() {
+    fn wall_clock_scoped_to_core_model_and_data() {
         let text = "let t = Instant::now();\n";
         assert_eq!(lint_source("crates/core/src/trainer.rs", text).len(), 1);
         assert_eq!(lint_source("crates/model/src/hogwild.rs", text).len(), 1);
+        assert_eq!(lint_source("crates/data/src/synthetic.rs", text).len(), 1);
         assert!(lint_source("crates/serve/src/engine.rs", text).is_empty());
     }
 

@@ -1,36 +1,52 @@
 //! The frozen model artifact: a versioned, checksummed binary freeze of a
 //! trained scorer plus its seen-item CSR.
 //!
-//! ## Format (all integers little-endian)
+//! ## Format v2 (all integers little-endian)
 //!
 //! ```text
-//! magic    4 bytes = b"BNSA" (u32 LE 0x414E5342)
-//! version  u32  = 1
-//! kind     u32  SnapshotKind tag (provenance only; all kinds serve alike)
-//! n_users  u32
-//! n_items  u32
-//! dim      u32
-//! users    n_users·dim × u32   f32 bit patterns, row-major
-//! items    n_items·dim × u32   f32 bit patterns, row-major
-//! seen_len u64, then seen_len bytes: bns_data::serialize::encode_interactions
-//!          of the training-positive CSR (the per-user exclusion mask)
-//! checksum u64  FNV-1a 64 over every preceding byte
+//! payload:
+//!   magic    4 bytes = b"BNSA" (u32 LE 0x414E5342)
+//!   version  u32  = 2
+//!   kind     u32  SnapshotKind tag (provenance only; all kinds serve alike)
+//!   n_users  u32
+//!   n_items  u32
+//!   dim      u32
+//!   users    n_users·dim × u32   f32 bit patterns, row-major   (byte 24)
+//!   items    n_items·dim × u32   f32 bit patterns, row-major
+//!   seen_len u64, then seen_len bytes: bns_data::serialize::encode_interactions
+//!            of the training-positive CSR (the per-user exclusion mask)
+//! footer:
+//!   digests  n_chunks × u64   word-FNV digest per CHUNK_SIZE payload slice
+//!   chunk_size u64
+//!   n_chunks   u64
+//!   footer_sum u64   word-FNV over [digests‥n_chunks] (protects the footer)
 //! ```
 //!
+//! Every multi-byte region (the two tables and the embedded CSR arrays)
+//! starts at a 4-byte-aligned file offset, which is what lets
+//! [`ModelArtifact::load_mapped`] serve straight out of an `mmap`ed file:
+//! the tables become [`F32Buf`] views and the CSR becomes `U32Buf` views —
+//! no read pass, no copy, no per-element decode. Integrity stays
+//! three-layered: magic/version gate the format, the chunked word-FNV
+//! digests reject any bit flip in payload or footer (verified over the
+//! mapped bytes before any view is handed out), and the CSR section
+//! re-validates every structural invariant through `bns_data::serialize`.
+//! The v1 single-trailing-checksum format is rejected with the typed
+//! [`ServeError::UnsupportedVersion`].
+//!
 //! The layout is **memory-stable**: floats are stored as their exact bit
-//! patterns and re-materialized into the same row-major [`Embedding`]
-//! tables the live models score from, so a loaded artifact reproduces the
-//! model's scores bitwise (see [`ModelArtifact::freeze`]). Integrity is
-//! three-layered: magic/version gate the format, the FNV-1a checksum
-//! rejects any bit flip in the payload, and the CSR section re-validates
-//! every structural invariant through [`bns_data::serialize`].
+//! patterns and scored through the same [`bns_model::kernel`] entry points
+//! as the live models, so a loaded artifact reproduces the model's scores
+//! bitwise whatever the backing store (see [`ModelArtifact::freeze`]).
 
 use crate::{Result, ServeError};
-use bns_data::serialize::{decode_interactions, encode_interactions};
+use bns_data::serialize::{decode_interactions_storage, encode_interactions};
+use bns_data::storage::{F32Buf, Storage};
 use bns_data::Interactions;
 use bns_model::snapshot::{SnapshotKind, SnapshotScorer};
 use bns_model::{kernel, Embedding, Scorer};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
+use std::sync::Arc;
 
 /// Format magic — the file starts with the literal bytes `b"BNSA"`
 /// (BNS Artifact), stored here as the little-endian `u32` the encoder
@@ -40,9 +56,14 @@ pub const MAGIC: u32 = u32::from_le_bytes(*b"BNSA");
 
 /// Current format version. Decoders reject anything else with
 /// [`ServeError::UnsupportedVersion`].
-pub const VERSION: u32 = 1;
+pub const VERSION: u32 = 2;
 
-/// FNV-1a 64-bit hash — the artifact integrity checksum.
+/// Payload bytes covered by each footer digest. One digest per MiB keeps
+/// the footer tiny (8 B/MiB) while letting verification stream cache-sized
+/// pieces over the mapped file.
+pub const CHUNK_SIZE: usize = 1 << 20;
+
+/// FNV-1a 64-bit hash — the byte-at-a-time reference form.
 ///
 /// Chosen over a CRC because it needs no table, is a few lines of
 /// dependency-free code, and at artifact sizes (megabytes) any accidental
@@ -55,6 +76,85 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
         hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
     }
     hash
+}
+
+/// FNV-1a 64 folded over 8-byte little-endian words instead of bytes —
+/// the v2 digest. One xor-multiply per 8 bytes makes verification a
+/// near-memory-bandwidth pass over the mapped pages (the point of the
+/// chunked footer: `load_ms` stops paying a per-byte hash loop on top of
+/// the former per-element decode). The zero-padded tail word plus a final
+/// length fold keep distinct-length suffixes distinct.
+pub fn fnv1a64_words(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    let mut chunks = bytes.chunks_exact(8);
+    for w in &mut chunks {
+        hash ^= u64::from_le_bytes(w.try_into().expect("8-byte chunk"));
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let tail = chunks.remainder();
+    if !tail.is_empty() {
+        let mut w = [0u8; 8];
+        w[..tail.len()].copy_from_slice(tail);
+        hash ^= u64::from_le_bytes(w);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash ^= bytes.len() as u64;
+    hash.wrapping_mul(0x0000_0100_0000_01B3)
+}
+
+/// A frozen embedding table: heap-owned (freeze/decode) or a zero-copy
+/// view into shared artifact storage (mapped load). Row access is a plain
+/// slice either way, so the scoring kernels cannot tell the difference.
+#[derive(Debug, Clone)]
+enum TableStore {
+    Owned(Embedding),
+    View {
+        buf: F32Buf,
+        rows: usize,
+        dim: usize,
+    },
+}
+
+impl TableStore {
+    fn rows(&self) -> usize {
+        match self {
+            TableStore::Owned(e) => e.len(),
+            TableStore::View { rows, .. } => *rows,
+        }
+    }
+
+    fn dim(&self) -> usize {
+        match self {
+            TableStore::Owned(e) => e.dim(),
+            TableStore::View { dim, .. } => *dim,
+        }
+    }
+
+    #[inline]
+    fn row(&self, r: usize) -> &[f32] {
+        match self {
+            TableStore::Owned(e) => e.row(r),
+            TableStore::View { buf, dim, .. } => &buf.as_slice()[r * dim..(r + 1) * dim],
+        }
+    }
+
+    fn as_slice(&self) -> &[f32] {
+        match self {
+            TableStore::Owned(e) => e.as_slice(),
+            TableStore::View { buf, .. } => buf.as_slice(),
+        }
+    }
+
+    /// Whether the table's bytes live in a live file mapping.
+    fn backing_is_mapped(&self) -> bool {
+        match self {
+            TableStore::Owned(_) => false,
+            TableStore::View { buf, .. } => match buf {
+                F32Buf::Owned(_) => false,
+                F32Buf::Mapped { storage, .. } => storage.is_mapped(),
+            },
+        }
+    }
 }
 
 /// An immutable frozen scorer: dense user/item tables plus the seen-item
@@ -84,8 +184,8 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
 #[derive(Debug, Clone)]
 pub struct ModelArtifact {
     kind: SnapshotKind,
-    users: Embedding,
-    items: Embedding,
+    users: TableStore,
+    items: TableStore,
     seen: Interactions,
 }
 
@@ -112,8 +212,8 @@ impl ModelArtifact {
             .map_err(|e| ServeError::Invalid(format!("snapshot failed: {e}")))?;
         Ok(Self {
             kind: scorer.snapshot_kind(),
-            users,
-            items,
+            users: TableStore::Owned(users),
+            items: TableStore::Owned(items),
             seen: seen.clone(),
         })
     }
@@ -133,30 +233,28 @@ impl ModelArtifact {
         &self.seen
     }
 
-    /// The frozen user table.
-    pub fn users(&self) -> &Embedding {
-        &self.users
-    }
-
-    /// The frozen item table.
-    pub fn items(&self) -> &Embedding {
-        &self.items
+    /// Whether the tables serve zero-copy out of a live file mapping
+    /// (true only for [`ModelArtifact::load_mapped`] on a platform where
+    /// the mapped views qualified).
+    pub fn is_mapped(&self) -> bool {
+        self.users.backing_is_mapped() && self.items.backing_is_mapped()
     }
 
     /// Encodes into the self-describing checksummed binary format.
     pub fn encode(&self) -> Bytes {
         let dim = self.users.dim();
         let seen_bytes = encode_interactions(&self.seen);
-        let mut buf = BytesMut::with_capacity(
-            24 + 4 * (self.users.as_slice().len() + self.items.as_slice().len())
-                + 16
-                + seen_bytes.len(),
-        );
+        let payload_len = 24
+            + 4 * (self.users.as_slice().len() + self.items.as_slice().len())
+            + 8
+            + seen_bytes.len();
+        let n_chunks = payload_len.div_ceil(CHUNK_SIZE);
+        let mut buf = BytesMut::with_capacity(payload_len + 8 * n_chunks + 24);
         buf.put_u32_le(MAGIC);
         buf.put_u32_le(VERSION);
         buf.put_u32_le(self.kind.tag());
-        buf.put_u32_le(self.users.len() as u32);
-        buf.put_u32_le(self.items.len() as u32);
+        buf.put_u32_le(self.users.rows() as u32);
+        buf.put_u32_le(self.items.rows() as u32);
         buf.put_u32_le(dim as u32);
         for &v in self.users.as_slice() {
             buf.put_u32_le(v.to_bits());
@@ -166,84 +264,180 @@ impl ModelArtifact {
         }
         buf.put_u64_le(seen_bytes.len() as u64);
         buf.put_slice(&seen_bytes);
-        let checksum = fnv1a64(&buf);
-        buf.put_u64_le(checksum);
+        debug_assert_eq!(buf.len(), payload_len);
+
+        let footer_start = buf.len();
+        let digests: Vec<u64> = buf.chunks(CHUNK_SIZE).map(fnv1a64_words).collect();
+        for digest in digests {
+            buf.put_u64_le(digest);
+        }
+        buf.put_u64_le(CHUNK_SIZE as u64);
+        buf.put_u64_le(n_chunks as u64);
+        let footer_sum = fnv1a64_words(&buf[footer_start..]);
+        buf.put_u64_le(footer_sum);
         buf.freeze()
     }
 
     /// Decodes a buffer produced by [`ModelArtifact::encode`], verifying
-    /// magic, version, checksum and every structural invariant.
+    /// magic, version, every chunk digest and every structural invariant.
     pub fn decode(buf: &[u8]) -> Result<Self> {
-        // Header (24) + seen_len (8) + checksum (8) is the smallest
-        // well-formed artifact; shorter buffers cannot even be framed.
-        if buf.len() < 40 {
+        let storage = Arc::new(Storage::Owned(buf.to_vec()));
+        Self::parse(&storage)
+    }
+
+    /// Verifies the chunked footer and returns the payload length.
+    fn verify(bytes: &[u8]) -> Result<usize> {
+        // magic + version + the 24-byte footer tail is the bare minimum
+        // to even identify the format.
+        if bytes.len() < 8 + 24 {
             return Err(ServeError::Truncated {
                 what: "artifact frame",
             });
         }
-        let (payload, tail) = buf.split_at(buf.len() - 8);
-        let mut cursor = payload;
-        let magic = cursor.get_u32_le();
+        let word = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"));
+        let footer_sum = word(bytes.len() - 8);
+        let n_chunks = word(bytes.len() - 16) as usize;
+        let chunk_size = word(bytes.len() - 24) as usize;
+        let digest_bytes = n_chunks.checked_mul(8).ok_or(ServeError::Truncated {
+            what: "chunk digests",
+        })?;
+        let digest_start =
+            bytes
+                .len()
+                .checked_sub(24 + digest_bytes)
+                .ok_or(ServeError::Truncated {
+                    what: "chunk digests",
+                })?;
+        // The footer checksum covers digests + chunk_size + n_chunks, so
+        // corruption of the footer itself cannot masquerade as valid.
+        let computed = fnv1a64_words(&bytes[digest_start..bytes.len() - 8]);
+        if computed != footer_sum {
+            return Err(ServeError::ChecksumMismatch {
+                stored: footer_sum,
+                computed,
+            });
+        }
+        let payload_len = digest_start;
+        if chunk_size == 0 || payload_len == 0 {
+            return Err(ServeError::Invalid(
+                "artifact footer: empty payload or zero chunk size".into(),
+            ));
+        }
+        if payload_len.div_ceil(chunk_size) != n_chunks {
+            return Err(ServeError::Invalid(format!(
+                "artifact footer: {n_chunks} digests cannot cover {payload_len} payload bytes \
+                 at chunk size {chunk_size}"
+            )));
+        }
+        for (idx, chunk) in bytes[..payload_len].chunks(chunk_size).enumerate() {
+            let stored = word(digest_start + 8 * idx);
+            let computed = fnv1a64_words(chunk);
+            if stored != computed {
+                return Err(ServeError::ChunkChecksumMismatch {
+                    chunk: idx,
+                    stored,
+                    computed,
+                });
+            }
+        }
+        Ok(payload_len)
+    }
+
+    /// The shared parse core: verifies, then builds tables and CSR as
+    /// zero-copy views into `storage` when the platform allows, falling
+    /// back to owned decodes otherwise (bit-identical results either way).
+    fn parse(storage: &Arc<Storage>) -> Result<Self> {
+        let bytes = storage.as_bytes();
+        if bytes.len() < 8 {
+            return Err(ServeError::Truncated {
+                what: "artifact frame",
+            });
+        }
+        let u32_at = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"));
+        let magic = u32_at(0);
         if magic != MAGIC {
             return Err(ServeError::BadMagic { found: magic });
         }
-        let version = cursor.get_u32_le();
+        let version = u32_at(4);
         if version != VERSION {
             return Err(ServeError::UnsupportedVersion { found: version });
         }
-        let stored = u64::from_le_bytes(tail.try_into().expect("split_at(len - 8)"));
-        let computed = fnv1a64(payload);
-        if stored != computed {
-            return Err(ServeError::ChecksumMismatch { stored, computed });
-        }
+        let payload_len = Self::verify(bytes)?;
 
-        let need = |cursor: &&[u8], n: usize, what: &'static str| -> Result<()> {
-            if cursor.remaining() < n {
-                Err(ServeError::Truncated { what })
-            } else {
-                Ok(())
-            }
-        };
-        need(&cursor, 16, "header")?;
-        let kind_tag = cursor.get_u32_le();
+        if payload_len < 24 {
+            return Err(ServeError::Truncated { what: "header" });
+        }
+        let kind_tag = u32_at(8);
         let kind = SnapshotKind::from_tag(kind_tag)
             .ok_or_else(|| ServeError::Invalid(format!("unknown snapshot kind tag {kind_tag}")))?;
-        let n_users = cursor.get_u32_le() as usize;
-        let n_items = cursor.get_u32_le() as usize;
-        let dim = cursor.get_u32_le() as usize;
+        let n_users = u32_at(12) as usize;
+        let n_items = u32_at(16) as usize;
+        let dim = u32_at(20) as usize;
         if n_users == 0 || n_items == 0 || dim == 0 {
             return Err(ServeError::Invalid(format!(
                 "degenerate shape: {n_users} users × {n_items} items × dim {dim}"
             )));
         }
-        let table = |cursor: &mut &[u8], rows: usize, what: &'static str| -> Result<Embedding> {
-            // checked_mul guards genuine usize overflow; any in-range size
-            // the encoder can produce must round-trip, however large.
-            let len = rows
-                .checked_mul(dim)
-                .ok_or_else(|| ServeError::Invalid(format!("{what} table size overflows")))?;
-            need(cursor, len.saturating_mul(4), what)?;
-            let mut data = Vec::with_capacity(len);
-            for _ in 0..len {
-                data.push(f32::from_bits(cursor.get_u32_le()));
-            }
-            Embedding::from_vec(rows, dim, data)
-                .map_err(|e| ServeError::Invalid(format!("{what} table: {e}")))
-        };
-        let users = table(&mut cursor, n_users, "users")?;
-        let items = table(&mut cursor, n_items, "items")?;
-
-        need(&cursor, 8, "seen length")?;
-        let seen_len = cursor.get_u64_le() as usize;
-        need(&cursor, seen_len, "seen CSR")?;
-        let seen = decode_interactions(&cursor[..seen_len])
-            .map_err(|e| ServeError::Invalid(format!("seen CSR: {e}")))?;
-        cursor.advance(seen_len);
-        if cursor.remaining() != 0 {
-            return Err(ServeError::Invalid(
-                "trailing bytes after artifact payload".into(),
-            ));
+        let users_len = n_users
+            .checked_mul(dim)
+            .ok_or_else(|| ServeError::Invalid("users table size overflows".into()))?;
+        let items_len = n_items
+            .checked_mul(dim)
+            .ok_or_else(|| ServeError::Invalid("items table size overflows".into()))?;
+        let users_at = 24usize;
+        let items_at = users_at
+            .checked_add(users_len.checked_mul(4).ok_or(ServeError::Truncated {
+                what: "users table",
+            })?)
+            .ok_or(ServeError::Truncated {
+                what: "users table",
+            })?;
+        let seen_len_at = items_at
+            .checked_add(items_len.checked_mul(4).ok_or(ServeError::Truncated {
+                what: "items table",
+            })?)
+            .ok_or(ServeError::Truncated {
+                what: "items table",
+            })?;
+        if seen_len_at + 8 > payload_len {
+            return Err(ServeError::Truncated {
+                what: "seen length",
+            });
         }
+        let seen_len =
+            u64::from_le_bytes(bytes[seen_len_at..seen_len_at + 8].try_into().expect("8")) as usize;
+        let seen_at = seen_len_at + 8;
+        match seen_at.checked_add(seen_len) {
+            Some(end) if end == payload_len => {}
+            Some(end) if end < payload_len => {
+                return Err(ServeError::Invalid(
+                    "trailing bytes after artifact payload".into(),
+                ))
+            }
+            _ => return Err(ServeError::Truncated { what: "seen CSR" }),
+        }
+
+        let table =
+            |at: usize, rows: usize, len: usize, what: &'static str| -> Result<TableStore> {
+                match F32Buf::mapped(storage, at, len) {
+                    Some(buf) => Ok(TableStore::View { buf, rows, dim }),
+                    None => {
+                        // Big-endian or misaligned base: decode an owned copy.
+                        let mut data = Vec::with_capacity(len);
+                        for k in 0..len {
+                            data.push(f32::from_bits(u32_at(at + 4 * k)));
+                        }
+                        Embedding::from_vec(rows, dim, data)
+                            .map(TableStore::Owned)
+                            .map_err(|e| ServeError::Invalid(format!("{what} table: {e}")))
+                    }
+                }
+            };
+        let users = table(users_at, n_users, users_len, "users")?;
+        let items = table(items_at, n_items, items_len, "items")?;
+
+        let seen = decode_interactions_storage(storage, seen_at, seen_len)
+            .map_err(|e| ServeError::Invalid(format!("seen CSR: {e}")))?;
         if seen.n_users() as usize != n_users || seen.n_items() as usize != n_items {
             return Err(ServeError::Invalid(format!(
                 "seen CSR shape ({} × {}) does not match tables ({n_users} × {n_items})",
@@ -265,20 +459,30 @@ impl ModelArtifact {
         Ok(())
     }
 
-    /// Reads and decodes an artifact file.
+    /// Reads and decodes an artifact file through the buffered path (one
+    /// full read into owned memory).
     pub fn load(path: &std::path::Path) -> Result<Self> {
-        let data = std::fs::read(path)?;
-        Self::decode(&data)
+        let storage = Arc::new(Storage::read(path)?);
+        Self::parse(&storage)
+    }
+
+    /// Memory-maps and decodes an artifact file: after chunk verification
+    /// (a single streaming hash pass over the mapped pages) the embedding
+    /// tables and CSR arrays are zero-copy views into the mapping, so load
+    /// cost stops scaling with a read+copy+decode pass over the file.
+    pub fn load_mapped(path: &std::path::Path) -> Result<Self> {
+        let storage = Arc::new(Storage::map(path)?);
+        Self::parse(&storage)
     }
 }
 
 impl Scorer for ModelArtifact {
     fn n_users(&self) -> u32 {
-        self.users.len() as u32
+        self.users.rows() as u32
     }
 
     fn n_items(&self) -> u32 {
-        self.items.len() as u32
+        self.items.rows() as u32
     }
 
     #[inline]
@@ -287,7 +491,7 @@ impl Scorer for ModelArtifact {
     }
 
     fn score_all(&self, u: u32, out: &mut [f32]) {
-        debug_assert_eq!(out.len(), self.items.len());
+        debug_assert_eq!(out.len(), self.items.rows());
         kernel::gemv(self.users.row(u as usize), self.items.as_slice(), out);
     }
 
@@ -378,6 +582,35 @@ mod tests {
     }
 
     #[test]
+    fn mapped_load_is_bitwise_and_zero_copy() {
+        let (model, seen) = fixture();
+        let artifact = ModelArtifact::freeze(&model, &seen).unwrap();
+        let path = std::env::temp_dir().join(format!(
+            "bns_artifact_mapped_test_{}.bnsa",
+            std::process::id()
+        ));
+        artifact.save(&path).unwrap();
+        let mapped = ModelArtifact::load_mapped(&path).unwrap();
+        assert_eq!(mapped.seen(), &seen);
+        for u in 0..4u32 {
+            for i in 0..7u32 {
+                assert_eq!(
+                    mapped.score(u, i).to_bits(),
+                    model.score(u, i).to_bits(),
+                    "mapped score diverged at ({u}, {i})"
+                );
+            }
+        }
+        #[cfg(all(unix, target_endian = "little"))]
+        {
+            assert!(mapped.is_mapped(), "tables must serve from the mapping");
+            assert!(mapped.seen().is_mapped(), "CSR must serve from the mapping");
+        }
+        assert!(!artifact.is_mapped());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn on_disk_file_starts_with_bnsa() {
         let (model, seen) = fixture();
         let buf = ModelArtifact::freeze(&model, &seen).unwrap().encode();
@@ -389,9 +622,48 @@ mod tests {
     }
 
     #[test]
+    fn v1_artifacts_are_rejected_with_the_typed_version_error() {
+        let (model, seen) = fixture();
+        let mut buf = ModelArtifact::freeze(&model, &seen)
+            .unwrap()
+            .encode()
+            .to_vec();
+        // Rewrite the version field to 1 (the retired single-checksum
+        // format). The version gate must fire before any checksum logic.
+        buf[4..8].copy_from_slice(&1u32.to_le_bytes());
+        assert!(matches!(
+            ModelArtifact::decode(&buf),
+            Err(ServeError::UnsupportedVersion { found: 1 })
+        ));
+    }
+
+    #[test]
+    fn chunk_corruption_reports_the_chunk() {
+        let (model, seen) = fixture();
+        let mut buf = ModelArtifact::freeze(&model, &seen)
+            .unwrap()
+            .encode()
+            .to_vec();
+        // Flip a payload byte past the header: chunk 0 must be named.
+        buf[30] ^= 0x01;
+        assert!(matches!(
+            ModelArtifact::decode(&buf),
+            Err(ServeError::ChunkChecksumMismatch { chunk: 0, .. })
+        ));
+    }
+
+    #[test]
     fn fnv_vectors() {
         // Standard FNV-1a 64 test vectors.
         assert_eq!(fnv1a64(b""), 0xCBF2_9CE4_8422_2325);
         assert_eq!(fnv1a64(b"a"), 0xAF63_DC4C_8601_EC8C);
+    }
+
+    #[test]
+    fn word_fnv_distinguishes_padding_from_content() {
+        // The zero-padded tail must not collide with literal zero bytes.
+        assert_ne!(fnv1a64_words(b"abc"), fnv1a64_words(b"abc\0"));
+        assert_ne!(fnv1a64_words(b""), fnv1a64_words(b"\0"));
+        assert_ne!(fnv1a64_words(b"12345678"), fnv1a64_words(b"123456780"));
     }
 }

@@ -14,9 +14,17 @@
 //! one worker, computed with that worker's private [`QueryScratch`], and
 //! written back to its input position. The report is identical whatever
 //! the thread count — only the latency distribution moves.
+//!
+//! The worker count is capped at `available_parallelism()`: every worker
+//! is CPU-bound for its whole life, so threads beyond the core count add
+//! no throughput but push the latency tail out by the scheduler timeslice
+//! — a preempted worker holds its claimed request for a full quantum
+//! (~10ms under default CFS), which is three orders of magnitude above a
+//! normal query. Each shard cursor lives on its own cache line
+//! ([`CachePadded`]) so claims on different shards never contend.
 
 use crate::query::{QueryEngine, QueryScratch};
-use bns_sync::ClaimCursor;
+use bns_sync::{CachePadded, ClaimCursor};
 use std::time::Instant;
 
 /// One top-k query: `user`, cutoff `k`, and whether the user's frozen
@@ -89,7 +97,11 @@ pub(crate) fn serve_parallel(
             threads: 0,
         };
     }
-    let n_threads = n_threads.max(1).min(n);
+    // Cap at the core count: an extra CPU-bound worker on a saturated box
+    // cannot raise throughput, but its preemptions stretch p99 by a whole
+    // scheduler quantum per involuntary context switch.
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let n_threads = n_threads.max(1).min(n).min(cores);
     let chunk = n.div_ceil(n_threads);
     // Shard s covers [s·chunk, min((s+1)·chunk, n)); cursor s is the next
     // unclaimed index in that shard. ClaimCursor claims are exclusive, so
@@ -99,7 +111,10 @@ pub(crate) fn serve_parallel(
     let bounds: Vec<(usize, usize)> = (0..n_threads)
         .map(|s| (s * chunk, ((s + 1) * chunk).min(n)))
         .collect();
-    let cursors: Vec<ClaimCursor> = bounds.iter().map(|&(lo, _)| ClaimCursor::new(lo)).collect();
+    let cursors: Vec<CachePadded<ClaimCursor>> = bounds
+        .iter()
+        .map(|&(lo, _)| CachePadded::new(ClaimCursor::new(lo)))
+        .collect();
 
     let started = Instant::now();
     let mut parts: Vec<Vec<(usize, RankedList)>> = std::thread::scope(|scope| {
@@ -119,8 +134,11 @@ pub(crate) fn serve_parallel(
                                 break;
                             }
                             let r = requests[idx];
-                            let t0 = Instant::now();
+                            // Allocate the answer buffer before starting
+                            // the clock: latency_ns measures the query,
+                            // not the allocator.
                             let mut items = Vec::with_capacity(r.k);
+                            let t0 = Instant::now();
                             engine
                                 .top_k_into(r.user, r.k, r.exclude_seen, &mut scratch, &mut items)
                                 .expect("requests validated before serve_parallel");
@@ -203,7 +221,10 @@ mod tests {
         let seq = e.serve(&requests, 1).unwrap();
         let par = e.serve(&requests, 4).unwrap();
         assert_eq!(seq.results.len(), 300);
-        assert_eq!(par.threads, 4);
+        // The requested 4 workers are clamped to the machine's core count,
+        // so the exact value is host-dependent; the contract under test is
+        // that answers are schedule-invariant.
+        assert!((1..=4).contains(&par.threads), "threads {}", par.threads);
         for (i, (a, b)) in seq.results.iter().zip(&par.results).enumerate() {
             assert_eq!(a.user, requests[i].user);
             assert_eq!(a.items, b.items, "request {i} diverged across schedules");

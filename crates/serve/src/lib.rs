@@ -74,6 +74,16 @@ pub enum ServeError {
         /// Checksum recomputed over the payload.
         computed: u64,
     },
+    /// One payload chunk's stored digest does not match its bytes
+    /// (artifact format v2 verifies the payload in fixed-size chunks).
+    ChunkChecksumMismatch {
+        /// Index of the failing chunk.
+        chunk: usize,
+        /// Digest stored in the artifact footer.
+        stored: u64,
+        /// Digest recomputed over the chunk bytes.
+        computed: u64,
+    },
     /// A query referenced a user id outside the artifact's id space.
     UnknownUser {
         /// The offending user id.
@@ -102,6 +112,15 @@ impl std::fmt::Display for ServeError {
             ServeError::ChecksumMismatch { stored, computed } => write!(
                 f,
                 "artifact checksum mismatch: stored 0x{stored:016X}, computed 0x{computed:016X}"
+            ),
+            ServeError::ChunkChecksumMismatch {
+                chunk,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "artifact chunk {chunk} digest mismatch: stored 0x{stored:016X}, \
+                 computed 0x{computed:016X}"
             ),
             ServeError::UnknownUser { user, n_users } => {
                 write!(f, "user {user} outside artifact id space ({n_users} users)")

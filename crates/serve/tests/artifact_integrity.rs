@@ -1,10 +1,11 @@
 //! Artifact integrity suite: every corruption class is rejected with the
-//! right **typed** error, and save → load → score is bitwise identical to
+//! right **typed** error — through the buffered *and* the mmap-backed
+//! zero-copy load path — and save → load → score is bitwise identical to
 //! the live model for all three freezable scorers.
 
 use bns_data::Interactions;
 use bns_model::{HogwildMf, LightGcn, MatrixFactorization, Scorer, SnapshotKind, SnapshotScorer};
-use bns_serve::artifact::{fnv1a64, MAGIC, VERSION};
+use bns_serve::artifact::{fnv1a64, fnv1a64_words, MAGIC, VERSION};
 use bns_serve::{ModelArtifact, ServeError};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -30,12 +31,39 @@ fn encoded() -> Vec<u8> {
         .to_vec()
 }
 
-/// Re-stamps the trailing checksum after a deliberate mutation, so tests
-/// can reach the validation layers *behind* the checksum.
+/// Footer length in bytes, read from the artifact's own footer fields.
+fn footer_len(buf: &[u8]) -> usize {
+    let n = buf.len();
+    let n_chunks = u64::from_le_bytes(buf[n - 16..n - 8].try_into().unwrap()) as usize;
+    24 + 8 * n_chunks
+}
+
+/// Re-stamps the v2 chunked footer (per-chunk digests + footer checksum)
+/// after a deliberate payload mutation, so tests can reach the validation
+/// layers *behind* the checksums.
 fn restamp(buf: &mut [u8]) {
     let n = buf.len();
-    let sum = fnv1a64(&buf[..n - 8]);
-    buf[n - 8..].copy_from_slice(&sum.to_le_bytes());
+    let n_chunks = u64::from_le_bytes(buf[n - 16..n - 8].try_into().unwrap()) as usize;
+    let chunk_size = u64::from_le_bytes(buf[n - 24..n - 16].try_into().unwrap()) as usize;
+    let digest_start = n - 24 - 8 * n_chunks;
+    for (idx, at) in (0..n_chunks).map(|i| (i, digest_start + 8 * i)) {
+        let lo = idx * chunk_size;
+        let hi = (lo + chunk_size).min(digest_start);
+        let digest = fnv1a64_words(&buf[lo..hi]);
+        buf[at..at + 8].copy_from_slice(&digest.to_le_bytes());
+    }
+    let footer_sum = fnv1a64_words(&buf[digest_start..n - 8]);
+    buf[n - 8..].copy_from_slice(&footer_sum.to_le_bytes());
+}
+
+/// Round-trips `buf` through a temp file and the mmap-backed load path.
+fn load_mapped_bytes(buf: &[u8], tag: &str) -> Result<ModelArtifact, ServeError> {
+    let path =
+        std::env::temp_dir().join(format!("bns_integrity_{tag}_{}.bnsa", std::process::id()));
+    std::fs::write(&path, buf).unwrap();
+    let out = ModelArtifact::load_mapped(&path);
+    std::fs::remove_file(&path).ok();
+    out
 }
 
 #[test]
@@ -61,6 +89,26 @@ fn future_version_is_typed() {
 }
 
 #[test]
+fn v1_artifact_is_rejected_with_the_typed_version_error() {
+    // Reconstruct the retired v1 shape: version = 1, single byte-FNV
+    // trailing checksum instead of the chunked footer. The version gate
+    // must reject it *before* any checksum interpretation.
+    let mut buf = encoded();
+    let flen = footer_len(&buf);
+    let payload_end = buf.len() - flen;
+    buf.truncate(payload_end);
+    buf[4..8].copy_from_slice(&1u32.to_le_bytes());
+    let sum = fnv1a64(&buf);
+    buf.extend_from_slice(&sum.to_le_bytes());
+    for result in [ModelArtifact::decode(&buf), load_mapped_bytes(&buf, "v1")] {
+        match result {
+            Err(ServeError::UnsupportedVersion { found }) => assert_eq!(found, 1),
+            other => panic!("expected UnsupportedVersion {{ found: 1 }}, got {other:?}"),
+        }
+    }
+}
+
+#[test]
 fn unknown_snapshot_kind_is_rejected() {
     let mut buf = encoded();
     buf[8..12].copy_from_slice(&7u32.to_le_bytes());
@@ -73,9 +121,9 @@ fn unknown_snapshot_kind_is_rejected() {
 
 #[test]
 fn every_single_byte_flip_is_rejected() {
-    // Without re-stamping, any payload flip must trip the checksum (and
-    // header flips their own typed error); a tail flip corrupts the
-    // stored checksum itself.
+    // Without re-stamping, any payload flip must trip a chunk digest (and
+    // header flips their own typed error); a footer flip corrupts the
+    // digest table or the footer checksum itself.
     let buf = encoded();
     for pos in 0..buf.len() {
         let mut corrupt = buf.clone();
@@ -88,6 +136,19 @@ fn every_single_byte_flip_is_rejected() {
 }
 
 #[test]
+fn every_single_byte_flip_is_rejected_by_the_mapped_path() {
+    let buf = encoded();
+    for pos in 0..buf.len() {
+        let mut corrupt = buf.clone();
+        corrupt[pos] ^= 0x01;
+        assert!(
+            load_mapped_bytes(&corrupt, "flip").is_err(),
+            "mapped flip at byte {pos} was accepted"
+        );
+    }
+}
+
+#[test]
 fn truncation_at_every_length_is_rejected() {
     let buf = encoded();
     for cut in 0..buf.len() {
@@ -95,9 +156,30 @@ fn truncation_at_every_length_is_rejected() {
         assert!(
             matches!(
                 err,
-                ServeError::Truncated { .. } | ServeError::ChecksumMismatch { .. }
+                ServeError::Truncated { .. }
+                    | ServeError::ChecksumMismatch { .. }
+                    | ServeError::ChunkChecksumMismatch { .. }
+                    | ServeError::Invalid(_)
             ),
             "cut at {cut} gave unexpected error {err:?}"
+        );
+    }
+}
+
+#[test]
+fn truncation_at_every_length_is_rejected_by_the_mapped_path() {
+    let buf = encoded();
+    for cut in 0..buf.len() {
+        let err = load_mapped_bytes(&buf[..cut], "trunc").expect_err("truncation accepted");
+        assert!(
+            matches!(
+                err,
+                ServeError::Truncated { .. }
+                    | ServeError::ChecksumMismatch { .. }
+                    | ServeError::ChunkChecksumMismatch { .. }
+                    | ServeError::Invalid(_)
+            ),
+            "mapped cut at {cut} gave unexpected error {err:?}"
         );
     }
 }
@@ -110,10 +192,23 @@ fn trailing_garbage_is_rejected() {
 }
 
 #[test]
-fn payload_corruption_reports_checksum_mismatch() {
+fn payload_corruption_reports_the_failing_chunk() {
     let mut buf = encoded();
-    let mid = buf.len() / 2;
+    let mid = (buf.len() - footer_len(&buf)) / 2;
     buf[mid] ^= 0x40;
+    assert!(matches!(
+        ModelArtifact::decode(&buf),
+        Err(ServeError::ChunkChecksumMismatch { chunk: 0, .. })
+    ));
+}
+
+#[test]
+fn footer_corruption_reports_checksum_mismatch() {
+    // Flip a byte inside the digest table: the footer checksum must fire.
+    let mut buf = encoded();
+    let n = buf.len();
+    let digest_start = n - footer_len(&buf);
+    buf[digest_start] ^= 0x01;
     assert!(matches!(
         ModelArtifact::decode(&buf),
         Err(ServeError::ChecksumMismatch { .. })
@@ -123,14 +218,18 @@ fn payload_corruption_reports_checksum_mismatch() {
 #[test]
 fn corrupted_seen_csr_behind_a_valid_checksum_is_rejected() {
     // Flip the last item id of the embedded CSR out of range and re-stamp:
-    // the checksum passes, the CSR re-validation must still refuse it.
+    // the checksums pass, the CSR re-validation must still refuse it —
+    // on both load paths.
     let mut buf = encoded();
-    let n = buf.len();
-    // Last 4 CSR bytes sit just before the 8-byte checksum tail.
-    buf[n - 12..n - 8].copy_from_slice(&10_000u32.to_le_bytes());
+    let payload_end = buf.len() - footer_len(&buf);
+    buf[payload_end - 4..payload_end].copy_from_slice(&10_000u32.to_le_bytes());
     restamp(&mut buf);
     assert!(matches!(
         ModelArtifact::decode(&buf),
+        Err(ServeError::Invalid(_))
+    ));
+    assert!(matches!(
+        load_mapped_bytes(&buf, "csr"),
         Err(ServeError::Invalid(_))
     ));
 }
@@ -139,6 +238,34 @@ fn corrupted_seen_csr_behind_a_valid_checksum_is_rejected() {
 fn load_of_missing_file_is_io() {
     let path = std::env::temp_dir().join("bns_artifact_definitely_missing.bnsa");
     assert!(matches!(ModelArtifact::load(&path), Err(ServeError::Io(_))));
+    assert!(matches!(
+        ModelArtifact::load_mapped(&path),
+        Err(ServeError::Io(_))
+    ));
+}
+
+#[test]
+fn mapped_load_scores_bitwise_like_the_buffered_load() {
+    let (model, seen) = fixture();
+    let artifact = ModelArtifact::freeze(&model, &seen).unwrap();
+    let path =
+        std::env::temp_dir().join(format!("bns_integrity_bitwise_{}.bnsa", std::process::id()));
+    artifact.save(&path).unwrap();
+    let buffered = ModelArtifact::load(&path).unwrap();
+    let mapped = ModelArtifact::load_mapped(&path).unwrap();
+    assert_eq!(buffered.seen(), mapped.seen());
+    for u in 0..5u32 {
+        for i in 0..9u32 {
+            assert_eq!(buffered.score(u, i).to_bits(), mapped.score(u, i).to_bits());
+            assert_eq!(mapped.score(u, i).to_bits(), model.score(u, i).to_bits());
+        }
+    }
+    #[cfg(all(unix, target_endian = "little"))]
+    assert!(
+        mapped.is_mapped(),
+        "mapped load must take the zero-copy path"
+    );
+    std::fs::remove_file(&path).ok();
 }
 
 #[test]
@@ -177,7 +304,8 @@ fn lightgcn_freeze_round_trips_bitwise() {
 proptest! {
     /// The acceptance property of the artifact format: for any model shape
     /// and seed, and any of the three freezable scorers, encode → decode →
-    /// `score_items` reproduces the live model's scores bit for bit.
+    /// `score_items` reproduces the live model's scores bit for bit — and
+    /// the mmap-backed load path agrees with the buffered one.
     #[test]
     fn save_load_score_items_is_bitwise_for_all_scorers(
         n_users in 2u32..8,
@@ -210,16 +338,21 @@ proptest! {
             }
         };
         let artifact = ModelArtifact::freeze(live, &seen).unwrap();
-        let reloaded = ModelArtifact::decode(&artifact.encode()).unwrap();
+        let encoded = artifact.encode();
+        let reloaded = ModelArtifact::decode(&encoded).unwrap();
+        let mapped = load_mapped_bytes(&encoded, "prop").unwrap();
 
         let ids: Vec<u32> = (0..n_items).collect();
         let mut live_scores = vec![0.0f32; n_items as usize];
         let mut frozen_scores = vec![0.0f32; n_items as usize];
+        let mut mapped_scores = vec![0.0f32; n_items as usize];
         for u in 0..n_users {
             live.score_items(u, &ids, &mut live_scores);
             reloaded.score_items(u, &ids, &mut frozen_scores);
+            mapped.score_items(u, &ids, &mut mapped_scores);
             for i in 0..n_items as usize {
                 prop_assert_eq!(frozen_scores[i].to_bits(), live_scores[i].to_bits());
+                prop_assert_eq!(mapped_scores[i].to_bits(), live_scores[i].to_bits());
             }
         }
     }

@@ -15,6 +15,7 @@
 //! | [`Counter`] | statistics (hit/lookup counts) that no control flow depends on | `Relaxed` |
 //! | [`PoisonFlag`] | sticky cross-thread failure latch | `Release` set / `Acquire` read |
 //! | [`Mutex`] | plain mutual exclusion, modeled under the checker | n/a |
+//! | [`CachePadded`] | layout shim: gives each element of an array of contended atomics its own cache line | n/a |
 //!
 //! Narrowing the API is the point: a call site cannot pick a wrong ordering
 //! because the ordering is baked into the type, and a new protocol needs a
@@ -40,6 +41,7 @@ mod flag;
 mod generation;
 pub mod model;
 mod mutex;
+mod padded;
 
 pub use cell::AtomicF32Cell;
 pub use counter::Counter;
@@ -47,3 +49,4 @@ pub use cursor::ClaimCursor;
 pub use flag::PoisonFlag;
 pub use generation::Generation;
 pub use mutex::{Mutex, MutexGuard};
+pub use padded::CachePadded;

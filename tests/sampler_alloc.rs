@@ -42,6 +42,25 @@ fn dataset() -> Dataset {
     Dataset::new("alloc-audit", train_set, test_set).unwrap()
 }
 
+/// The same dataset with its train CSR re-read through the mmap-backed
+/// zero-copy loader — every sampler must stay allocation-free when the
+/// interactions it scans live in a mapped file instead of owned `Vec`s.
+fn mapped_dataset() -> Dataset {
+    let d = dataset();
+    let path = std::env::temp_dir().join(format!("bns_sampler_alloc_{}.bns1", std::process::id()));
+    bns::data::serialize::save_interactions(d.train(), &path).unwrap();
+    let train_set = bns::data::serialize::map_interactions(&path).unwrap();
+    // The mapping outlives the unlink on unix; clean up eagerly.
+    std::fs::remove_file(&path).ok();
+    #[cfg(all(unix, target_endian = "little"))]
+    assert!(
+        train_set.is_mapped(),
+        "mapped load fell back to owned decode"
+    );
+    assert_eq!(&train_set, d.train());
+    Dataset::new("alloc-audit-mapped", train_set, d.test().clone()).unwrap()
+}
+
 #[test]
 fn every_sampler_is_allocation_free_in_steady_state() {
     let d = dataset();
@@ -119,6 +138,65 @@ fn every_sampler_is_allocation_free_in_steady_state() {
             after - before,
             0,
             "{}: {} heap allocations across 2000 steady-state draws",
+            sampler.name(),
+            after - before
+        );
+    }
+}
+
+#[test]
+fn sampling_over_mapped_storage_is_allocation_free_in_steady_state() {
+    let d = mapped_dataset();
+    let mut rng_model = StdRng::seed_from_u64(1);
+    let model =
+        MatrixFactorization::new(d.n_users(), d.n_items(), 16, 0.1, &mut rng_model).unwrap();
+    let train_set = d.train();
+    let popularity = d.popularity();
+    let mut user_scores = vec![0.0f32; d.n_items() as usize];
+
+    for cfg in SamplerConfig::paper_lineup() {
+        let mut sampler = build_sampler(&cfg, &d, None).unwrap();
+        sampler.on_epoch_start(0);
+        let mut rng = StdRng::seed_from_u64(9);
+
+        for round in 0..3 {
+            for u in 0..d.n_users() {
+                let pos = train_set.items_of(u)[round % train_set.degree(u)];
+                sample_pair(
+                    sampler.as_mut(),
+                    &model,
+                    train_set,
+                    popularity,
+                    &mut user_scores,
+                    u,
+                    pos,
+                    0,
+                    &mut rng,
+                );
+            }
+        }
+
+        let before = allocation_count();
+        for step in 0..2_000u32 {
+            let u = step % d.n_users();
+            let pos = train_set.items_of(u)[(step as usize / 16) % train_set.degree(u)];
+            sample_pair(
+                sampler.as_mut(),
+                &model,
+                train_set,
+                popularity,
+                &mut user_scores,
+                u,
+                pos,
+                0,
+                &mut rng,
+            );
+        }
+        let after = allocation_count();
+        assert_eq!(
+            after - before,
+            0,
+            "{} over mapped storage: {} heap allocations across 2000 steady-state draws",
             sampler.name(),
             after - before
         );
