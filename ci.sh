@@ -46,13 +46,20 @@ run cargo run --release --offline --locked --example quickstart
 run cargo run --release --offline --locked --example serve -- --scale 0.05
 # serve_bench smoke: the serving load generator is gated like the
 # samplers' bench_json. The committed BENCH_serve.json is generated at
-# paper scale (10k items, d = 32); the smoke writes under target/.
+# paper scale (10k items, d = 32); the smoke writes under target/. The
+# second run forces the IVF index path (explicit nprobe so the tiny
+# 500-item catalog still probes a strict subset of clusters) and gates
+# on its built-in recall measurement.
 run cargo run --release --offline --locked -p bns-bench --bin serve_bench -- \
     --scale 0.05 --out target/BENCH_serve_smoke.json
+run cargo run --release --offline --locked -p bns-bench --bin serve_bench -- \
+    --scale 0.05 --index ivf:8 --out target/BENCH_serve_ivf_smoke.json
 # scale_bench smoke: exercises the streamed generator, both artifact load
 # paths (buffered + mmap), sampler draws and serving at 1% of each tier.
-# The committed BENCH_scale.json is generated at full scale (up to
-# 1M users × 1M items); the smoke writes under target/.
+# At --scale 0.01 the 10k-item tier sits above the auto-index threshold,
+# so the IVF freeze + ANN serve path runs here too (serve_ivf in the
+# JSON). The committed BENCH_scale.json is generated at full scale (up
+# to 1M users × 1M items); the smoke writes under target/.
 run cargo run --release --offline --locked -p bns-bench --bin scale_bench -- \
     --scale 0.01 --out target/BENCH_scale_smoke.json
 

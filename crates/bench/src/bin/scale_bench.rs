@@ -15,7 +15,13 @@
 //! * **sampler draws/sec** — RNS (the O(1) floor) and BNS (the paper's
 //!   linear-in-catalog sampler) through the real `sample_pair` path;
 //! * **serve queries/sec** — the work-stealing engine over the mapped
-//!   artifact, Zipf-skewed traffic, p50/p99 per tier.
+//!   artifact, Zipf-skewed traffic, p50/p99 per tier — exhaustive scan
+//!   **and** the IVF probe path at the default width, with measured
+//!   recall@10 and the speedup pinned next to each other. The item table
+//!   is planted as a latent group mixture
+//!   ([`bns_data::synthetic::clustered_item_embedding`]) so the catalog
+//!   is clusterable the way a trained table is; uniform-random items
+//!   would make cluster probing meaningless at any width.
 //!
 //! Each tier also records `VmRSS`/`VmHWM` so "no dense latent tables"
 //! is a number in the JSON, not a claim in a doc.
@@ -28,10 +34,12 @@
 
 use bns_core::trainer::sample_pair;
 use bns_core::{build_sampler, SamplerConfig};
-use bns_data::synthetic::{generate_streamed, EmissionMode, SyntheticConfig};
+use bns_data::synthetic::{
+    clustered_item_embedding, generate_streamed, EmissionMode, SyntheticConfig,
+};
 use bns_data::{split_random, Dataset, SplitConfig};
-use bns_model::MatrixFactorization;
-use bns_serve::{ModelArtifact, QueryEngine, Request};
+use bns_model::{Embedding, MatrixFactorization};
+use bns_serve::{IndexMode, ModelArtifact, QueryEngine, Request};
 use bns_stats::AliasTable;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -115,7 +123,20 @@ struct TierStats {
     serve_qps: f64,
     serve_p50_ms: f64,
     serve_p99_ms: f64,
+    ivf: Option<IvfStats>,
     vm_hwm_mb: f64,
+}
+
+/// The sublinear serving section of a tier: probe width, throughput, and
+/// the measured quality of the approximation against the exact ranking.
+struct IvfStats {
+    n_clusters: usize,
+    nprobe: usize,
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    recall_at_10: f64,
+    speedup_x: f64,
 }
 
 fn run_tier(full_users: u32, args: &Args) -> TierStats {
@@ -141,10 +162,20 @@ fn run_tier(full_users: u32, args: &Args) -> TierStats {
     };
 
     // Freeze a dim-16 MF model over the generated CSR, then time both
-    // load paths on the same file.
+    // load paths on the same file. Users are random; the item table is a
+    // planted latent group mixture (≈ one group per auto IVF cluster) so
+    // the catalog has the modal structure a trained table has — the
+    // regime cluster-probed retrieval is built for.
     let mut model_rng = StdRng::seed_from_u64(cfg.seed ^ 0xF0);
-    let model = MatrixFactorization::new(n_users, n_items, DIM, 0.1, &mut model_rng)
-        .expect("valid scale model");
+    let users =
+        Embedding::normal_init(n_users as usize, DIM, 0.1, &mut model_rng).expect("user table");
+    let n_groups = ((4.0 * f64::from(n_items).sqrt()) as u32).clamp(1, n_items);
+    let mut item_data = vec![0f32; n_items as usize * DIM];
+    for (i, row) in item_data.chunks_exact_mut(DIM).enumerate() {
+        clustered_item_embedding(cfg.seed ^ 0xF1, n_groups, 0.25, i as u32, row);
+    }
+    let items = Embedding::from_vec(n_items as usize, DIM, item_data).expect("item table");
+    let model = MatrixFactorization::from_embeddings(users, items).expect("valid scale model");
     let artifact = ModelArtifact::freeze(&model, &interactions).expect("freezable model");
     let path = std::env::temp_dir().join(format!(
         "bns_scale_bench_{}_{}.bnsa",
@@ -224,22 +255,62 @@ fn run_tier(full_users: u32, args: &Args) -> TierStats {
 
     // Serve Zipf traffic over the *mapped* artifact — queries score
     // straight out of the page cache, no decoded copy in between.
-    let engine = QueryEngine::new(mapped);
+    let has_index = mapped.index().is_some();
+    let engine = QueryEngine::new(mapped.clone());
     let n_requests = (80_000_000 / n_users as usize).clamp(100, 20_000);
     let weights: Vec<f64> = (0..n_users).map(|u| 1.0 / f64::from(u + 1)).collect();
     let alias = AliasTable::new(&weights).expect("valid Zipf weights");
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x21F);
-    let requests: Vec<Request> = (0..n_requests)
-        .map(|_| Request {
-            user: alias.sample(&mut rng) as u32,
-            k: 10,
-            exclude_seen: true,
-        })
-        .collect();
+    let make_requests = |rng: &mut StdRng, n: usize| -> Vec<Request> {
+        (0..n)
+            .map(|_| Request {
+                user: alias.sample(rng) as u32,
+                k: 10,
+                exclude_seen: true,
+            })
+            .collect()
+    };
+    let requests = make_requests(&mut rng, n_requests);
     let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
     let warm: Vec<Request> = requests.iter().take(50).copied().collect();
     engine.serve(&warm, threads).expect("warm-up");
     let report = engine.serve(&requests, threads).expect("valid requests");
+
+    // The IVF probe path at the default width over the *same* mapped
+    // artifact, plus a measured recall@10 against the exact ranking. The
+    // approximate path is far faster, so it gets a proportionally larger
+    // request batch for a stable clock.
+    let ivf = has_index.then(|| {
+        let index = mapped.index().expect("index checked above");
+        let nprobe = index.default_nprobe();
+        let n_clusters = index.n_clusters();
+        let ivf_engine = QueryEngine::with_index_mode(mapped.clone(), IndexMode::Ivf { nprobe })
+            .expect("artifact carries an index");
+        let ivf_requests = make_requests(&mut rng, (n_requests * 32).clamp(2_000, 20_000));
+        let warm: Vec<Request> = ivf_requests.iter().take(50).copied().collect();
+        ivf_engine.serve(&warm, threads).expect("IVF warm-up");
+        let ivf_report = ivf_engine
+            .serve(&ivf_requests, threads)
+            .expect("valid IVF requests");
+
+        let sample_users = 200u32.min(n_users);
+        let mut total = 0.0f64;
+        for u in 0..sample_users {
+            let truth = engine.top_k(u, 10, true).expect("exact top-10");
+            let approx = ivf_engine.top_k(u, 10, true).expect("IVF top-10");
+            let hit = truth.iter().filter(|i| approx.contains(i)).count();
+            total += hit as f64 / truth.len().max(1) as f64;
+        }
+        IvfStats {
+            n_clusters,
+            nprobe,
+            qps: ivf_report.queries_per_sec(),
+            p50_ms: ivf_report.latency_percentile_ms(0.5),
+            p99_ms: ivf_report.latency_percentile_ms(0.99),
+            recall_at_10: total / f64::from(sample_users),
+            speedup_x: ivf_report.queries_per_sec() / report.queries_per_sec().max(1e-9),
+        }
+    });
 
     std::fs::remove_file(&path).ok();
     TierStats {
@@ -261,6 +332,7 @@ fn run_tier(full_users: u32, args: &Args) -> TierStats {
         serve_qps: report.queries_per_sec(),
         serve_p50_ms: report.latency_percentile_ms(0.5),
         serve_p99_ms: report.latency_percentile_ms(0.99),
+        ivf,
         vm_hwm_mb: proc_status_mb("VmHWM"),
     }
 }
@@ -270,15 +342,25 @@ fn main() {
     let mut tiers: Vec<TierStats> = Vec::new();
     for full_users in TIERS {
         let t = run_tier(full_users, &args);
+        let ivf_line = t.ivf.as_ref().map_or_else(
+            || " (no index below auto threshold)".to_string(),
+            |v| {
+                format!(
+                    ", ivf {:.0} q/s ({:.1}x, recall@10 {:.3}, nprobe {}/{})",
+                    v.qps, v.speedup_x, v.recall_at_10, v.nprobe, v.n_clusters
+                )
+            },
+        );
         println!(
-            "tier {}x{}: {} interactions, gen {:.0} rows/s, load {:.2}ms buffered / {:.2}ms mapped, serve {:.0} q/s",
+            "tier {}x{}: {} interactions, gen {:.0} rows/s, load {:.2}ms buffered / {:.2}ms mapped, serve exact {:.0} q/s{}",
             t.n_users,
             t.n_items,
             t.interactions,
             t.gen_rows_per_sec,
             t.load_ms_buffered,
             t.load_ms_mapped,
-            t.serve_qps
+            t.serve_qps,
+            ivf_line
         );
         tiers.push(t);
     }
@@ -324,6 +406,18 @@ fn main() {
             "      \"serve\": {{ \"threads\": {}, \"queries_per_sec\": {:.1}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4} }},",
             t.serve_threads, t.serve_qps, t.serve_p50_ms, t.serve_p99_ms
         );
+        match &t.ivf {
+            Some(v) => {
+                let _ = writeln!(
+                    json,
+                    "      \"serve_ivf\": {{ \"n_clusters\": {}, \"nprobe\": {}, \"queries_per_sec\": {:.1}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \"recall_at_10\": {:.4}, \"speedup_x\": {:.1} }},",
+                    v.n_clusters, v.nprobe, v.qps, v.p50_ms, v.p99_ms, v.recall_at_10, v.speedup_x
+                );
+            }
+            None => {
+                let _ = writeln!(json, "      \"serve_ivf\": null,");
+            }
+        }
         let _ = writeln!(json, "      \"vm_hwm_mb\": {:.1}", t.vm_hwm_mb);
         let _ = writeln!(json, "    }}{comma}");
     }

@@ -8,24 +8,50 @@
 //! * artifact freeze/save/load wall time and encoded size;
 //! * single-thread and multi-thread engine runs (p50/p99 ms, queries/sec,
 //!   **scored items/sec** = queries × catalog — the acceptance number of
-//!   the serving PR is ≥ 1M at d = 32, 10k items multi-threaded);
+//!   the serving PR is ≥ 1M at d = 32, 10k items multi-threaded), each
+//!   recording both the requested and the effective worker count (workers
+//!   clamp to the core count — on a small box a "multi_thread" section can
+//!   legitimately have run serial, and now says so);
 //! * a cached multi-thread run (generation-stamped LRU in front of the
-//!   GEMV path) with its hit rate.
+//!   GEMV path) with its hit rate;
+//! * an **IVF section**: the same traffic through the probe path
+//!   ([`bns_serve::IndexMode::Ivf`]), with the measured recall@10 of the
+//!   approximate answers against the exact ranking and the throughput
+//!   ratio — the exact-vs-IVF comparison this file exists to pin.
+//!
+//! `--index auto` (default) runs the IVF section whenever the artifact
+//! froze with an index; `--index ivf:<nprobe>` forces an index build and a
+//! probe width (plain `ivf` takes the default width); `--index exact`
+//! skips the section.
 //!
 //! ```sh
 //! cargo run --release -p bns-bench --bin serve_bench              # paper scale
 //! cargo run --release -p bns-bench --bin serve_bench -- \
-//!     --scale 0.05 --out target/BENCH_serve_smoke.json            # CI smoke
+//!     --scale 0.05 --index ivf:8 --out target/BENCH_serve_smoke.json  # CI smoke
 //! ```
 
 use bns_bench::fixture;
-use bns_model::Scorer;
-use bns_serve::{ModelArtifact, QueryEngine, Request, ServeReport};
+use bns_data::synthetic::clustered_item_embedding;
+use bns_model::{Embedding, MatrixFactorization, Scorer};
+use bns_serve::{IndexMode, IvfConfig, ModelArtifact, QueryEngine, Request, ServeReport};
 use bns_stats::AliasTable;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
 use std::time::Instant;
+
+/// What `--index` asked for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IndexArg {
+    /// IVF section iff the artifact froze with an index (the auto
+    /// threshold), at the default probe width.
+    Auto,
+    /// No IVF section.
+    Exact,
+    /// Force an index build; `Some(n)` pins the probe width, `None` takes
+    /// the default.
+    Ivf(Option<usize>),
+}
 
 struct Args {
     users: u32,
@@ -37,6 +63,7 @@ struct Args {
     cache: usize,
     seed: u64,
     scale: f64,
+    index: IndexArg,
     out: String,
 }
 
@@ -56,6 +83,7 @@ fn parse_args() -> Args {
         cache: 0, // 0 → capacity defaults to n_users in the cached run
         seed: 41,
         scale: 1.0,
+        index: IndexArg::Auto,
         out: "BENCH_serve.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
@@ -74,9 +102,23 @@ fn parse_args() -> Args {
             "--cache" => args.cache = value().parse().expect("--cache takes a usize"),
             "--seed" => args.seed = value().parse().expect("--seed takes a u64"),
             "--scale" => args.scale = value().parse().expect("--scale takes an f64"),
+            "--index" => {
+                let v = value();
+                args.index = match v.as_str() {
+                    "auto" => IndexArg::Auto,
+                    "exact" => IndexArg::Exact,
+                    "ivf" => IndexArg::Ivf(None),
+                    other => match other.strip_prefix("ivf:") {
+                        Some(n) => IndexArg::Ivf(Some(
+                            n.parse().expect("--index ivf:<nprobe> takes a usize"),
+                        )),
+                        None => panic!("--index takes auto|exact|ivf|ivf:<nprobe>, got {v}"),
+                    },
+                };
+            }
             "--out" => args.out = value(),
             other => panic!(
-                "unknown flag {other} (expected --users/--items/--requests/--k/--threads/--zipf/--cache/--seed/--scale/--out)"
+                "unknown flag {other} (expected --users/--items/--requests/--k/--threads/--zipf/--cache/--seed/--scale/--index/--out)"
             ),
         }
     }
@@ -112,6 +154,7 @@ fn zipf_requests(args: &Args, rng: &mut StdRng) -> Vec<Request> {
 
 struct RunStats {
     label: &'static str,
+    requested_threads: usize,
     threads: usize,
     qps: f64,
     p50_ms: f64,
@@ -129,6 +172,7 @@ fn run_stats(
 ) -> RunStats {
     RunStats {
         label,
+        requested_threads: report.requested_threads,
         threads: report.threads,
         qps: report.queries_per_sec(),
         p50_ms: report.latency_percentile_ms(0.5),
@@ -139,14 +183,45 @@ fn run_stats(
     }
 }
 
+fn write_run(json: &mut String, r: &RunStats, indent: &str, comma: &str) {
+    let _ = writeln!(
+        json,
+        "{indent}\"{}\": {{ \"requested_threads\": {}, \"threads\": {}, \"queries_per_sec\": {:.1}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \"scored_items_per_sec\": {:.1}, \"cache_hit_rate\": {:.4} }}{comma}",
+        r.label, r.requested_threads, r.threads, r.qps, r.p50_ms, r.p99_ms, r.scored_items_per_sec, r.cache_hit_rate
+    );
+}
+
 fn main() {
     let args = parse_args();
     let fx = fixture(args.users, args.items, args.seed);
     let n_items = fx.dataset.n_items();
 
-    // Freeze → save → load round trip, timed.
+    // The fixture's random-init item table is the degenerate worst case
+    // for cluster probing (trained tables concentrate around preference
+    // modes). Re-plant it as a latent group mixture — the same stand-in
+    // the scale benchmark uses — so the IVF section measures the regime
+    // the index serves, while the exact sections are unaffected (an
+    // exhaustive GEMV costs the same over any geometry).
+    let dim = fx.model.dim();
+    let n_groups = ((4.0 * f64::from(n_items).sqrt()) as u32).clamp(1, n_items);
+    let mut item_data = vec![0f32; n_items as usize * dim];
+    for (i, row) in item_data.chunks_exact_mut(dim).enumerate() {
+        clustered_item_embedding(args.seed ^ 0xC1, n_groups, 0.25, i as u32, row);
+    }
+    let items = Embedding::from_vec(n_items as usize, dim, item_data).expect("item table");
+    let model = MatrixFactorization::from_embeddings(fx.model.users().clone(), items)
+        .expect("valid serve model");
+
+    // Freeze → save → load round trip, timed. `--index ivf*` forces an
+    // index build below the auto threshold; otherwise freeze decides.
     let t0 = Instant::now();
-    let artifact = ModelArtifact::freeze(&fx.model, fx.dataset.train()).expect("freezable model");
+    let artifact = match args.index {
+        IndexArg::Ivf(_) => {
+            ModelArtifact::freeze_with(&model, fx.dataset.train(), Some(IvfConfig::default()))
+        }
+        _ => ModelArtifact::freeze(&model, fx.dataset.train()),
+    }
+    .expect("freezable model");
     let freeze_ms = t0.elapsed().as_secs_f64() * 1e3;
     let encoded = artifact.encode();
     let artifact_bytes = encoded.len();
@@ -178,6 +253,7 @@ fn main() {
         requests.len(),
         0.0,
     ));
+    let exact_qps = report.queries_per_sec();
 
     // Multi-thread work-stealing run — the acceptance configuration.
     let engine = QueryEngine::new(loaded.clone());
@@ -214,15 +290,48 @@ fn main() {
         hit_rate,
     ));
 
+    // IVF section: the same traffic through the probe path, plus the
+    // measured recall@10 of the approximate answers vs the exact ranking.
+    let nprobe = match (args.index, loaded.index()) {
+        (IndexArg::Exact, _) | (IndexArg::Auto, None) => None,
+        (IndexArg::Ivf(Some(n)), _) => Some(n),
+        (IndexArg::Ivf(None), ix) | (IndexArg::Auto, ix) => Some(
+            ix.expect("--index ivf froze an index above")
+                .default_nprobe(),
+        ),
+    };
+    let ivf = nprobe.map(|nprobe| {
+        let exact = QueryEngine::new(loaded.clone());
+        let engine = QueryEngine::with_index_mode(loaded.clone(), IndexMode::Ivf { nprobe })
+            .expect("artifact carries an index");
+        engine.serve(&warm, 1).expect("IVF warm-up");
+        let single = engine.serve(&requests, 1).expect("valid requests");
+        engine.serve(&warm, args.threads).expect("IVF warm-up");
+        let multi = engine
+            .serve(&requests, args.threads)
+            .expect("valid requests");
+
+        let sample_users = args.users.min(200);
+        let mut total = 0.0f64;
+        for u in 0..sample_users {
+            let truth = exact.top_k(u, 10, true).expect("exact top-10");
+            let approx = engine.top_k(u, 10, true).expect("IVF top-10");
+            let hit = truth.iter().filter(|i| approx.contains(i)).count();
+            total += hit as f64 / truth.len().max(1) as f64;
+        }
+        let n_clusters = loaded.index().expect("index present").n_clusters();
+        (single, multi, total / f64::from(sample_users), n_clusters)
+    });
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": 1,");
+    let _ = writeln!(json, "  \"schema\": 2,");
     let _ = writeln!(
         json,
         "  \"config\": {{ \"n_users\": {}, \"n_items\": {}, \"dim\": {}, \"requests\": {}, \"k\": {}, \"zipf_exponent\": {}, \"threads\": {}, \"cache_capacity\": {} }},",
         args.users,
         args.items,
-        fx.model.dim(),
+        model.dim(),
         args.requests,
         args.k,
         args.zipf,
@@ -231,16 +340,40 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "  \"artifact\": {{ \"bytes\": {artifact_bytes}, \"kind\": \"{}\", \"freeze_ms\": {freeze_ms:.3}, \"save_ms\": {save_ms:.3}, \"load_ms\": {load_ms:.3} }},",
-        artifact.kind().name()
+        "  \"artifact\": {{ \"bytes\": {artifact_bytes}, \"kind\": \"{}\", \"freeze_ms\": {freeze_ms:.3}, \"save_ms\": {save_ms:.3}, \"load_ms\": {load_ms:.3}, \"indexed\": {} }},",
+        artifact.kind().name(),
+        loaded.index().is_some(),
     );
-    for (i, r) in runs.iter().enumerate() {
-        let comma = if i + 1 < runs.len() { "," } else { "" };
-        let _ = writeln!(
-            json,
-            "  \"{}\": {{ \"threads\": {}, \"queries_per_sec\": {:.1}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \"scored_items_per_sec\": {:.1}, \"cache_hit_rate\": {:.4} }}{comma}",
-            r.label, r.threads, r.qps, r.p50_ms, r.p99_ms, r.scored_items_per_sec, r.cache_hit_rate
-        );
+    for r in &runs {
+        write_run(&mut json, r, "  ", ",");
+    }
+    match &ivf {
+        Some((single, multi, recall, n_clusters)) => {
+            let nprobe = nprobe.expect("ivf implies nprobe");
+            let _ = writeln!(json, "  \"ivf\": {{");
+            let _ = writeln!(
+                json,
+                "    \"nprobe\": {nprobe}, \"n_clusters\": {n_clusters}, \"recall_at_10\": {recall:.4}, \"speedup_vs_exact_single\": {:.2},",
+                single.queries_per_sec() / exact_qps.max(1e-9)
+            );
+            for (label, report, comma) in
+                [("single_thread", single, ","), ("multi_thread", multi, "")]
+            {
+                let _ = writeln!(
+                    json,
+                    "    \"{label}\": {{ \"requested_threads\": {}, \"threads\": {}, \"queries_per_sec\": {:.1}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4} }}{comma}",
+                    report.requested_threads,
+                    report.threads,
+                    report.queries_per_sec(),
+                    report.latency_percentile_ms(0.5),
+                    report.latency_percentile_ms(0.99),
+                );
+            }
+            let _ = writeln!(json, "  }}");
+        }
+        None => {
+            let _ = writeln!(json, "  \"ivf\": null");
+        }
     }
     let _ = writeln!(json, "}}");
 
@@ -255,7 +388,7 @@ fn main() {
     for i in 0..n_items.min(64) {
         assert_eq!(
             loaded.score(u, i).to_bits(),
-            fx.model.score(u, i).to_bits(),
+            model.score(u, i).to_bits(),
             "frozen score diverged from the live model"
         );
     }

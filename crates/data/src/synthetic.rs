@@ -207,6 +207,9 @@ const SALT_ACTIVITY: u64 = 0x4143_5449_5649_5459;
 const SALT_GUMBEL: u64 = 0x4755_4D42_454C_4B45;
 const SALT_POOL: u64 = 0x504F_4F4C_5345_4544;
 const SALT_RANK: u64 = 0x5241_4E4B_5045_524D;
+const SALT_GROUP_LABEL: u64 = 0x4752_504C_4142_454C; // "GRPLABEL"
+const SALT_GROUP_VEC: u64 = 0x4752_5056_4543_544F;
+const SALT_GROUP_NOISE: u64 = 0x4752_504E_4F49_5345;
 
 /// The splitmix64 finalizer — a full-avalanche 64-bit mixer.
 #[inline]
@@ -253,6 +256,27 @@ pub fn pair_gumbel(seed: u64, u: u32, i: u32) -> f64 {
 #[inline]
 fn latent_component(seed: u64, salt: u64, id: u64, k: usize, scale: f64) -> f32 {
     (scale * std_gaussian(seed, salt, id, k as u64)) as f32
+}
+
+/// Fills `out` with a **clusterable** item embedding: item `id` belongs
+/// to one of `n_groups` hash-derived latent groups and its vector is that
+/// group's center (at the `1/√d` prior scale) plus `within × 1/√d`
+/// Gaussian within-group noise. A trained item table concentrates around
+/// preference modes the same way; this is the planted stand-in that makes
+/// IVF-style cluster-probed retrieval meaningful at benchmark scale,
+/// where a uniform-random table would be the degenerate worst case.
+///
+/// Pure function of `(seed, n_groups, within, id)` — streamable in any
+/// order, no RNG sequencing, O(d) work per row.
+pub fn clustered_item_embedding(seed: u64, n_groups: u32, within: f64, id: u32, out: &mut [f32]) {
+    let dim = out.len();
+    let scale = 1.0 / (dim as f64).sqrt();
+    let group = mix(seed, SALT_GROUP_LABEL, id as u64, 0) % n_groups.max(1) as u64;
+    for (k, slot) in out.iter_mut().enumerate() {
+        let center = latent_component(seed, SALT_GROUP_VEC, group, k, scale);
+        let noise = latent_component(seed, SALT_GROUP_NOISE, id as u64, k, within * scale);
+        *slot = center + noise;
+    }
 }
 
 /// Occupation label of user `u` (uniform over groups, hash-derived).

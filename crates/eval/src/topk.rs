@@ -21,9 +21,67 @@ pub fn top_k_masked(scores: &[f32], masked: &[u32], k: usize) -> Vec<u32> {
 
 /// Reusable scratch for [`top_k_masked_into`]: the running best-k list.
 /// Steady-state allocation-free once its capacity has reached `k + 1`.
+///
+/// The buffer is also an **incremental** selector: [`begin`](Self::begin)
+/// resets it for a cutoff, [`offer`](Self::offer) feeds one `(score, id)`
+/// candidate, and [`emit`](Self::emit) writes the ranked ids out. Every
+/// selection path in the workspace — the dense scan of
+/// [`top_k_masked_into`] and the cluster-at-a-time candidate stream of the
+/// IVF serving path — funnels through the same `offer`, so the ordering
+/// rule (descending score, ties toward the lower id) has exactly one
+/// implementation.
 #[derive(Debug, Default, Clone)]
 pub struct TopKBuffer {
     best: Vec<(f32, u32)>,
+    k: usize,
+}
+
+impl TopKBuffer {
+    /// Resets the selector for a fresh top-`k` extraction.
+    pub fn begin(&mut self, k: usize) {
+        self.k = k;
+        self.best.clear();
+        self.best.reserve(k + 1);
+    }
+
+    /// Feeds one candidate. Kept iff it beats the current `k`-th best
+    /// under the (score desc, id asc) order. Candidates may arrive in any
+    /// id order; equal `(score, id)` re-offers are idempotent in effect
+    /// because ids are unique per extraction.
+    #[inline]
+    pub fn offer(&mut self, score: f32, id: u32) {
+        if self.k == 0 {
+            return;
+        }
+        debug_assert!(score.is_finite(), "score for item {id} is not finite");
+        let better = |&(bs, bi): &(f32, u32)| score > bs || (score == bs && id < bi);
+        if self.best.len() < self.k {
+            let pos = self.best.iter().position(better).unwrap_or(self.best.len());
+            self.best.insert(pos, (score, id));
+        } else if better(self.best.last().expect("k > 0")) {
+            let pos = self.best.iter().position(better).expect("strictly better");
+            self.best.insert(pos, (score, id));
+            self.best.pop();
+        }
+    }
+
+    /// The score of the current `k`-th best candidate, or `None` while the
+    /// selection is not yet full. A candidate stream whose per-block upper
+    /// bound falls **strictly** below this floor cannot change the
+    /// selection — the admission test behind bound-ordered probe
+    /// termination in the IVF serving path. (At the floor exactly, a
+    /// lower-id tie could still displace, so equality must keep probing.)
+    #[inline]
+    pub fn floor(&self) -> Option<f32> {
+        (self.k > 0 && self.best.len() == self.k).then(|| self.best.last().expect("k > 0").0)
+    }
+
+    /// Writes the ranked ids (best first) into `out`, replacing its
+    /// contents.
+    pub fn emit(&self, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend(self.best.iter().map(|&(_, i)| i));
+    }
 }
 
 /// [`top_k_masked`] writing into caller-owned buffers: `out` receives the
@@ -40,16 +98,15 @@ pub fn top_k_masked_into(
         masked.windows(2).all(|w| w[0] < w[1]),
         "mask must be sorted unique"
     );
-    out.clear();
     if k == 0 {
+        out.clear();
         return;
     }
-    // Min-heap of the current best k, keyed by (score, Reverse(id)).
     // A fixed-size sorted buffer beats BinaryHeap for the small k used in
-    // recommendation (k ≤ 20 in the paper).
-    let best = &mut buffer.best;
-    best.clear();
-    best.reserve(k + 1);
+    // recommendation (k ≤ 20 in the paper). The dense scan walks the
+    // sorted mask with one cursor (ids arrive ascending), then funnels
+    // every surviving candidate through the shared `offer` selector.
+    buffer.begin(k);
     let mut mask_idx = 0usize;
     for (i, &s) in scores.iter().enumerate() {
         let i = i as u32;
@@ -57,18 +114,9 @@ pub fn top_k_masked_into(
             mask_idx += 1;
             continue;
         }
-        debug_assert!(s.is_finite(), "score for item {i} is not finite");
-        let better = |&(bs, bi): &(f32, u32)| s > bs || (s == bs && i < bi);
-        if best.len() < k {
-            let pos = best.iter().position(better).unwrap_or(best.len());
-            best.insert(pos, (s, i));
-        } else if better(best.last().expect("k > 0")) {
-            let pos = best.iter().position(better).expect("strictly better");
-            best.insert(pos, (s, i));
-            best.pop();
-        }
+        buffer.offer(s, i);
     }
-    out.extend(best.iter().map(|&(_, i)| i));
+    buffer.emit(out);
 }
 
 #[cfg(test)]
@@ -101,6 +149,55 @@ mod tests {
         let scores = [0.5f32, 0.5, 0.5, 0.5];
         assert_eq!(top_k_masked(&scores, &[], 2), vec![0, 1]);
         assert_eq!(top_k_masked(&scores, &[0], 2), vec![1, 2]);
+    }
+
+    #[test]
+    fn incremental_offer_is_order_invariant() {
+        // Feeding candidates in scrambled order (the IVF path visits items
+        // cluster by cluster, not by ascending id) must produce the same
+        // ranking as the dense ascending scan.
+        let scores: Vec<f32> = (0..97)
+            .map(|i| (((i * 31 + 7) % 89) as f32) / 89.0)
+            .collect();
+        let expected = top_k_masked(&scores, &[], 10);
+        let mut buffer = TopKBuffer::default();
+        buffer.begin(10);
+        let mut order: Vec<u32> = (0..97).collect();
+        order.reverse();
+        order.swap(3, 60);
+        for &i in &order {
+            buffer.offer(scores[i as usize], i);
+        }
+        let mut out = Vec::new();
+        buffer.emit(&mut out);
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn floor_tracks_the_kth_best_score() {
+        let mut buffer = TopKBuffer::default();
+        buffer.begin(0);
+        buffer.offer(1.0, 0);
+        assert_eq!(buffer.floor(), None, "k = 0 never fills");
+
+        buffer.begin(2);
+        assert_eq!(buffer.floor(), None);
+        buffer.offer(0.5, 10);
+        assert_eq!(buffer.floor(), None, "not full at 1 of 2");
+        buffer.offer(0.9, 11);
+        assert_eq!(buffer.floor(), Some(0.5));
+        buffer.offer(0.7, 12);
+        assert_eq!(
+            buffer.floor(),
+            Some(0.7),
+            "floor rises as better candidates land"
+        );
+        buffer.offer(0.1, 13);
+        assert_eq!(
+            buffer.floor(),
+            Some(0.7),
+            "rejected candidates leave the floor alone"
+        );
     }
 
     #[test]

@@ -1,12 +1,13 @@
 //! The frozen model artifact: a versioned, checksummed binary freeze of a
-//! trained scorer plus its seen-item CSR.
+//! trained scorer plus its seen-item CSR and (v3) its freeze-time IVF
+//! index.
 //!
-//! ## Format v2 (all integers little-endian)
+//! ## Format v3 (all integers little-endian)
 //!
 //! ```text
 //! payload:
 //!   magic    4 bytes = b"BNSA" (u32 LE 0x414E5342)
-//!   version  u32  = 2
+//!   version  u32  = 3
 //!   kind     u32  SnapshotKind tag (provenance only; all kinds serve alike)
 //!   n_users  u32
 //!   n_items  u32
@@ -15,6 +16,10 @@
 //!   items    n_items·dim × u32   f32 bit patterns, row-major
 //!   seen_len u64, then seen_len bytes: bns_data::serialize::encode_interactions
 //!            of the training-positive CSR (the per-user exclusion mask)
+//!   index_len u64 (0 = no index), then index_len bytes: the IVF section —
+//!            n_clusters u32, centroid f32 bit patterns, per-cluster radii,
+//!            cluster offsets, cluster-sorted item permutation
+//!            (see [`crate::index`])
 //! footer:
 //!   digests  n_chunks × u64   word-FNV digest per CHUNK_SIZE payload slice
 //!   chunk_size u64
@@ -22,23 +27,28 @@
 //!   footer_sum u64   word-FNV over [digests‥n_chunks] (protects the footer)
 //! ```
 //!
-//! Every multi-byte region (the two tables and the embedded CSR arrays)
-//! starts at a 4-byte-aligned file offset, which is what lets
-//! [`ModelArtifact::load_mapped`] serve straight out of an `mmap`ed file:
-//! the tables become [`F32Buf`] views and the CSR becomes `U32Buf` views —
-//! no read pass, no copy, no per-element decode. Integrity stays
-//! three-layered: magic/version gate the format, the chunked word-FNV
-//! digests reject any bit flip in payload or footer (verified over the
-//! mapped bytes before any view is handed out), and the CSR section
-//! re-validates every structural invariant through `bns_data::serialize`.
-//! The v1 single-trailing-checksum format is rejected with the typed
-//! [`ServeError::UnsupportedVersion`].
+//! Every multi-byte region (the two tables, the embedded CSR arrays, and
+//! each IVF subsection — the CSR encoding is always a multiple of 4 bytes,
+//! so the index section inherits alignment) starts at a 4-byte-aligned
+//! file offset, which is what lets [`ModelArtifact::load_mapped`] serve
+//! straight out of an `mmap`ed file: the tables become [`F32Buf`] views
+//! and the CSR and IVF arrays become `U32Buf`/`F32Buf` views — no read
+//! pass, no copy, no per-element decode. Integrity stays three-layered:
+//! magic/version gate the format, the chunked word-FNV digests reject any
+//! bit flip in payload or footer (verified over the mapped bytes before
+//! any view is handed out; the IVF section sits inside the digested
+//! payload, so it is covered for free), and the CSR and IVF sections
+//! re-validate every structural invariant. The v1 single-trailing-checksum
+//! format is rejected with the typed [`ServeError::UnsupportedVersion`];
+//! v2 artifacts (no index section) still load, with
+//! [`ModelArtifact::index`] absent — Exact-only serving.
 //!
 //! The layout is **memory-stable**: floats are stored as their exact bit
 //! patterns and scored through the same [`bns_model::kernel`] entry points
 //! as the live models, so a loaded artifact reproduces the model's scores
 //! bitwise whatever the backing store (see [`ModelArtifact::freeze`]).
 
+use crate::index::{IvfConfig, IvfIndex};
 use crate::{Result, ServeError};
 use bns_data::serialize::{decode_interactions_storage, encode_interactions};
 use bns_data::storage::{F32Buf, Storage};
@@ -54,9 +64,20 @@ use std::sync::Arc;
 /// dump.
 pub const MAGIC: u32 = u32::from_le_bytes(*b"BNSA");
 
-/// Current format version. Decoders reject anything else with
-/// [`ServeError::UnsupportedVersion`].
-pub const VERSION: u32 = 2;
+/// Current format version. Decoders accept [`MIN_VERSION`]..=[`VERSION`]
+/// and reject anything else with [`ServeError::UnsupportedVersion`].
+pub const VERSION: u32 = 3;
+
+/// Oldest format version decoders still accept. v2 is v3 without the
+/// IVF index section; a v2 artifact loads with [`ModelArtifact::index`]
+/// absent and serves Exact-only.
+pub const MIN_VERSION: u32 = 2;
+
+/// Catalog size at which [`ModelArtifact::freeze`] builds an IVF index by
+/// default. Below this an exhaustive scan is already microseconds and the
+/// index would only add freeze latency; [`ModelArtifact::freeze_with`]
+/// overrides in either direction.
+pub const AUTO_INDEX_MIN_ITEMS: usize = 1024;
 
 /// Payload bytes covered by each footer digest. One digest per MiB keeps
 /// the footer tiny (8 B/MiB) while letting verification stream cache-sized
@@ -187,6 +208,7 @@ pub struct ModelArtifact {
     users: TableStore,
     items: TableStore,
     seen: Interactions,
+    index: Option<IvfIndex>,
 }
 
 impl ModelArtifact {
@@ -197,7 +219,28 @@ impl ModelArtifact {
     /// dense tables come from [`SnapshotScorer::snapshot_embeddings`]
     /// (whose contract is exactness) and this type scores them through
     /// the same [`bns_model::kernel`] entry points.
+    ///
+    /// Catalogs of at least [`AUTO_INDEX_MIN_ITEMS`] items also get a
+    /// freeze-time IVF index (default [`IvfConfig`]); smaller ones freeze
+    /// index-free, where the exhaustive scan is already fast. Use
+    /// [`ModelArtifact::freeze_with`] to force either choice.
     pub fn freeze<S: SnapshotScorer + ?Sized>(scorer: &S, seen: &Interactions) -> Result<Self> {
+        let auto = if scorer.n_items() as usize >= AUTO_INDEX_MIN_ITEMS {
+            Some(IvfConfig::default())
+        } else {
+            None
+        };
+        Self::freeze_with(scorer, seen, auto)
+    }
+
+    /// [`ModelArtifact::freeze`] with explicit control over the IVF index:
+    /// `Some(cfg)` always builds one (whatever the catalog size), `None`
+    /// never does.
+    pub fn freeze_with<S: SnapshotScorer + ?Sized>(
+        scorer: &S,
+        seen: &Interactions,
+        ivf: Option<IvfConfig>,
+    ) -> Result<Self> {
         if seen.n_users() != scorer.n_users() || seen.n_items() != scorer.n_items() {
             return Err(ServeError::Invalid(format!(
                 "seen CSR shape ({} users × {} items) does not match scorer ({} × {})",
@@ -210,11 +253,14 @@ impl ModelArtifact {
         let (users, items) = scorer
             .snapshot_embeddings()
             .map_err(|e| ServeError::Invalid(format!("snapshot failed: {e}")))?;
+        let index =
+            ivf.map(|cfg| IvfIndex::build(items.as_slice(), items.len(), items.dim(), &cfg));
         Ok(Self {
             kind: scorer.snapshot_kind(),
             users: TableStore::Owned(users),
             items: TableStore::Owned(items),
             seen: seen.clone(),
+            index,
         })
     }
 
@@ -233,6 +279,25 @@ impl ModelArtifact {
         &self.seen
     }
 
+    /// The freeze-time IVF index, when the artifact carries one (v3 with
+    /// an index section, or an in-memory freeze that built one). Absent on
+    /// v2 artifacts and small-catalog freezes — the engine then serves
+    /// Exact-only.
+    pub fn index(&self) -> Option<&IvfIndex> {
+        self.index.as_ref()
+    }
+
+    /// The frozen item table as a row-major slice (the IVF probe path
+    /// gathers directly from it).
+    pub(crate) fn items_table(&self) -> &[f32] {
+        self.items.as_slice()
+    }
+
+    /// One frozen user row.
+    pub(crate) fn user_row(&self, u: u32) -> &[f32] {
+        self.users.row(u as usize)
+    }
+
     /// Whether the tables serve zero-copy out of a live file mapping
     /// (true only for [`ModelArtifact::load_mapped`] on a platform where
     /// the mapped views qualified).
@@ -240,14 +305,19 @@ impl ModelArtifact {
         self.users.backing_is_mapped() && self.items.backing_is_mapped()
     }
 
-    /// Encodes into the self-describing checksummed binary format.
+    /// Encodes into the self-describing checksummed binary format
+    /// (always version [`VERSION`]; an artifact without an index encodes
+    /// `index_len = 0`).
     pub fn encode(&self) -> Bytes {
         let dim = self.users.dim();
         let seen_bytes = encode_interactions(&self.seen);
+        let index_len = self.index.as_ref().map_or(0, |ix| ix.encoded_len());
         let payload_len = 24
             + 4 * (self.users.as_slice().len() + self.items.as_slice().len())
             + 8
-            + seen_bytes.len();
+            + seen_bytes.len()
+            + 8
+            + index_len;
         let n_chunks = payload_len.div_ceil(CHUNK_SIZE);
         let mut buf = BytesMut::with_capacity(payload_len + 8 * n_chunks + 24);
         buf.put_u32_le(MAGIC);
@@ -264,6 +334,10 @@ impl ModelArtifact {
         }
         buf.put_u64_le(seen_bytes.len() as u64);
         buf.put_slice(&seen_bytes);
+        buf.put_u64_le(index_len as u64);
+        if let Some(ix) = &self.index {
+            ix.encode_into(&mut buf);
+        }
         debug_assert_eq!(buf.len(), payload_len);
 
         let footer_start = buf.len();
@@ -359,7 +433,7 @@ impl ModelArtifact {
             return Err(ServeError::BadMagic { found: magic });
         }
         let version = u32_at(4);
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(ServeError::UnsupportedVersion { found: version });
         }
         let payload_len = Self::verify(bytes)?;
@@ -407,15 +481,44 @@ impl ModelArtifact {
         let seen_len =
             u64::from_le_bytes(bytes[seen_len_at..seen_len_at + 8].try_into().expect("8")) as usize;
         let seen_at = seen_len_at + 8;
-        match seen_at.checked_add(seen_len) {
-            Some(end) if end == payload_len => {}
-            Some(end) if end < payload_len => {
+        let seen_end = match seen_at.checked_add(seen_len) {
+            Some(end) if end <= payload_len => end,
+            _ => return Err(ServeError::Truncated { what: "seen CSR" }),
+        };
+        // v2 ends at the seen CSR; v3 appends `index_len u64` plus the
+        // IVF section. Either way the payload must end exactly where the
+        // declared sections do.
+        let index_span = if version >= 3 {
+            if seen_end + 8 > payload_len {
+                return Err(ServeError::Truncated {
+                    what: "index length",
+                });
+            }
+            let index_len =
+                u64::from_le_bytes(bytes[seen_end..seen_end + 8].try_into().expect("8")) as usize;
+            let index_at = seen_end + 8;
+            match index_at.checked_add(index_len) {
+                Some(end) if end == payload_len => {}
+                Some(end) if end < payload_len => {
+                    return Err(ServeError::Invalid(
+                        "trailing bytes after artifact payload".into(),
+                    ))
+                }
+                _ => return Err(ServeError::Truncated { what: "ivf index" }),
+            }
+            if index_len == 0 {
+                None
+            } else {
+                Some((index_at, index_len))
+            }
+        } else {
+            if seen_end != payload_len {
                 return Err(ServeError::Invalid(
                     "trailing bytes after artifact payload".into(),
-                ))
+                ));
             }
-            _ => return Err(ServeError::Truncated { what: "seen CSR" }),
-        }
+            None
+        };
 
         let table =
             |at: usize, rows: usize, len: usize, what: &'static str| -> Result<TableStore> {
@@ -445,11 +548,16 @@ impl ModelArtifact {
                 seen.n_items()
             )));
         }
+        let index = match index_span {
+            Some((at, len)) => Some(IvfIndex::parse(storage, at, len, n_items, dim)?),
+            None => None,
+        };
         Ok(Self {
             kind,
             users,
             items,
             seen,
+            index,
         })
     }
 
@@ -650,6 +758,35 @@ mod tests {
             ModelArtifact::decode(&buf),
             Err(ServeError::ChunkChecksumMismatch { chunk: 0, .. })
         ));
+    }
+
+    #[test]
+    fn small_freeze_skips_the_index_and_freeze_with_forces_it() {
+        let (model, seen) = fixture();
+        // 7 items is far below AUTO_INDEX_MIN_ITEMS.
+        let auto = ModelArtifact::freeze(&model, &seen).unwrap();
+        assert!(auto.index().is_none());
+        let forced = ModelArtifact::freeze_with(&model, &seen, Some(IvfConfig::default())).unwrap();
+        assert!(forced.index().is_some());
+        let suppressed = ModelArtifact::freeze_with(&model, &seen, None).unwrap();
+        assert!(suppressed.index().is_none());
+    }
+
+    #[test]
+    fn index_round_trips_through_encode_decode() {
+        let (model, seen) = fixture();
+        let artifact =
+            ModelArtifact::freeze_with(&model, &seen, Some(IvfConfig::default())).unwrap();
+        let reloaded = ModelArtifact::decode(&artifact.encode()).unwrap();
+        let (a, b) = (artifact.index().unwrap(), reloaded.index().unwrap());
+        assert_eq!(a.n_clusters(), b.n_clusters());
+        assert_eq!(a.perm(), b.perm());
+        // And the exact scores stay bitwise regardless of the section.
+        for u in 0..4u32 {
+            for i in 0..7u32 {
+                assert_eq!(reloaded.score(u, i).to_bits(), model.score(u, i).to_bits());
+            }
+        }
     }
 
     #[test]

@@ -10,6 +10,13 @@
 //! vs full GEMV queries, hot vs cold users) therefore cannot strand work
 //! behind a slow shard.
 //!
+//! Each claim drains up to [`QueryEngine::coalesce`] **adjacent** requests
+//! in one `ClaimCursor::claim_many` RMW; multi-request runs go through
+//! [`QueryEngine::top_k_batch_into`], which scores exact-mode misses as
+//! one blocked multi-user GEMM. Coalescing changes throughput and the
+//! latency distribution (a coalesced request's latency is its batch's
+//! wall time), never answers.
+//!
 //! Scheduling never changes answers: each request is claimed by exactly
 //! one worker, computed with that worker's private [`QueryScratch`], and
 //! written back to its input position. The report is identical whatever
@@ -57,8 +64,14 @@ pub struct ServeReport {
     pub results: Vec<RankedList>,
     /// Wall-clock duration of the whole batch.
     pub wall_seconds: f64,
-    /// Worker threads used.
+    /// Worker threads actually used, after clamping to the request count
+    /// and `available_parallelism()`. When this is below
+    /// [`requested_threads`](Self::requested_threads), the host could not
+    /// honor the request — a "multi-thread" benchmark section with
+    /// `threads: 1` ran serial and should be read as such.
     pub threads: usize,
+    /// Worker threads the caller asked for, before clamping.
+    pub requested_threads: usize,
 }
 
 impl ServeReport {
@@ -89,12 +102,14 @@ pub(crate) fn serve_parallel(
     requests: &[Request],
     n_threads: usize,
 ) -> ServeReport {
+    let requested_threads = n_threads;
     let n = requests.len();
     if n == 0 {
         return ServeReport {
             results: Vec::new(),
             wall_seconds: 0.0,
             threads: 0,
+            requested_threads,
         };
     }
     // Cap at the core count: an extra CPU-bound worker on a saturated box
@@ -123,33 +138,71 @@ pub(crate) fn serve_parallel(
                 let cursors = &cursors;
                 let bounds = &bounds;
                 scope.spawn(move || {
+                    let batch = engine.coalesce();
                     let mut scratch = QueryScratch::new();
                     let mut local: Vec<(usize, RankedList)> = Vec::new();
+                    let mut outs: Vec<Vec<u32>> = Vec::new();
                     for visit in 0..n_threads {
                         let shard = (w + visit) % n_threads;
                         let (_, end) = bounds[shard];
                         loop {
-                            let idx = cursors[shard].claim();
-                            if idx >= end {
+                            // One claim grabs up to `batch` adjacent
+                            // requests; the run is truncated at the shard
+                            // end, so a thief's overshoot still wastes at
+                            // most one claim.
+                            let start = cursors[shard].claim_many(batch);
+                            if start >= end {
                                 break;
                             }
-                            let r = requests[idx];
-                            // Allocate the answer buffer before starting
-                            // the clock: latency_ns measures the query,
-                            // not the allocator.
-                            let mut items = Vec::with_capacity(r.k);
-                            let t0 = Instant::now();
-                            engine
-                                .top_k_into(r.user, r.k, r.exclude_seen, &mut scratch, &mut items)
-                                .expect("requests validated before serve_parallel");
-                            local.push((
-                                idx,
-                                RankedList {
-                                    user: r.user,
-                                    items,
-                                    latency_ns: t0.elapsed().as_nanos() as u64,
-                                },
-                            ));
+                            let run = &requests[start..(start + batch).min(end)];
+                            if run.len() == 1 {
+                                let r = run[0];
+                                // Allocate the answer buffer before
+                                // starting the clock: latency_ns measures
+                                // the query, not the allocator.
+                                let mut items = Vec::with_capacity(r.k);
+                                let t0 = Instant::now();
+                                engine
+                                    .top_k_into(
+                                        r.user,
+                                        r.k,
+                                        r.exclude_seen,
+                                        &mut scratch,
+                                        &mut items,
+                                    )
+                                    .expect("requests validated before serve_parallel");
+                                local.push((
+                                    start,
+                                    RankedList {
+                                        user: r.user,
+                                        items,
+                                        latency_ns: t0.elapsed().as_nanos() as u64,
+                                    },
+                                ));
+                            } else {
+                                outs.clear();
+                                outs.extend(run.iter().map(|r| Vec::with_capacity(r.k)));
+                                let t0 = Instant::now();
+                                engine
+                                    .top_k_batch_into(run, &mut scratch, &mut outs)
+                                    .expect("requests validated before serve_parallel");
+                                // Coalesced requests share the batch's
+                                // wall time: each waited for the whole
+                                // blocked GEMM, so that *is* its service
+                                // latency.
+                                let elapsed = t0.elapsed().as_nanos() as u64;
+                                for (off, (r, items)) in run.iter().zip(outs.drain(..)).enumerate()
+                                {
+                                    local.push((
+                                        start + off,
+                                        RankedList {
+                                            user: r.user,
+                                            items,
+                                            latency_ns: elapsed,
+                                        },
+                                    ));
+                                }
+                            }
                         }
                     }
                     local
@@ -178,6 +231,7 @@ pub(crate) fn serve_parallel(
         results,
         wall_seconds,
         threads: n_threads,
+        requested_threads,
     }
 }
 
@@ -271,6 +325,23 @@ mod tests {
         let report = e.serve(&one, 16).unwrap();
         assert_eq!(report.results.len(), 1);
         assert_eq!(report.threads, 1);
+        assert_eq!(
+            report.requested_threads, 16,
+            "the pre-clamp request must be preserved for reporting"
+        );
+    }
+
+    #[test]
+    fn report_distinguishes_requested_from_effective_threads() {
+        let e = engine(false);
+        let requests = zipfish_requests(40);
+        let report = e.serve(&requests, 6).unwrap();
+        assert_eq!(report.requested_threads, 6);
+        assert!(report.threads <= 6);
+        assert!(report.threads >= 1);
+        let empty = e.serve(&[], 6).unwrap();
+        assert_eq!(empty.requested_threads, 6);
+        assert_eq!(empty.threads, 0);
     }
 
     #[test]

@@ -12,13 +12,20 @@
 //!   for seen-item filtering. Save → load → score is **bitwise identical**
 //!   to the live model, so offline evaluation numbers carry over to
 //!   serving exactly.
+//! * [`index`] — [`IvfIndex`]: the freeze-time IVF candidate-generation
+//!   index (deterministic k-means over the frozen item table) stored in
+//!   the v3 artifact section, turning top-k from an exhaustive scan into
+//!   a centroid scan plus a few probed clusters.
 //! * [`query`] — [`QueryEngine`]: answers `top_k(user, k, exclude_seen)`
 //!   over an artifact through the same unrolled GEMV kernel and top-k
 //!   selection heap the evaluation protocol uses, with reusable per-worker
 //!   [`QueryScratch`] so the steady-state query path is allocation-free.
+//!   An [`IndexMode`] knob picks exhaustive scoring (bitwise-exact) or
+//!   IVF probing (recall-gated approximate).
 //! * [`engine`] — the multi-threaded request loop: `std::thread::scope`
-//!   workers draining a sharded work-stealing queue of [`Request`]s,
-//!   recording per-request latency into a [`ServeReport`].
+//!   workers draining a sharded work-stealing queue of [`Request`]s — up
+//!   to a configurable batch per claim, scored as one blocked multi-user
+//!   GEMM — recording per-request latency into a [`ServeReport`].
 //! * [`cache`] — [`TopKCache`]: an optional generation-stamped LRU for
 //!   repeated-user traffic; one [`QueryEngine::swap_artifact`] bump
 //!   invalidates every cached list without touching the map.
@@ -35,19 +42,26 @@
 //! reads frozen tables through the fixed-summation-order kernel, ties
 //! break toward lower item ids (`bns_eval::topk`), and the work-stealing
 //! scheduler affects only *which thread* answers a request, never the
-//! answer. The only nondeterminism in the subsystem is upstream: hogwild
-//! training produces run-dependent tables; freezing any table makes every
-//! downstream query of it reproducible.
+//! answer — request coalescing included, because the blocked GEMM emits
+//! the same kernel dots as the one-at-a-time path. The only
+//! nondeterminism in the subsystem is upstream: hogwild training produces
+//! run-dependent tables; freezing any table makes every downstream query
+//! of it reproducible. The IVF path is equally deterministic — its
+//! answers are a pure function of `(artifact, nprobe)` — but approximate
+//! against the exact ranking, which is why it carries a recall@k gate
+//! instead of a bitwise one.
 
 pub mod artifact;
 pub mod cache;
 pub mod engine;
+pub mod index;
 pub mod query;
 
 pub use artifact::ModelArtifact;
 pub use cache::TopKCache;
 pub use engine::{RankedList, Request, ServeReport};
-pub use query::{QueryEngine, QueryScratch};
+pub use index::{IvfConfig, IvfIndex};
+pub use query::{IndexMode, QueryEngine, QueryScratch};
 
 /// Errors produced by the serving subsystem.
 #[derive(Debug)]
@@ -75,7 +89,7 @@ pub enum ServeError {
         computed: u64,
     },
     /// One payload chunk's stored digest does not match its bytes
-    /// (artifact format v2 verifies the payload in fixed-size chunks).
+    /// (artifact formats v2+ verify the payload in fixed-size chunks).
     ChunkChecksumMismatch {
         /// Index of the failing chunk.
         chunk: usize,
@@ -91,6 +105,9 @@ pub enum ServeError {
         /// Number of users in the artifact.
         n_users: u32,
     },
+    /// IVF serving was requested of an artifact that carries no index
+    /// (a v2 artifact, or a small-catalog freeze).
+    NoIndex,
     /// A structural invariant was violated (shape mismatch, bad CSR, …).
     Invalid(String),
     /// I/O failure while reading or writing an artifact file.
@@ -124,6 +141,9 @@ impl std::fmt::Display for ServeError {
             ),
             ServeError::UnknownUser { user, n_users } => {
                 write!(f, "user {user} outside artifact id space ({n_users} users)")
+            }
+            ServeError::NoIndex => {
+                write!(f, "artifact carries no IVF index (Exact-only serving)")
             }
             ServeError::Invalid(msg) => write!(f, "invalid artifact: {msg}"),
             ServeError::Io(e) => write!(f, "i/o error: {e}"),

@@ -8,9 +8,29 @@
 //! answer is a pure function of the artifact — bit-for-bit reproducible
 //! across runs, threads and machines.
 //!
-//! The hot path is **allocation-free in steady state**: callers (or the
+//! Two retrieval strategies share that selection machinery, picked by
+//! [`IndexMode`]:
+//!
+//! * **Exact** — exhaustive GEMV over the whole item table. Bitwise
+//!   reproducible, `O(n_items)` per query.
+//! * **Ivf** — score the artifact's freeze-time cluster centroids
+//!   ([`crate::index`]), probe the best `nprobe` clusters' contiguous item
+//!   ranges with the same gather kernel, mask seen items, select with the
+//!   same [`TopKBuffer`]. Still deterministic (a pure function of
+//!   `(artifact, nprobe)`), but approximate against the exact ranking —
+//!   gated by measured recall@k (`crates/serve/tests/ivf_recall.rs`)
+//!   instead of bit equality.
+//!
+//! [`QueryEngine::top_k_batch_into`] answers several requests in one call,
+//! scoring the exact path as a blocked multi-user GEMM
+//! ([`bns_model::kernel::gemm_block`]) so the item table streams through
+//! cache once per *batch* rather than once per query. Its answers are
+//! bitwise identical to the one-at-a-time path because the blocked kernel
+//! emits the same per-row dots in the same order.
+//!
+//! The hot paths are **allocation-free in steady state**: callers (or the
 //! [`crate::engine`] workers) hold one [`QueryScratch`] per thread and the
-//! score vector, selection buffer and output list are all reused — the
+//! score vectors, selection buffers and output lists are all reused — the
 //! same discipline the samplers follow (`tests/sampler_alloc.rs`), pinned
 //! for this crate by `crates/serve/tests/query_alloc.rs`.
 
@@ -18,16 +38,44 @@ use crate::cache::TopKCache;
 use crate::engine::{serve_parallel, Request, ServeReport};
 use crate::{ModelArtifact, Result, ServeError};
 use bns_eval::topk::{top_k_masked_into, TopKBuffer};
-use bns_model::Scorer;
+use bns_model::{kernel, Scorer};
 use bns_sync::{Counter, Generation, Mutex};
 
-/// Reusable per-worker buffers for [`QueryEngine::top_k_into`]: the score
-/// vector and the top-k selection scratch. Steady-state allocation-free
+/// Which retrieval strategy [`QueryEngine::top_k_into`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexMode {
+    /// Exhaustive GEMV over every item — bitwise-exact, `O(n_items)`.
+    Exact,
+    /// IVF candidate generation: probe the `nprobe` best clusters of the
+    /// artifact's freeze-time index. Requires the artifact to carry one
+    /// ([`ModelArtifact::index`]); `nprobe ≥ 1`.
+    Ivf {
+        /// How many clusters to probe per query. Higher is slower and
+        /// more exact; [`crate::IvfIndex::default_nprobe`] is the
+        /// recall-gated default.
+        nprobe: usize,
+    },
+}
+
+/// Reusable per-worker buffers for [`QueryEngine::top_k_into`] and
+/// [`QueryEngine::top_k_batch_into`]: score vectors and top-k selection
+/// scratch for every retrieval strategy. Steady-state allocation-free
 /// once warm.
 #[derive(Debug, Default)]
 pub struct QueryScratch {
     pub(crate) scores: Vec<f32>,
     pub(crate) topk: TopKBuffer,
+    // IVF probe path.
+    pub(crate) cluster_scores: Vec<f32>,
+    pub(crate) probe_ids: Vec<u32>,
+    pub(crate) cand_scores: Vec<f32>,
+    pub(crate) probe_topk: TopKBuffer,
+    // Coalesced batch path.
+    pub(crate) users_block: Vec<f32>,
+    pub(crate) block_scores: Vec<f32>,
+    pub(crate) batch_topks: Vec<TopKBuffer>,
+    pub(crate) batch_mask_pos: Vec<usize>,
+    pub(crate) miss_idx: Vec<usize>,
 }
 
 impl QueryScratch {
@@ -65,11 +113,13 @@ pub struct QueryEngine {
     generation: Generation,
     cache_hits: Counter,
     cache_lookups: Counter,
+    mode: IndexMode,
+    coalesce: usize,
 }
 
 impl QueryEngine {
     /// Creates an engine with no cache: every query runs the full
-    /// GEMV + top-k path.
+    /// GEMV + top-k path ([`IndexMode::Exact`], coalesce batch 1).
     pub fn new(artifact: ModelArtifact) -> Self {
         Self {
             artifact,
@@ -77,7 +127,18 @@ impl QueryEngine {
             generation: Generation::new(),
             cache_hits: Counter::new(),
             cache_lookups: Counter::new(),
+            mode: IndexMode::Exact,
+            coalesce: 1,
         }
+    }
+
+    /// Creates an engine serving in the given [`IndexMode`]. Fails with
+    /// [`ServeError::NoIndex`] when IVF is requested of an index-free
+    /// artifact, or [`ServeError::Invalid`] for `nprobe == 0`.
+    pub fn with_index_mode(artifact: ModelArtifact, mode: IndexMode) -> Result<Self> {
+        let mut engine = Self::new(artifact);
+        engine.set_index_mode(mode)?;
+        Ok(engine)
     }
 
     /// Creates an engine with a generation-stamped LRU cache of
@@ -95,6 +156,47 @@ impl QueryEngine {
     /// The frozen artifact being served.
     pub fn artifact(&self) -> &ModelArtifact {
         &self.artifact
+    }
+
+    /// The retrieval strategy queries currently run.
+    pub fn index_mode(&self) -> IndexMode {
+        self.mode
+    }
+
+    /// Switches the retrieval strategy. `&mut self` like
+    /// [`QueryEngine::swap_artifact`]: a mode change happens between
+    /// serve batches, never racing in-flight queries. The cache needs no
+    /// invalidation — the mode is part of every cache key, so exact and
+    /// IVF lists never alias.
+    pub fn set_index_mode(&mut self, mode: IndexMode) -> Result<()> {
+        if let IndexMode::Ivf { nprobe } = mode {
+            if self.artifact.index().is_none() {
+                return Err(ServeError::NoIndex);
+            }
+            if nprobe == 0 {
+                return Err(ServeError::Invalid(
+                    "IndexMode::Ivf requires nprobe >= 1".into(),
+                ));
+            }
+        }
+        self.mode = mode;
+        Ok(())
+    }
+
+    /// How many adjacent requests a serve worker drains per queue claim
+    /// (1 = one-at-a-time, the default).
+    pub fn coalesce(&self) -> usize {
+        self.coalesce
+    }
+
+    /// Sets the coalescing batch: workers claim up to `batch` adjacent
+    /// requests at once and score exact-mode misses as one blocked
+    /// multi-user GEMM. Answers are bitwise identical whatever the batch;
+    /// only throughput and the latency distribution move (coalesced
+    /// requests share their batch's wall time). Values are clamped to a
+    /// minimum of 1.
+    pub fn set_coalesce(&mut self, batch: usize) {
+        self.coalesce = batch.max(1);
     }
 
     /// Current artifact generation (bumped by
@@ -123,6 +225,11 @@ impl QueryEngine {
     /// stays correct when the planned online-learning path starts swapping
     /// through a shared reference; the `cache_swap` scenarios in
     /// `bns-check` pin the invariant either way.
+    ///
+    /// The [`IndexMode`] survives the swap. Swapping in an index-free
+    /// artifact while in IVF mode is not hidden by a silent fallback:
+    /// subsequent queries fail with [`ServeError::NoIndex`] until
+    /// [`QueryEngine::set_index_mode`] picks a servable mode.
     pub fn swap_artifact(&mut self, artifact: ModelArtifact) -> ModelArtifact {
         self.generation.bump();
         std::mem::replace(&mut self.artifact, artifact)
@@ -153,7 +260,7 @@ impl QueryEngine {
         // computed against the old artifact with the new generation (the
         // staleness bug the bns-check `cache_swap` scenario demonstrates).
         let generation = self.generation.current();
-        let key = cache_key(user, k, exclude_seen);
+        let key = cache_key(user, k, exclude_seen, self.mode);
         if let Some(cache) = &self.cache {
             self.cache_lookups.incr();
             let mut cache = cache.lock();
@@ -165,18 +272,252 @@ impl QueryEngine {
             }
         }
 
-        let n_items = self.artifact.n_items() as usize;
-        scratch.scores.resize(n_items, 0.0);
-        self.artifact.score_all(user, &mut scratch.scores);
+        match self.mode {
+            IndexMode::Exact => {
+                let n_items = self.artifact.n_items() as usize;
+                scratch.scores.resize(n_items, 0.0);
+                self.artifact.score_all(user, &mut scratch.scores);
+                let masked: &[u32] = if exclude_seen {
+                    self.artifact.seen().items_of(user)
+                } else {
+                    &[]
+                };
+                top_k_masked_into(&scratch.scores, masked, k, &mut scratch.topk, out);
+            }
+            IndexMode::Ivf { nprobe } => {
+                self.ivf_search(user, k, exclude_seen, nprobe, scratch, out)?;
+            }
+        }
+
+        if let Some(cache) = &self.cache {
+            cache.lock().insert(key, generation, out);
+        }
+        Ok(())
+    }
+
+    /// The IVF probe path: rank clusters by the Cauchy–Schwarz bound
+    /// `u·c + ‖u‖·r_c`, gather-score the `nprobe` best clusters'
+    /// contiguous item ranges, mask seen items, select through the shared
+    /// [`TopKBuffer`]. Deterministic; allocation-free once the scratch has
+    /// warmed to the index's cluster count and largest cluster.
+    fn ivf_search(
+        &self,
+        user: u32,
+        k: usize,
+        exclude_seen: bool,
+        nprobe: usize,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<u32>,
+    ) -> Result<()> {
+        let index = self.artifact.index().ok_or(ServeError::NoIndex)?;
+        let urow = self.artifact.user_row(user);
+        scratch.cluster_scores.resize(index.n_clusters(), 0.0);
+        index.score_clusters(urow, &mut scratch.cluster_scores);
+        let nprobe = nprobe.min(index.n_clusters());
+        top_k_masked_into(
+            &scratch.cluster_scores,
+            &[],
+            nprobe,
+            &mut scratch.topk,
+            &mut scratch.probe_ids,
+        );
+
         let masked: &[u32] = if exclude_seen {
             self.artifact.seen().items_of(user)
         } else {
             &[]
         };
-        top_k_masked_into(&scratch.scores, masked, k, &mut scratch.topk, out);
+        scratch.cand_scores.resize(index.max_cluster_len(), 0.0);
+        scratch.probe_topk.begin(k);
+        for &c in &scratch.probe_ids {
+            // Bound-ordered early termination. Probes arrive in descending
+            // Cauchy–Schwarz bound order and no member of cluster `c` can
+            // score above its bound, so once the bound drops strictly
+            // below the current k-th best the remaining probes cannot
+            // alter the selection — the output is identical to probing
+            // all `nprobe` clusters. Strict `<`: a tie at the floor could
+            // still displace through the (score desc, id asc) order.
+            if let Some(floor) = scratch.probe_topk.floor() {
+                if scratch.cluster_scores[c as usize] < floor {
+                    break;
+                }
+            }
+            let ids = index.cluster_items(c as usize);
+            // Contiguous inverted-list rows: the probe streams like the
+            // exact scan does, just over 1–2% of the catalog. Same `dot`
+            // kernel underneath, so scores are bitwise what a gather over
+            // the original table would produce.
+            kernel::gemv(
+                urow,
+                index.cluster_vectors(c as usize),
+                &mut scratch.cand_scores[..ids.len()],
+            );
+            // Floor pre-filter: once the selection is full, a candidate
+            // strictly below the k-th best cannot enter (a tie at the
+            // floor still can, through the lower-id rule), so the common
+            // case is one predictable compare per row instead of an
+            // `offer` call. The floor only moves on the rare accept.
+            let mut floor = scratch.probe_topk.floor().unwrap_or(f32::NEG_INFINITY);
+            for (&id, &score) in ids.iter().zip(scratch.cand_scores.iter()) {
+                if score < floor {
+                    continue;
+                }
+                // The mask is sorted-unique but probe order is not id
+                // order, so a binary search replaces the dense path's
+                // merge cursor.
+                if !masked.is_empty() && masked.binary_search(&id).is_ok() {
+                    continue;
+                }
+                scratch.probe_topk.offer(score, id);
+                floor = scratch.probe_topk.floor().unwrap_or(f32::NEG_INFINITY);
+            }
+        }
+        scratch.probe_topk.emit(out);
+        Ok(())
+    }
+
+    /// Answers a batch of requests into caller-owned buffers
+    /// (`outs[i]` answers `requests[i]`). Cache hits are served
+    /// individually; exact-mode misses are scored together as a blocked
+    /// multi-user GEMM over [`kernel::GEMM_ITEM_BLOCK`]-row item tiles, so
+    /// the item table streams through cache once per batch. Answers are
+    /// **bitwise identical** to calling [`QueryEngine::top_k_into`] per
+    /// request — the blocked kernel emits the same per-row dots, offered
+    /// to the same selector in the same ascending-id order. IVF-mode
+    /// misses run the probe path per request (already sublinear; the
+    /// item-table traversal a batch would amortize is exactly what the
+    /// index removed). Allocation-free once warm, like the single path.
+    pub fn top_k_batch_into(
+        &self,
+        requests: &[Request],
+        scratch: &mut QueryScratch,
+        outs: &mut [Vec<u32>],
+    ) -> Result<()> {
+        assert_eq!(requests.len(), outs.len(), "one output buffer per request");
+        let n_users = self.artifact.n_users();
+        for r in requests {
+            if r.user >= n_users {
+                return Err(ServeError::UnknownUser {
+                    user: r.user,
+                    n_users,
+                });
+            }
+        }
+        let generation = self.generation.current();
+        scratch.miss_idx.clear();
+        for (i, r) in requests.iter().enumerate() {
+            if let Some(cache) = &self.cache {
+                self.cache_lookups.incr();
+                let mut cache = cache.lock();
+                if let Some(items) = cache.get(
+                    cache_key(r.user, r.k, r.exclude_seen, self.mode),
+                    generation,
+                ) {
+                    outs[i].clear();
+                    outs[i].extend_from_slice(items);
+                    self.cache_hits.incr();
+                    continue;
+                }
+            }
+            scratch.miss_idx.push(i);
+        }
+        if scratch.miss_idx.is_empty() {
+            return Ok(());
+        }
+
+        match self.mode {
+            IndexMode::Exact => self.exact_batch(requests, scratch, outs),
+            IndexMode::Ivf { nprobe } => {
+                for mi in 0..scratch.miss_idx.len() {
+                    let i = scratch.miss_idx[mi];
+                    let r = requests[i];
+                    self.ivf_search(r.user, r.k, r.exclude_seen, nprobe, scratch, &mut outs[i])?;
+                }
+                Ok(())
+            }
+        }?;
 
         if let Some(cache) = &self.cache {
-            cache.lock().insert(key, generation, out);
+            let mut cache = cache.lock();
+            for &i in &scratch.miss_idx {
+                let r = requests[i];
+                cache.insert(
+                    cache_key(r.user, r.k, r.exclude_seen, self.mode),
+                    generation,
+                    &outs[i],
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// The coalesced exact path over `scratch.miss_idx`: gather the missed
+    /// users' rows into one block, stream the item table tile by tile
+    /// through [`kernel::gemm_block`], and feed each user's tile scores to
+    /// its own [`TopKBuffer`] with a per-user merge cursor over the sorted
+    /// seen mask (ids arrive ascending, exactly like the dense scan).
+    fn exact_batch(
+        &self,
+        requests: &[Request],
+        scratch: &mut QueryScratch,
+        outs: &mut [Vec<u32>],
+    ) -> Result<()> {
+        let b = scratch.miss_idx.len();
+        let dim = self.artifact.dim();
+        scratch.users_block.clear();
+        for mi in 0..b {
+            let user = requests[scratch.miss_idx[mi]].user;
+            scratch
+                .users_block
+                .extend_from_slice(self.artifact.user_row(user));
+        }
+        if scratch.batch_topks.len() < b {
+            scratch.batch_topks.resize_with(b, TopKBuffer::default);
+        }
+        scratch.batch_mask_pos.clear();
+        scratch.batch_mask_pos.resize(b, 0);
+        for mi in 0..b {
+            let k = requests[scratch.miss_idx[mi]].k;
+            scratch.batch_topks[mi].begin(k);
+        }
+
+        const TILE: usize = kernel::GEMM_ITEM_BLOCK;
+        let items = self.artifact.items_table();
+        let n_items = self.artifact.n_items() as usize;
+        let seen = self.artifact.seen();
+        scratch.block_scores.resize(b * TILE, 0.0);
+        let mut tile_start = 0usize;
+        while tile_start < n_items {
+            let rows = TILE.min(n_items - tile_start);
+            let tile = &items[tile_start * dim..(tile_start + rows) * dim];
+            kernel::gemm_block(
+                &scratch.users_block,
+                tile,
+                dim,
+                &mut scratch.block_scores[..b * rows],
+            );
+            for mi in 0..b {
+                let r = requests[scratch.miss_idx[mi]];
+                let masked: &[u32] = if r.exclude_seen {
+                    seen.items_of(r.user)
+                } else {
+                    &[]
+                };
+                let pos = &mut scratch.batch_mask_pos[mi];
+                for j in 0..rows {
+                    let id = (tile_start + j) as u32;
+                    if *pos < masked.len() && masked[*pos] == id {
+                        *pos += 1;
+                        continue;
+                    }
+                    scratch.batch_topks[mi].offer(scratch.block_scores[mi * rows + j], id);
+                }
+            }
+            tile_start += rows;
+        }
+        for mi in 0..b {
+            let i = scratch.miss_idx[mi];
+            scratch.batch_topks[mi].emit(&mut outs[i]);
         }
         Ok(())
     }
@@ -192,10 +533,15 @@ impl QueryEngine {
     }
 
     /// Serves a batch of requests on `n_threads` scoped workers draining
-    /// a work-stealing queue; see [`crate::engine`] for the scheduling
-    /// contract. Validates every request up front, so the report covers
-    /// all of them in input order.
+    /// a work-stealing queue (each claim drains up to
+    /// [`QueryEngine::coalesce`] adjacent requests); see [`crate::engine`]
+    /// for the scheduling contract. Validates every request — and that the
+    /// configured [`IndexMode`] is servable — up front, so the report
+    /// covers all of them in input order.
     pub fn serve(&self, requests: &[Request], n_threads: usize) -> Result<ServeReport> {
+        if matches!(self.mode, IndexMode::Ivf { .. }) && self.artifact.index().is_none() {
+            return Err(ServeError::NoIndex);
+        }
         let n_users = self.artifact.n_users();
         for r in requests {
             if r.user >= n_users {
@@ -209,10 +555,21 @@ impl QueryEngine {
     }
 }
 
-/// Packs `(user, k, exclude_seen)` into one cache key. `k` is truncated
-/// to 31 bits — far beyond any real recommendation cutoff.
-fn cache_key(user: u32, k: usize, exclude_seen: bool) -> u64 {
-    (user as u64) | (((k as u64) & 0x7FFF_FFFF) << 32) | ((exclude_seen as u64) << 63)
+/// Packs `(user, k, exclude_seen, mode)` into one cache key: user in bits
+/// 0–31, `k` truncated to 14 bits (far beyond any real recommendation
+/// cutoff) in 32–45, the mask flag at 46, an IVF flag at 47 and `nprobe`
+/// truncated to 16 bits in 48–63 — exact and IVF lists (and different
+/// probe widths) never alias.
+fn cache_key(user: u32, k: usize, exclude_seen: bool, mode: IndexMode) -> u64 {
+    let (ivf, nprobe) = match mode {
+        IndexMode::Exact => (0u64, 0u64),
+        IndexMode::Ivf { nprobe } => (1u64, (nprobe as u64) & 0xFFFF),
+    };
+    (user as u64)
+        | (((k as u64) & 0x3FFF) << 32)
+        | ((exclude_seen as u64) << 46)
+        | (ivf << 47)
+        | (nprobe << 48)
 }
 
 #[cfg(test)]
@@ -305,6 +662,129 @@ mod tests {
         assert_eq!(old.score(0, 0), 0.9);
         // The cached [2, 1] must not leak through.
         assert_eq!(e.top_k(0, 2, true).unwrap(), vec![3, 2]);
+    }
+
+    #[test]
+    fn ivf_mode_requires_an_index_and_nonzero_nprobe() {
+        let e = engine(); // 4 items — frozen without an index
+        assert!(matches!(
+            QueryEngine::with_index_mode(e.artifact().clone(), IndexMode::Ivf { nprobe: 2 }),
+            Err(ServeError::NoIndex)
+        ));
+        let mut rng = StdRng::seed_from_u64(41);
+        let model = MatrixFactorization::new(3, 50, 4, 0.1, &mut rng).unwrap();
+        let seen = Interactions::from_pairs(3, 50, &[(0, 1)]).unwrap();
+        let artifact =
+            ModelArtifact::freeze_with(&model, &seen, Some(crate::IvfConfig::default())).unwrap();
+        assert!(matches!(
+            QueryEngine::with_index_mode(artifact.clone(), IndexMode::Ivf { nprobe: 0 }),
+            Err(ServeError::Invalid(_))
+        ));
+        let e = QueryEngine::with_index_mode(artifact, IndexMode::Ivf { nprobe: 3 }).unwrap();
+        assert_eq!(e.index_mode(), IndexMode::Ivf { nprobe: 3 });
+        assert_eq!(e.top_k(0, 5, true).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn ivf_with_all_clusters_probed_matches_exact_bitwise() {
+        // Probing every cluster visits every item exactly once, so the
+        // approximate path degenerates to the exact ranking.
+        let mut rng = StdRng::seed_from_u64(43);
+        let model = MatrixFactorization::new(5, 120, 8, 0.1, &mut rng).unwrap();
+        let pairs: Vec<(u32, u32)> = (0..5u32).flat_map(|u| [(u, u), (u, u + 40)]).collect();
+        let seen = Interactions::from_pairs(5, 120, &pairs).unwrap();
+        let artifact =
+            ModelArtifact::freeze_with(&model, &seen, Some(crate::IvfConfig::default())).unwrap();
+        let n_clusters = artifact.index().unwrap().n_clusters();
+        let exact = QueryEngine::new(artifact.clone());
+        let ivf =
+            QueryEngine::with_index_mode(artifact, IndexMode::Ivf { nprobe: n_clusters }).unwrap();
+        for u in 0..5u32 {
+            for exclude in [false, true] {
+                assert_eq!(
+                    ivf.top_k(u, 10, exclude).unwrap(),
+                    exact.top_k(u, 10, exclude).unwrap(),
+                    "user {u} exclude {exclude}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_answers_are_bitwise_equal_to_single_path() {
+        let mut rng = StdRng::seed_from_u64(47);
+        let model = MatrixFactorization::new(9, 321, 8, 0.1, &mut rng).unwrap();
+        let pairs: Vec<(u32, u32)> = (0..9u32)
+            .flat_map(|u| [(u, 3 * u), (u, 3 * u + 1)])
+            .collect();
+        let seen = Interactions::from_pairs(9, 321, &pairs).unwrap();
+        let artifact = ModelArtifact::freeze(&model, &seen).unwrap();
+        let e = QueryEngine::new(artifact);
+        let requests: Vec<Request> = (0..9u32)
+            .map(|u| Request {
+                user: u,
+                k: 7 + (u as usize % 3),
+                exclude_seen: u % 2 == 0,
+            })
+            .collect();
+        let mut scratch = QueryScratch::new();
+        let mut outs: Vec<Vec<u32>> = vec![Vec::new(); requests.len()];
+        e.top_k_batch_into(&requests, &mut scratch, &mut outs)
+            .unwrap();
+        for (r, got) in requests.iter().zip(&outs) {
+            let expected = e.top_k(r.user, r.k, r.exclude_seen).unwrap();
+            assert_eq!(got, &expected, "user {} diverged in the batch", r.user);
+        }
+    }
+
+    #[test]
+    fn coalesced_serve_matches_single_claim_serve() {
+        let mut rng = StdRng::seed_from_u64(53);
+        let model = MatrixFactorization::new(12, 200, 8, 0.1, &mut rng).unwrap();
+        let pairs: Vec<(u32, u32)> = (0..12u32).map(|u| (u, u * 16)).collect();
+        let seen = Interactions::from_pairs(12, 200, &pairs).unwrap();
+        let artifact = ModelArtifact::freeze(&model, &seen).unwrap();
+        let requests: Vec<Request> = (0..150)
+            .map(|i| Request {
+                user: (i * 7 % 12) as u32,
+                k: 5,
+                exclude_seen: true,
+            })
+            .collect();
+        let plain = QueryEngine::new(artifact.clone());
+        let baseline = plain.serve(&requests, 1).unwrap();
+        for batch in [2usize, 8, 64] {
+            let mut coalesced = QueryEngine::new(artifact.clone());
+            coalesced.set_coalesce(batch);
+            for threads in [1usize, 3] {
+                let report = coalesced.serve(&requests, threads).unwrap();
+                for (i, (a, b)) in baseline.results.iter().zip(&report.results).enumerate() {
+                    assert_eq!(
+                        a.items, b.items,
+                        "request {i} diverged at coalesce {batch} × {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ivf_cache_keys_do_not_alias_exact_keys() {
+        let mut rng = StdRng::seed_from_u64(59);
+        let model = MatrixFactorization::new(3, 64, 4, 0.1, &mut rng).unwrap();
+        let seen = Interactions::from_pairs(3, 64, &[(0, 2)]).unwrap();
+        let artifact =
+            ModelArtifact::freeze_with(&model, &seen, Some(crate::IvfConfig::default())).unwrap();
+        let mut e = QueryEngine::with_cache(artifact, 16);
+        let exact = e.top_k(0, 8, true).unwrap();
+        let hits_before = e.cache_hits();
+        e.set_index_mode(IndexMode::Ivf { nprobe: 1 }).unwrap();
+        // A 1-cluster probe must not be served from the exact entry.
+        let _ivf = e.top_k(0, 8, true).unwrap();
+        assert_eq!(e.cache_hits(), hits_before, "mode must be part of the key");
+        e.set_index_mode(IndexMode::Exact).unwrap();
+        assert_eq!(e.top_k(0, 8, true).unwrap(), exact);
+        assert_eq!(e.cache_hits(), hits_before + 1);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 use bns_data::Interactions;
 use bns_model::{HogwildMf, LightGcn, MatrixFactorization, Scorer, SnapshotKind, SnapshotScorer};
 use bns_serve::artifact::{fnv1a64, fnv1a64_words, MAGIC, VERSION};
-use bns_serve::{ModelArtifact, ServeError};
+use bns_serve::{IndexMode, IvfConfig, ModelArtifact, QueryEngine, ServeError};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -26,6 +26,24 @@ fn fixture() -> (MatrixFactorization, Interactions) {
 fn encoded() -> Vec<u8> {
     let (model, seen) = fixture();
     ModelArtifact::freeze(&model, &seen)
+        .unwrap()
+        .encode()
+        .to_vec()
+}
+
+/// A fixture big enough to carry a forced IVF index but small enough for
+/// exhaustive byte-flip sweeps over the full encoding.
+fn indexed_fixture() -> (MatrixFactorization, Interactions) {
+    let mut rng = StdRng::seed_from_u64(101);
+    let model = MatrixFactorization::new(5, 40, 4, 0.1, &mut rng).unwrap();
+    let pairs: Vec<(u32, u32)> = (0..5u32).flat_map(|u| [(u, u), (u, u + 11)]).collect();
+    let seen = Interactions::from_pairs(5, 40, &pairs).unwrap();
+    (model, seen)
+}
+
+fn encoded_indexed() -> Vec<u8> {
+    let (model, seen) = indexed_fixture();
+    ModelArtifact::freeze_with(&model, &seen, Some(IvfConfig::default()))
         .unwrap()
         .encode()
         .to_vec()
@@ -219,10 +237,13 @@ fn footer_corruption_reports_checksum_mismatch() {
 fn corrupted_seen_csr_behind_a_valid_checksum_is_rejected() {
     // Flip the last item id of the embedded CSR out of range and re-stamp:
     // the checksums pass, the CSR re-validation must still refuse it —
-    // on both load paths.
+    // on both load paths. (The v3 payload ends with the 8-byte index_len
+    // field — zero for this index-free fixture — so the CSR's last item
+    // sits just before it.)
     let mut buf = encoded();
     let payload_end = buf.len() - footer_len(&buf);
-    buf[payload_end - 4..payload_end].copy_from_slice(&10_000u32.to_le_bytes());
+    let csr_end = payload_end - 8;
+    buf[csr_end - 4..csr_end].copy_from_slice(&10_000u32.to_le_bytes());
     restamp(&mut buf);
     assert!(matches!(
         ModelArtifact::decode(&buf),
@@ -232,6 +253,150 @@ fn corrupted_seen_csr_behind_a_valid_checksum_is_rejected() {
         load_mapped_bytes(&buf, "csr"),
         Err(ServeError::Invalid(_))
     ));
+}
+
+#[test]
+fn every_single_byte_flip_in_an_indexed_artifact_is_rejected() {
+    // The v3 index section sits inside the digested payload, so flips in
+    // centroids, radii, offsets or the permutation must all trip a chunk
+    // digest — on both load paths.
+    let buf = encoded_indexed();
+    for pos in 0..buf.len() {
+        let mut corrupt = buf.clone();
+        corrupt[pos] ^= 0x01;
+        assert!(
+            ModelArtifact::decode(&corrupt).is_err(),
+            "indexed flip at byte {pos} was accepted"
+        );
+        assert!(
+            load_mapped_bytes(&corrupt, "ixflip").is_err(),
+            "mapped indexed flip at byte {pos} was accepted"
+        );
+    }
+}
+
+#[test]
+fn truncation_of_an_indexed_artifact_at_every_length_is_rejected() {
+    let buf = encoded_indexed();
+    for cut in 0..buf.len() {
+        for err in [
+            ModelArtifact::decode(&buf[..cut]).expect_err("truncation accepted"),
+            load_mapped_bytes(&buf[..cut], "ixtrunc").expect_err("mapped truncation accepted"),
+        ] {
+            assert!(
+                matches!(
+                    err,
+                    ServeError::Truncated { .. }
+                        | ServeError::ChecksumMismatch { .. }
+                        | ServeError::ChunkChecksumMismatch { .. }
+                        | ServeError::Invalid(_)
+                ),
+                "indexed cut at {cut} gave unexpected error {err:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn corrupted_index_behind_a_valid_checksum_is_rejected() {
+    // Duplicate the first permutation entry into the second slot and
+    // re-stamp: checksums pass, the index structural validation must
+    // refuse the non-permutation — on both load paths.
+    let mut buf = encoded_indexed();
+    let payload_end = buf.len() - footer_len(&buf);
+    let n_items = 40usize;
+    let dim = 4usize;
+    // The section ends with the perm-ordered vector rows; perm sits just
+    // before them.
+    let perm_at = payload_end - 4 * n_items * dim - 4 * n_items;
+    let first = buf[perm_at..perm_at + 4].to_vec();
+    buf[perm_at + 4..perm_at + 8].copy_from_slice(&first);
+    restamp(&mut buf);
+    assert!(matches!(
+        ModelArtifact::decode(&buf),
+        Err(ServeError::Invalid(_))
+    ));
+    assert!(matches!(
+        load_mapped_bytes(&buf, "ixperm"),
+        Err(ServeError::Invalid(_))
+    ));
+}
+
+#[test]
+fn indexed_artifact_round_trips_on_both_load_paths() {
+    let (model, seen) = indexed_fixture();
+    let artifact = ModelArtifact::freeze_with(&model, &seen, Some(IvfConfig::default())).unwrap();
+    let path = std::env::temp_dir().join(format!("bns_integrity_ix_{}.bnsa", std::process::id()));
+    artifact.save(&path).unwrap();
+    let buffered = ModelArtifact::load(&path).unwrap();
+    let mapped = ModelArtifact::load_mapped(&path).unwrap();
+    let original = artifact.index().unwrap();
+    for reloaded in [&buffered, &mapped] {
+        let ix = reloaded.index().expect("index section must survive");
+        assert_eq!(ix.n_clusters(), original.n_clusters());
+        assert_eq!(ix.perm(), original.perm());
+    }
+    #[cfg(all(unix, target_endian = "little"))]
+    {
+        assert!(
+            mapped.index().unwrap().is_mapped(),
+            "index must serve zero-copy from the mapping"
+        );
+        assert!(!buffered.is_mapped());
+    }
+    // And the engine serves IVF from either load path with identical
+    // answers (determinism of the probe path across backings).
+    let nprobe = original.default_nprobe();
+    let a = QueryEngine::with_index_mode(buffered, IndexMode::Ivf { nprobe }).unwrap();
+    let b = QueryEngine::with_index_mode(mapped, IndexMode::Ivf { nprobe }).unwrap();
+    for u in 0..5u32 {
+        assert_eq!(a.top_k(u, 10, true).unwrap(), b.top_k(u, 10, true).unwrap());
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn v2_artifacts_still_load_with_the_index_absent() {
+    // Reconstruct a byte-exact v2 artifact from the v3 encoding of an
+    // index-free freeze: drop the trailing index_len field, stamp version
+    // 2, re-checksum. It must load on both paths, serve Exact-only, and
+    // refuse IVF mode with the typed NoIndex error.
+    let (model, seen) = fixture();
+    let v3 = ModelArtifact::freeze_with(&model, &seen, None)
+        .unwrap()
+        .encode()
+        .to_vec();
+    let flen = footer_len(&v3);
+    let payload_end = v3.len() - flen;
+    // v2 payload = v3 payload minus the 8-byte index_len tail.
+    let mut buf = v3[..payload_end - 8].to_vec();
+    buf[4..8].copy_from_slice(&2u32.to_le_bytes());
+    let n_chunks = buf.len().div_ceil(1 << 20);
+    let digests: Vec<u64> = buf.chunks(1 << 20).map(fnv1a64_words).collect();
+    let footer_start = buf.len();
+    for d in digests {
+        buf.extend_from_slice(&d.to_le_bytes());
+    }
+    buf.extend_from_slice(&(1u64 << 20).to_le_bytes());
+    buf.extend_from_slice(&(n_chunks as u64).to_le_bytes());
+    let footer_sum = fnv1a64_words(&buf[footer_start..]);
+    buf.extend_from_slice(&footer_sum.to_le_bytes());
+
+    for artifact in [
+        ModelArtifact::decode(&buf).expect("v2 must still decode"),
+        load_mapped_bytes(&buf, "v2").expect("v2 must still map"),
+    ] {
+        assert!(artifact.index().is_none(), "v2 carries no index");
+        for u in 0..5u32 {
+            for i in 0..9u32 {
+                assert_eq!(artifact.score(u, i).to_bits(), model.score(u, i).to_bits());
+            }
+        }
+        assert!(matches!(
+            QueryEngine::with_index_mode(artifact, IndexMode::Ivf { nprobe: 1 }),
+            Err(ServeError::NoIndex)
+        ));
+    }
 }
 
 #[test]

@@ -10,7 +10,7 @@
 
 use bns_data::Interactions;
 use bns_model::MatrixFactorization;
-use bns_serve::{ModelArtifact, QueryEngine, QueryScratch};
+use bns_serve::{IndexMode, IvfConfig, ModelArtifact, QueryEngine, QueryScratch, Request};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -132,4 +132,103 @@ fn top_k_into_over_mapped_storage_is_allocation_free_in_steady_state() {
         "mapped query hot path allocated {} times across 4800 steady-state queries",
         after - before
     );
+}
+
+/// The engine fixture frozen with a forced IVF index and switched to
+/// probe mode.
+fn ivf_engine() -> QueryEngine {
+    let n_users = 24u32;
+    let n_items = 120u32;
+    let mut pairs = Vec::new();
+    for u in 0..n_users {
+        for k in 0..5u32 {
+            pairs.push((u, (u * 11 + k * 7) % n_items));
+        }
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+    let seen = Interactions::from_pairs(n_users, n_items, &pairs).unwrap();
+    let mut rng = StdRng::seed_from_u64(31);
+    let model = MatrixFactorization::new(n_users, n_items, 16, 0.1, &mut rng).unwrap();
+    let artifact = ModelArtifact::freeze_with(&model, &seen, Some(IvfConfig::default())).unwrap();
+    let nprobe = artifact.index().unwrap().default_nprobe();
+    QueryEngine::with_index_mode(artifact, IndexMode::Ivf { nprobe }).unwrap()
+}
+
+#[test]
+fn ivf_top_k_into_is_allocation_free_in_steady_state() {
+    let engine = ivf_engine();
+    let n_users = 24u32;
+    let mut scratch = QueryScratch::new();
+    let mut out = Vec::new();
+
+    // Warm-up grows the cluster-score vector, probe list, candidate
+    // buffer and selection scratch to the index's steady-state sizes.
+    for u in 0..n_users {
+        engine
+            .top_k_into(u, 20, true, &mut scratch, &mut out)
+            .unwrap();
+        engine
+            .top_k_into(u, 20, false, &mut scratch, &mut out)
+            .unwrap();
+    }
+
+    let before = allocation_count();
+    for round in 0..200usize {
+        for u in 0..n_users {
+            let k = [5, 10, 20][round % 3];
+            let exclude = round % 2 == 0;
+            engine
+                .top_k_into(u, k, exclude, &mut scratch, &mut out)
+                .unwrap();
+            assert!(out.len() <= k);
+        }
+    }
+    let after = allocation_count();
+    assert_eq!(
+        after - before,
+        0,
+        "IVF query hot path allocated {} times across 4800 steady-state queries",
+        after - before
+    );
+}
+
+#[test]
+fn top_k_batch_into_is_allocation_free_in_steady_state() {
+    // Both retrieval modes of the coalesced entry point: the blocked GEMM
+    // scratch (user block, tile scores, per-request selectors and mask
+    // cursors) and the per-request IVF probe reuse must all be warm after
+    // one pass.
+    for engine in [engine(), ivf_engine()] {
+        let requests: Vec<Request> = (0..16u32)
+            .map(|i| Request {
+                user: (i * 5) % 24,
+                k: 10 + (i as usize % 8),
+                exclude_seen: i % 2 == 0,
+            })
+            .collect();
+        let mut scratch = QueryScratch::new();
+        let mut outs: Vec<Vec<u32>> = (0..requests.len()).map(|_| Vec::new()).collect();
+
+        for _ in 0..2 {
+            engine
+                .top_k_batch_into(&requests, &mut scratch, &mut outs)
+                .unwrap();
+        }
+
+        let before = allocation_count();
+        for _ in 0..500usize {
+            engine
+                .top_k_batch_into(&requests, &mut scratch, &mut outs)
+                .unwrap();
+        }
+        let after = allocation_count();
+        assert_eq!(
+            after - before,
+            0,
+            "batched hot path ({:?}) allocated {} times across 500 steady-state batches",
+            engine.index_mode(),
+            after - before
+        );
+    }
 }
