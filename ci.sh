@@ -44,6 +44,28 @@ run cargo run --release --offline --locked -p bns-bench --bin bench_json -- \
 # model's.
 run cargo run --release --offline --locked --example quickstart
 run cargo run --release --offline --locked --example serve -- --scale 0.05
+# TCP front-end smoke: serve_tcp binds a loopback socket, self-checks both
+# protocol surfaces, and holds the port while this script curls the HTTP
+# shim from outside the process — the one place CI talks to the server as
+# a genuinely foreign client.
+ADDR_FILE=target/serve_tcp_addr
+rm -f "$ADDR_FILE"
+cargo run --release --offline --locked --example serve_tcp -- \
+    --hold-ms 8000 --addr-file "$ADDR_FILE" &
+SERVE_TCP_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$ADDR_FILE" ] && break
+    kill -0 "$SERVE_TCP_PID" 2>/dev/null || { echo "serve_tcp died before binding"; exit 1; }
+    sleep 0.1
+done
+[ -s "$ADDR_FILE" ] || { echo "serve_tcp never wrote $ADDR_FILE"; kill "$SERVE_TCP_PID"; exit 1; }
+ADDR=$(cat "$ADDR_FILE")
+echo "==> curl http://$ADDR/{metrics,topk}"
+curl -sS --max-time 5 "http://$ADDR/metrics" | grep -q bns_requests_ok \
+    || { echo "/metrics exposition missing bns_requests_ok"; kill "$SERVE_TCP_PID"; exit 1; }
+curl -sS --max-time 5 "http://$ADDR/topk?user=3&k=5&exclude_seen=1" | grep -q '"items"' \
+    || { echo "/topk did not answer with an item list"; kill "$SERVE_TCP_PID"; exit 1; }
+wait "$SERVE_TCP_PID"
 # serve_bench smoke: the serving load generator is gated like the
 # samplers' bench_json. The committed BENCH_serve.json is generated at
 # paper scale (10k items, d = 32); the smoke writes under target/. The

@@ -17,7 +17,12 @@
 //! * an **IVF section**: the same traffic through the probe path
 //!   ([`bns_serve::IndexMode::Ivf`]), with the measured recall@10 of the
 //!   approximate answers against the exact ranking and the throughput
-//!   ratio — the exact-vs-IVF comparison this file exists to pin.
+//!   ratio — the exact-vs-IVF comparison this file exists to pin;
+//! * a **wire section**: the same Zipf traffic replayed through loopback
+//!   TCP sockets against a live [`bns_serve::NetServer`]
+//!   (`--wire-clients` concurrent [`bns_serve::WireClient`]s), recording
+//!   client-observed p50/p99 and queries/sec — engine-vs-wire is the
+//!   protocol + socket overhead, pinned in the same file.
 //!
 //! `--index auto` (default) runs the IVF section whenever the artifact
 //! froze with an index; `--index ivf:<nprobe>` forces an index build and a
@@ -33,7 +38,11 @@
 use bns_bench::fixture;
 use bns_data::synthetic::clustered_item_embedding;
 use bns_model::{Embedding, MatrixFactorization, Scorer};
-use bns_serve::{IndexMode, IvfConfig, ModelArtifact, QueryEngine, Request, ServeReport};
+use bns_serve::proto::ModeRequest;
+use bns_serve::{
+    IndexMode, IvfConfig, ModelArtifact, NetConfig, NetServer, QueryEngine, Request, ServeReport,
+    Status, WireClient,
+};
 use bns_stats::AliasTable;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -64,6 +73,7 @@ struct Args {
     seed: u64,
     scale: f64,
     index: IndexArg,
+    wire_clients: usize,
     out: String,
 }
 
@@ -84,6 +94,7 @@ fn parse_args() -> Args {
         seed: 41,
         scale: 1.0,
         index: IndexArg::Auto,
+        wire_clients: 4,
         out: "BENCH_serve.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
@@ -116,9 +127,13 @@ fn parse_args() -> Args {
                     },
                 };
             }
+            "--wire-clients" => {
+                args.wire_clients = value().parse().expect("--wire-clients takes a usize");
+                assert!(args.wire_clients >= 1, "--wire-clients must be >= 1");
+            }
             "--out" => args.out = value(),
             other => panic!(
-                "unknown flag {other} (expected --users/--items/--requests/--k/--threads/--zipf/--cache/--seed/--scale/--index/--out)"
+                "unknown flag {other} (expected --users/--items/--requests/--k/--threads/--zipf/--cache/--seed/--scale/--index/--wire-clients/--out)"
             ),
         }
     }
@@ -189,6 +204,83 @@ fn write_run(json: &mut String, r: &RunStats, indent: &str, comma: &str) {
         "{indent}\"{}\": {{ \"requested_threads\": {}, \"threads\": {}, \"queries_per_sec\": {:.1}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \"scored_items_per_sec\": {:.1}, \"cache_hit_rate\": {:.4} }}{comma}",
         r.label, r.requested_threads, r.threads, r.qps, r.p50_ms, r.p99_ms, r.scored_items_per_sec, r.cache_hit_rate
     );
+}
+
+/// Client-observed statistics of the loopback TCP replay.
+struct WireStats {
+    clients: usize,
+    requests: usize,
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+/// Replays `requests` through `clients` concurrent loopback connections
+/// against a live [`NetServer`] over the artifact, measuring latency at
+/// the client (send → full response decoded). Also curls `/metrics` once
+/// over the HTTP shim as a liveness check of the exposition path.
+fn wire_run(artifact: &ModelArtifact, requests: &[Request], clients: usize, k: u16) -> WireStats {
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        QueryEngine::new(artifact.clone()),
+        NetConfig {
+            queue_depth: 256,
+            max_connections: clients + 8,
+            ..NetConfig::default()
+        },
+    )
+    .expect("loopback bind");
+    let addr = server.local_addr();
+
+    let t_wall = Instant::now();
+    let latencies_ns: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let slice: Vec<Request> =
+                    requests.iter().skip(c).step_by(clients).copied().collect();
+                scope.spawn(move || {
+                    let mut client = WireClient::connect(addr).expect("loopback connect");
+                    let mut lat = Vec::with_capacity(slice.len());
+                    for req in &slice {
+                        let t = Instant::now();
+                        let resp = client
+                            .top_k(req.user, k, req.exclude_seen, ModeRequest::Default)
+                            .expect("wire request");
+                        assert_eq!(resp.status, Status::Ok, "wire request refused");
+                        lat.push(u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall_seconds = t_wall.elapsed().as_secs_f64();
+
+    // Liveness check of the HTTP shim while the server is still up.
+    {
+        use std::io::{Read as _, Write as _};
+        let mut s = std::net::TcpStream::connect(addr).expect("metrics connect");
+        write!(s, "GET /metrics HTTP/1.1\r\nhost: bench\r\n\r\n").expect("metrics request");
+        let mut body = String::new();
+        s.read_to_string(&mut body).expect("metrics response");
+        assert!(
+            body.contains("bns_requests_ok"),
+            "/metrics exposition missing series"
+        );
+    }
+
+    let mut all: Vec<u64> = latencies_ns.into_iter().flatten().collect();
+    all.sort_unstable();
+    let n = all.len().max(1);
+    let pct = |q: f64| all[((q * (n - 1) as f64).round() as usize).min(n - 1)] as f64 / 1e6;
+    WireStats {
+        clients,
+        requests: all.len(),
+        qps: all.len() as f64 / wall_seconds.max(1e-12),
+        p50_ms: pct(0.5),
+        p99_ms: pct(0.99),
+    }
 }
 
 fn main() {
@@ -323,12 +415,20 @@ fn main() {
         (single, multi, total / f64::from(sample_users), n_clusters)
     });
 
+    // Wire section: the same traffic over loopback TCP sockets.
+    let wire = wire_run(
+        &loaded,
+        &requests,
+        args.wire_clients,
+        u16::try_from(args.k).unwrap_or(u16::MAX),
+    );
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": 2,");
+    let _ = writeln!(json, "  \"schema\": 3,");
     let _ = writeln!(
         json,
-        "  \"config\": {{ \"n_users\": {}, \"n_items\": {}, \"dim\": {}, \"requests\": {}, \"k\": {}, \"zipf_exponent\": {}, \"threads\": {}, \"cache_capacity\": {} }},",
+        "  \"config\": {{ \"n_users\": {}, \"n_items\": {}, \"dim\": {}, \"requests\": {}, \"k\": {}, \"zipf_exponent\": {}, \"threads\": {}, \"cache_capacity\": {}, \"wire_clients\": {} }},",
         args.users,
         args.items,
         model.dim(),
@@ -336,7 +436,8 @@ fn main() {
         args.k,
         args.zipf,
         args.threads,
-        capacity
+        capacity,
+        args.wire_clients
     );
     let _ = writeln!(
         json,
@@ -369,12 +470,17 @@ fn main() {
                     report.latency_percentile_ms(0.99),
                 );
             }
-            let _ = writeln!(json, "  }}");
+            let _ = writeln!(json, "  }},");
         }
         None => {
-            let _ = writeln!(json, "  \"ivf\": null");
+            let _ = writeln!(json, "  \"ivf\": null,");
         }
     }
+    let _ = writeln!(
+        json,
+        "  \"wire\": {{ \"clients\": {}, \"requests\": {}, \"queries_per_sec\": {:.1}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4} }}",
+        wire.clients, wire.requests, wire.qps, wire.p50_ms, wire.p99_ms
+    );
     let _ = writeln!(json, "}}");
 
     std::fs::write(&args.out, &json).expect("writing the serve benchmark JSON");

@@ -668,13 +668,12 @@ mod tests {
         let user = pseudo_table(1, d, 8);
         let mut bounds = vec![0.0f32; index.n_clusters()];
         index.score_clusters(&user, &mut bounds);
-        for c in 0..index.n_clusters() {
+        for (c, &bound) in bounds.iter().enumerate() {
             for &i in index.cluster_items(c) {
                 let s = kernel::dot(&user, &items[i as usize * d..(i as usize + 1) * d]);
                 assert!(
-                    s <= bounds[c] + 1e-4,
-                    "member {i} score {s} exceeds cluster {c} bound {}",
-                    bounds[c]
+                    s <= bound + 1e-4,
+                    "member {i} score {s} exceeds cluster {c} bound {bound}"
                 );
             }
         }

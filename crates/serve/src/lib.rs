@@ -29,6 +29,16 @@
 //! * [`cache`] — [`TopKCache`]: an optional generation-stamped LRU for
 //!   repeated-user traffic; one [`QueryEngine::swap_artifact`] bump
 //!   invalidates every cached list without touching the map.
+//! * [`proto`] — the length-prefixed, checksummed wire frames of the TCP
+//!   front-end, with a typed [`ProtoError`] for every way a frame can be
+//!   malformed (decode never panics, never reads out of bounds).
+//! * [`net`] — [`NetServer`]: the `std::net` TCP front-end serving the
+//!   binary protocol plus an HTTP/1.1 GET shim (`/topk`, `/metrics`),
+//!   with bounded-queue backpressure, per-connection deadlines, and
+//!   live artifact hot-swap under load.
+//! * [`metrics`] — [`WireMetrics`]: per-endpoint latency histograms and
+//!   lifecycle counters behind `bns-sync` facade types, rendered as the
+//!   `/metrics` text exposition.
 //!
 //! End-to-end walkthrough: `examples/serve.rs` at the workspace root
 //! (train → freeze → reload → serve). Load-generator numbers:
@@ -55,12 +65,18 @@ pub mod artifact;
 pub mod cache;
 pub mod engine;
 pub mod index;
+pub mod metrics;
+pub mod net;
+pub mod proto;
 pub mod query;
 
 pub use artifact::ModelArtifact;
 pub use cache::TopKCache;
 pub use engine::{RankedList, Request, ServeReport};
 pub use index::{IvfConfig, IvfIndex};
+pub use metrics::WireMetrics;
+pub use net::{NetConfig, NetServer, WireClient};
+pub use proto::{ProtoError, RequestFrame, ResponseFrame, Status};
 pub use query::{IndexMode, QueryEngine, QueryScratch};
 
 /// Errors produced by the serving subsystem.
@@ -110,6 +126,8 @@ pub enum ServeError {
     NoIndex,
     /// A structural invariant was violated (shape mismatch, bad CSR, …).
     Invalid(String),
+    /// A wire frame failed to decode (network front-end).
+    Proto(ProtoError),
     /// I/O failure while reading or writing an artifact file.
     Io(std::io::Error),
 }
@@ -146,6 +164,7 @@ impl std::fmt::Display for ServeError {
                 write!(f, "artifact carries no IVF index (Exact-only serving)")
             }
             ServeError::Invalid(msg) => write!(f, "invalid artifact: {msg}"),
+            ServeError::Proto(e) => write!(f, "wire protocol error: {e}"),
             ServeError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -155,6 +174,7 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServeError::Io(e) => Some(e),
+            ServeError::Proto(e) => Some(e),
             _ => None,
         }
     }
@@ -163,6 +183,12 @@ impl std::error::Error for ServeError {
 impl From<std::io::Error> for ServeError {
     fn from(e: std::io::Error) -> Self {
         ServeError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ServeError {
+    fn from(e: ProtoError) -> Self {
+        ServeError::Proto(e)
     }
 }
 

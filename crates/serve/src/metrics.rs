@@ -1,0 +1,252 @@
+//! Wire-level serving metrics: per-endpoint latency histograms and
+//! lifecycle counters, rendered as a plain-text exposition for the
+//! `/metrics` HTTP endpoint.
+//!
+//! Everything in here is a [`bns_sync`] facade primitive — relaxed
+//! counters and the fixed log-bucket [`LatencyHistogram`] — so recording
+//! from every connection and worker thread is one lock-free RMW with no
+//! allocation. **No wall-clock lives in this module**: the network edge
+//! ([`crate::net`]) measures durations and feeds finished nanosecond
+//! counts in, which keeps the hot structs clock-free and the module fully
+//! testable without time (the `wall-clock` lint rule covers this file).
+
+use bns_sync::{Counter, HistogramSnapshot, LatencyHistogram};
+use std::fmt::Write as _;
+
+/// The instrumented request endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// Binary-protocol top-k requests.
+    BinTopK,
+    /// Binary-protocol pings.
+    BinPing,
+    /// HTTP shim `GET /topk`.
+    HttpTopK,
+    /// HTTP shim `GET /metrics`.
+    HttpMetrics,
+}
+
+/// All endpoints, in exposition order.
+pub const ENDPOINTS: [Endpoint; 4] = [
+    Endpoint::BinTopK,
+    Endpoint::BinPing,
+    Endpoint::HttpTopK,
+    Endpoint::HttpMetrics,
+];
+
+impl Endpoint {
+    /// The `endpoint="…"` label value.
+    pub fn name(self) -> &'static str {
+        match self {
+            Endpoint::BinTopK => "bin_topk",
+            Endpoint::BinPing => "bin_ping",
+            Endpoint::HttpTopK => "http_topk",
+            Endpoint::HttpMetrics => "http_metrics",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Endpoint::BinTopK => 0,
+            Endpoint::BinPing => 1,
+            Endpoint::HttpTopK => 2,
+            Endpoint::HttpMetrics => 3,
+        }
+    }
+}
+
+/// Per-endpoint counters and the edge-measured service-latency histogram.
+#[derive(Debug, Default)]
+pub struct EndpointMetrics {
+    /// Requests that completed with a successful status.
+    pub ok: Counter,
+    /// Requests that completed with a non-`Ok` status (overload, unknown
+    /// user, timeout, …) — still *answered*, unlike protocol errors.
+    pub errors: Counter,
+    /// Service latency in nanoseconds, timestamped at the network edge:
+    /// from "request fully parsed" to "response fully written".
+    pub latency: LatencyHistogram,
+}
+
+/// The server-wide metrics registry. One instance per
+/// [`crate::net::NetServer`], shared by every thread; all methods take
+/// `&self` and are lock-free.
+#[derive(Debug, Default)]
+pub struct WireMetrics {
+    /// Connections accepted (whether or not they ever sent a request).
+    pub connections_accepted: Counter,
+    /// Connections rejected at accept because the connection cap was
+    /// reached (best-effort `Overloaded` written, then closed).
+    pub connections_rejected: Counter,
+    /// Connections fully torn down (EOF, error, deadline, or shutdown).
+    pub connections_closed: Counter,
+    /// Frames that failed to parse (bad checksum, bad opcode, oversized
+    /// prefix, malformed HTTP head). Each one also closes its connection.
+    pub proto_errors: Counter,
+    /// Read/write deadline expirations (slow-loris frames, stalled
+    /// readers, idle half-open connections).
+    pub deadline_hits: Counter,
+    /// Requests answered `Overloaded` because the bounded in-flight queue
+    /// was full.
+    pub overloaded: Counter,
+    /// Live artifact hot-swaps performed while serving.
+    pub artifact_swaps: Counter,
+    endpoints: [EndpointMetrics; 4],
+}
+
+impl WireMetrics {
+    /// Creates a zeroed registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counters and histogram of one endpoint.
+    pub fn endpoint(&self, e: Endpoint) -> &EndpointMetrics {
+        &self.endpoints[e.index()]
+    }
+
+    /// Records one answered request at the edge: outcome plus measured
+    /// service latency in nanoseconds.
+    pub fn record_request(&self, e: Endpoint, ok: bool, latency_ns: u64) {
+        let ep = self.endpoint(e);
+        if ok {
+            ep.ok.incr();
+        } else {
+            ep.errors.incr();
+        }
+        ep.latency.record(latency_ns);
+    }
+
+    /// Renders the whole registry in the text exposition format served by
+    /// `GET /metrics`: one `name value` line per counter, endpoint series
+    /// labelled `{endpoint="…"}`, histograms as cumulative `_bucket{le=…}`
+    /// lines plus `_count` / `_sum` / `_p50` / `_p99`.
+    pub fn render_text(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        let _ = writeln!(out, "# bns-serve wire metrics");
+        for (name, c) in [
+            ("bns_connections_accepted", &self.connections_accepted),
+            ("bns_connections_rejected", &self.connections_rejected),
+            ("bns_connections_closed", &self.connections_closed),
+            ("bns_proto_errors", &self.proto_errors),
+            ("bns_deadline_hits", &self.deadline_hits),
+            ("bns_requests_overloaded", &self.overloaded),
+            ("bns_artifact_swaps", &self.artifact_swaps),
+        ] {
+            let _ = writeln!(out, "{name} {}", c.get());
+        }
+        for e in ENDPOINTS {
+            let ep = self.endpoint(e);
+            let name = e.name();
+            let snap = ep.latency.snapshot();
+            let _ = writeln!(
+                out,
+                "bns_requests_ok{{endpoint=\"{name}\"}} {}",
+                ep.ok.get()
+            );
+            let _ = writeln!(
+                out,
+                "bns_requests_error{{endpoint=\"{name}\"}} {}",
+                ep.errors.get()
+            );
+            render_histogram(&mut out, name, &snap);
+        }
+        out
+    }
+}
+
+/// One endpoint's histogram block: cumulative buckets, count, sum, and
+/// the two headline percentiles.
+fn render_histogram(out: &mut String, name: &str, snap: &HistogramSnapshot) {
+    let mut cumulative = 0u64;
+    for (le, count) in snap.nonzero_buckets() {
+        cumulative += count;
+        let _ = writeln!(
+            out,
+            "bns_latency_ns_bucket{{endpoint=\"{name}\",le=\"{le}\"}} {cumulative}"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "bns_latency_ns_bucket{{endpoint=\"{name}\",le=\"+Inf\"}} {}",
+        snap.count
+    );
+    let _ = writeln!(
+        out,
+        "bns_latency_ns_count{{endpoint=\"{name}\"}} {}",
+        snap.count
+    );
+    let _ = writeln!(
+        out,
+        "bns_latency_ns_sum{{endpoint=\"{name}\"}} {}",
+        snap.sum
+    );
+    let _ = writeln!(
+        out,
+        "bns_latency_ns_p50{{endpoint=\"{name}\"}} {}",
+        snap.percentile(0.5)
+    );
+    let _ = writeln!(
+        out,
+        "bns_latency_ns_p99{{endpoint=\"{name}\"}} {}",
+        snap.percentile(0.99)
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_lands_in_the_right_endpoint() {
+        let m = WireMetrics::new();
+        m.record_request(Endpoint::BinTopK, true, 1_000);
+        m.record_request(Endpoint::BinTopK, false, 2_000);
+        m.record_request(Endpoint::HttpTopK, true, 3_000);
+        assert_eq!(m.endpoint(Endpoint::BinTopK).ok.get(), 1);
+        assert_eq!(m.endpoint(Endpoint::BinTopK).errors.get(), 1);
+        assert_eq!(m.endpoint(Endpoint::BinTopK).latency.snapshot().count, 2);
+        assert_eq!(m.endpoint(Endpoint::HttpTopK).ok.get(), 1);
+        assert_eq!(m.endpoint(Endpoint::BinPing).latency.snapshot().count, 0);
+    }
+
+    #[test]
+    fn text_render_contains_every_series() {
+        let m = WireMetrics::new();
+        m.connections_accepted.incr();
+        m.overloaded.incr();
+        m.record_request(Endpoint::BinTopK, true, 123_456);
+        let text = m.render_text();
+        assert!(text.contains("bns_connections_accepted 1"));
+        assert!(text.contains("bns_requests_overloaded 1"));
+        assert!(text.contains("bns_requests_ok{endpoint=\"bin_topk\"} 1"));
+        assert!(text.contains("bns_latency_ns_count{endpoint=\"bin_topk\"} 1"));
+        assert!(text.contains("le=\"+Inf\"}"));
+        assert!(text.contains("bns_latency_ns_p99{endpoint=\"bin_topk\"}"));
+        // Every non-empty line is `name value` or `name{labels} value`.
+        for line in text.lines().skip(1) {
+            let mut parts = line.rsplitn(2, ' ');
+            let value = parts.next().unwrap();
+            assert!(value.parse::<u64>().is_ok(), "bad exposition line: {line}");
+        }
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone() {
+        let m = WireMetrics::new();
+        for ns in [10u64, 100, 1_000, 10_000, 100_000] {
+            m.record_request(Endpoint::HttpMetrics, true, ns);
+        }
+        let text = m.render_text();
+        let mut last = 0u64;
+        for line in text
+            .lines()
+            .filter(|l| l.contains("bucket{endpoint=\"http_metrics\""))
+        {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "cumulative bucket decreased: {line}");
+            last = v;
+        }
+        assert_eq!(last, 5, "+Inf bucket must equal the count");
+    }
+}

@@ -251,16 +251,57 @@ impl QueryEngine {
         scratch: &mut QueryScratch,
         out: &mut Vec<u32>,
     ) -> Result<()> {
+        self.top_k_with_mode_into(user, k, exclude_seen, None, scratch, out)
+    }
+
+    /// The engine's configured mode upgraded to IVF at the artifact's
+    /// default probe width — what a wire request asking for "IVF" without
+    /// naming a width gets. Fails with [`ServeError::NoIndex`] when the
+    /// served artifact carries no index.
+    pub fn default_ivf_mode(&self) -> Result<IndexMode> {
+        let index = self.artifact.index().ok_or(ServeError::NoIndex)?;
+        Ok(IndexMode::Ivf {
+            nprobe: index.default_nprobe(),
+        })
+    }
+
+    /// [`QueryEngine::top_k_into`] with a per-request [`IndexMode`]
+    /// override (`None` = the engine's configured mode) — the network
+    /// front-end's per-request `flags` land here. The override is
+    /// validated per call (`NoIndex` for IVF against an index-free
+    /// artifact, `Invalid` for `nprobe == 0`) and participates in the
+    /// cache key exactly like the configured mode, so forced-exact and
+    /// forced-IVF answers never alias.
+    pub fn top_k_with_mode_into(
+        &self,
+        user: u32,
+        k: usize,
+        exclude_seen: bool,
+        mode: Option<IndexMode>,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<u32>,
+    ) -> Result<()> {
         let n_users = self.artifact.n_users();
         if user >= n_users {
             return Err(ServeError::UnknownUser { user, n_users });
+        }
+        let mode = mode.unwrap_or(self.mode);
+        if let IndexMode::Ivf { nprobe } = mode {
+            if self.artifact.index().is_none() {
+                return Err(ServeError::NoIndex);
+            }
+            if nprobe == 0 {
+                return Err(ServeError::Invalid(
+                    "IndexMode::Ivf requires nprobe >= 1".into(),
+                ));
+            }
         }
         // Read the generation once and use it for both the lookup and the
         // insert below: re-reading at insert time could stamp a list
         // computed against the old artifact with the new generation (the
         // staleness bug the bns-check `cache_swap` scenario demonstrates).
         let generation = self.generation.current();
-        let key = cache_key(user, k, exclude_seen, self.mode);
+        let key = cache_key(user, k, exclude_seen, mode);
         if let Some(cache) = &self.cache {
             self.cache_lookups.incr();
             let mut cache = cache.lock();
@@ -272,7 +313,7 @@ impl QueryEngine {
             }
         }
 
-        match self.mode {
+        match mode {
             IndexMode::Exact => {
                 let n_items = self.artifact.n_items() as usize;
                 scratch.scores.resize(n_items, 0.0);

@@ -1,0 +1,141 @@
+//! Backpressure contract: when the bounded in-flight queue is full, the
+//! server answers a typed `Overloaded` **promptly** — within a bounded
+//! wait far below the serial service time of the backlog — instead of
+//! stalling the socket, and throughput recovers as soon as the burst
+//! drains.
+
+use bns_data::Interactions;
+use bns_model::MatrixFactorization;
+use bns_serve::proto::ModeRequest;
+use bns_serve::{ModelArtifact, NetConfig, NetServer, QueryEngine, Status, WireClient};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+const COMPUTE_DELAY: Duration = Duration::from_millis(300);
+const BURST: usize = 8;
+
+fn engine() -> QueryEngine {
+    let mut rng = StdRng::seed_from_u64(21);
+    let model = MatrixFactorization::new(8, 16, 8, 0.1, &mut rng).unwrap();
+    let seen = Interactions::from_pairs(8, 16, &[(0, 1), (3, 7)]).unwrap();
+    QueryEngine::new(ModelArtifact::freeze(&model, &seen).unwrap())
+}
+
+/// One worker at 300 ms per request with a 2-deep queue: a burst of 8
+/// can hold at most 3 in flight, so the rest must be refused — fast.
+fn saturating_cfg() -> NetConfig {
+    NetConfig {
+        workers: 1,
+        queue_depth: 2,
+        compute_delay: COMPUTE_DELAY,
+        compute_deadline: Duration::from_secs(10),
+        ..NetConfig::default()
+    }
+}
+
+#[test]
+fn full_queue_answers_typed_overloaded_promptly_and_recovers() {
+    let server = NetServer::bind("127.0.0.1:0", engine(), saturating_cfg()).unwrap();
+    let addr = server.local_addr();
+
+    // Burst phase: everyone fires one request at once.
+    let outcomes: Vec<(Status, Duration)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..BURST)
+            .map(|i| {
+                scope.spawn(move || {
+                    let mut client = WireClient::connect(addr).unwrap();
+                    let start = Instant::now();
+                    let resp = client
+                        .top_k(i as u32 % 8, 4, false, ModeRequest::Default)
+                        .unwrap();
+                    (resp.status, start.elapsed())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let ok = outcomes.iter().filter(|(s, _)| *s == Status::Ok).count();
+    let overloaded: Vec<Duration> = outcomes
+        .iter()
+        .filter(|(s, _)| *s == Status::Overloaded)
+        .map(|&(_, d)| d)
+        .collect();
+    assert_eq!(
+        ok + overloaded.len(),
+        BURST,
+        "unexpected statuses in {outcomes:?}"
+    );
+    assert!(ok >= 1, "no request was served at all: {outcomes:?}");
+    assert!(
+        !overloaded.is_empty(),
+        "queue_depth=2 with one 300ms worker absorbed an {BURST}-wide burst: {outcomes:?}"
+    );
+    // The refusals must be typed responses delivered while the worker is
+    // still busy — far below the >2.1s serial drain of the backlog.
+    let serial_drain = COMPUTE_DELAY * BURST as u32;
+    for d in &overloaded {
+        assert!(
+            *d < serial_drain / 2,
+            "Overloaded took {d:?}; backpressure is queueing, not refusing"
+        );
+    }
+    assert!(server.metrics().overloaded.get() >= overloaded.len() as u64);
+
+    // Recovery phase: with the burst drained, a sequential client sees
+    // every request served.
+    let mut client = WireClient::connect(addr).unwrap();
+    let recovery = Instant::now();
+    for i in 0..5u32 {
+        let resp = client.top_k(i % 8, 4, false, ModeRequest::Default).unwrap();
+        assert_eq!(resp.status, Status::Ok, "recovery request {i}");
+    }
+    let elapsed = recovery.elapsed();
+    // Each sequential request costs ~compute_delay; five of them must
+    // not take an order of magnitude more (a wedged worker would).
+    assert!(
+        elapsed < COMPUTE_DELAY * 5 * 3,
+        "recovery throughput did not return: 5 requests took {elapsed:?}"
+    );
+}
+
+#[test]
+fn rejected_connections_get_a_best_effort_overloaded_frame() {
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        engine(),
+        NetConfig {
+            workers: 1,
+            max_connections: 2,
+            ..NetConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    // Two held connections exhaust the cap…
+    let mut a = WireClient::connect(addr).unwrap();
+    let mut b = WireClient::connect(addr).unwrap();
+    assert_eq!(a.ping().unwrap().status, Status::Pong);
+    assert_eq!(b.ping().unwrap().status, Status::Pong);
+    // …so the third is answered `Overloaded` at accept and closed.
+    let mut c = WireClient::connect(addr).unwrap();
+    c.set_timeout(Duration::from_secs(5)).unwrap();
+    match c.ping() {
+        Ok(resp) => assert_eq!(resp.status, Status::Overloaded),
+        // A hangup without the frame is within the best-effort contract,
+        // but the rejection must have been counted.
+        Err(_) => assert!(server.metrics().connections_rejected.get() >= 1),
+    }
+    // Freeing a slot restores admission.
+    drop(a);
+    let ok = (0..50).any(|_| {
+        std::thread::sleep(Duration::from_millis(50));
+        WireClient::connect(addr)
+            .and_then(|mut d| d.ping())
+            .map(|r| r.status == Status::Pong)
+            .unwrap_or(false)
+    });
+    assert!(ok, "connection slot never freed after a client left");
+    assert_eq!(b.ping().unwrap().status, Status::Pong);
+}

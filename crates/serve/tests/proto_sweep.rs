@@ -1,0 +1,247 @@
+//! Protocol decode hardening: round-trip for every frame type, plus the
+//! exhaustive corruption sweeps the wire checksum exists to win —
+//! **every** single-byte flip (all 255 XOR masks at every position) and
+//! **every** truncation of a valid frame decodes to a typed
+//! [`ProtoError`]; no input panics or reads out of bounds. This mirrors
+//! the artifact format's `artifact_integrity` sweep, one layer down.
+
+use bns_serve::proto::{
+    frame_checksum, FrameHeader, ModeRequest, ProtoError, RequestFrame, ResponseFrame, Status,
+    HEADER_LEN, MAX_PAYLOAD_LEN,
+};
+use proptest::prelude::*;
+
+/// Every request frame shape the sweep drives.
+fn request_fixtures() -> Vec<RequestFrame> {
+    let mut frames = vec![RequestFrame::Ping];
+    for mode in [ModeRequest::Default, ModeRequest::Exact, ModeRequest::Ivf] {
+        for exclude_seen in [false, true] {
+            frames.push(RequestFrame::TopK {
+                user: 0xDEAD_BEEF,
+                k: 37,
+                exclude_seen,
+                mode,
+            });
+        }
+    }
+    frames.push(RequestFrame::TopK {
+        user: 0,
+        k: 1,
+        exclude_seen: false,
+        mode: ModeRequest::Default,
+    });
+    frames
+}
+
+/// Every response frame shape the sweep drives, including an `Ok` with a
+/// three-digit item list so the `n`/payload-length coupling is exercised.
+fn response_fixtures() -> Vec<ResponseFrame> {
+    let mut frames = vec![
+        ResponseFrame::ok(0, Vec::new()),
+        ResponseFrame::ok(
+            41,
+            (0..100u32).map(|i| i.wrapping_mul(2654435761)).collect(),
+        ),
+    ];
+    for status in [
+        Status::Overloaded,
+        Status::UnknownUser,
+        Status::NoIndex,
+        Status::Timeout,
+        Status::Pong,
+        Status::BadRequest,
+    ] {
+        frames.push(ResponseFrame::error(status));
+    }
+    frames
+}
+
+#[test]
+fn every_fixture_round_trips() {
+    for req in request_fixtures() {
+        assert_eq!(RequestFrame::decode(&req.encode()).unwrap(), req);
+    }
+    for resp in response_fixtures() {
+        assert_eq!(ResponseFrame::decode(&resp.encode()).unwrap(), resp);
+    }
+}
+
+/// Single-byte corruption of a request frame — any position, any of the
+/// 255 non-identity XOR masks — is always a typed error, never a
+/// different valid request. The FNV-1a frame checksum guarantees this:
+/// multiplication by an odd prime is a bijection mod 2^32, so two
+/// equal-length payloads differing in any byte keep different digests.
+#[test]
+fn request_byte_flips_never_decode() {
+    for req in request_fixtures() {
+        let good = req.encode();
+        for i in 0..good.len() {
+            for mask in 1..=255u8 {
+                let mut bad = good.clone();
+                bad[i] ^= mask;
+                let err = RequestFrame::decode(&bad)
+                    .expect_err(&format!("flip {mask:#04x} at byte {i} of {req:?} decoded"));
+                // Any variant is acceptable; the point is it is *typed*.
+                let _: ProtoError = err;
+            }
+        }
+    }
+}
+
+#[test]
+fn response_byte_flips_never_decode() {
+    for resp in response_fixtures() {
+        let good = resp.encode();
+        // All 255 masks on the header and the first payload bytes; the
+        // full mask set over a 400-byte item list repeats the same
+        // checksum argument, so the item region uses four spot masks.
+        for i in 0..good.len() {
+            let masks: &[u8] = if i < HEADER_LEN + 16 {
+                &ALL_MASKS
+            } else {
+                &[0x01, 0x10, 0x80, 0xFF]
+            };
+            for &mask in masks {
+                let mut bad = good.clone();
+                bad[i] ^= mask;
+                assert!(
+                    ResponseFrame::decode(&bad).is_err(),
+                    "flip {mask:#04x} at byte {i} of a {:?} response decoded",
+                    resp.status
+                );
+            }
+        }
+    }
+}
+
+const ALL_MASKS: [u8; 255] = {
+    let mut m = [0u8; 255];
+    let mut i = 0;
+    while i < 255 {
+        m[i] = i as u8 + 1;
+        i += 1;
+    }
+    m
+};
+
+/// Every proper prefix of a valid frame is a typed error (`Truncated`),
+/// and every extension is `TrailingBytes` — a frame boundary can neither
+/// shrink nor grow silently.
+#[test]
+fn every_truncation_and_extension_is_typed() {
+    let mut frames: Vec<Vec<u8>> = request_fixtures()
+        .iter()
+        .map(RequestFrame::encode)
+        .collect();
+    frames.extend(response_fixtures().iter().map(ResponseFrame::encode));
+    for good in frames {
+        for cut in 0..good.len() {
+            match RequestFrame::decode(&good[..cut]) {
+                Err(ProtoError::Truncated { .. }) => {}
+                other => panic!("cut at {cut}/{} gave {other:?}", good.len()),
+            }
+            // The response decoder must agree byte for byte.
+            assert!(ResponseFrame::decode(&good[..cut]).is_err());
+        }
+        let mut extended = good.clone();
+        extended.push(0xAA);
+        assert!(matches!(
+            RequestFrame::decode(&extended),
+            Err(ProtoError::TrailingBytes { extra: 1 })
+        ));
+    }
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_at_the_header() {
+    for claimed in [
+        MAX_PAYLOAD_LEN as u32 + 1,
+        u32::MAX / 2,
+        u32::MAX, // would wrap any naive `len + HEADER_LEN` arithmetic
+    ] {
+        let mut buf = claimed.to_le_bytes().to_vec();
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&[0; 32]);
+        assert!(
+            matches!(
+                RequestFrame::decode(&buf),
+                Err(ProtoError::Oversized { len }) if len == claimed as usize
+            ),
+            "claimed {claimed}"
+        );
+    }
+}
+
+proptest! {
+    /// Arbitrary requests round-trip through encode → decode.
+    #[test]
+    fn prop_request_round_trip(
+        user in 0u32..=u32::MAX,
+        k in 0u16..=u16::MAX,
+        variant in 0u8..6,
+    ) {
+        let mode = [ModeRequest::Default, ModeRequest::Exact, ModeRequest::Ivf]
+            [usize::from(variant % 3)];
+        let exclude_seen = variant >= 3;
+        let req = RequestFrame::TopK { user, k, exclude_seen, mode };
+        prop_assert_eq!(RequestFrame::decode(&req.encode()).unwrap(), req);
+    }
+
+    /// Arbitrary `Ok` responses round-trip, generation and items intact.
+    #[test]
+    fn prop_response_round_trip(
+        generation in 0u64..=u64::MAX,
+        items in prop::collection::vec(0u32..=u32::MAX, 0..300),
+    ) {
+        let resp = ResponseFrame::ok(generation, items);
+        prop_assert_eq!(ResponseFrame::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    /// Random byte soup never panics either decoder — it merely errors
+    /// (or, astronomically rarely, decodes; both are acceptable, crashing
+    /// is not).
+    #[test]
+    fn prop_fuzz_decode_never_panics(bytes in prop::collection::vec(0u8..=u8::MAX, 0..64)) {
+        let _ = RequestFrame::decode(&bytes);
+        let _ = ResponseFrame::decode(&bytes);
+    }
+
+    /// A flip confined to the payload is always a checksum mismatch —
+    /// the stronger guarantee behind the sweep above.
+    #[test]
+    fn prop_payload_flip_is_checksum_mismatch(
+        user in 0u32..=u32::MAX,
+        pos in 0usize..8,
+        mask in 1u8..=u8::MAX,
+    ) {
+        let req = RequestFrame::TopK {
+            user, k: 9, exclude_seen: true, mode: ModeRequest::Default,
+        };
+        let mut buf = req.encode();
+        buf[HEADER_LEN + pos] ^= mask;
+        prop_assert!(matches!(
+            RequestFrame::decode(&buf),
+            Err(ProtoError::ChecksumMismatch { .. })
+        ));
+    }
+}
+
+/// The incremental header API agrees with the strict decoder about when
+/// a header exists and what it claims.
+#[test]
+fn incremental_header_matches_strict_view() {
+    let buf = RequestFrame::Ping.encode();
+    for cut in 0..HEADER_LEN {
+        assert_eq!(
+            bns_serve::proto::parse_header(&buf[..cut]).unwrap(),
+            FrameHeader::NeedHeader
+        );
+    }
+    match bns_serve::proto::parse_header(&buf).unwrap() {
+        FrameHeader::Payload { len, check } => {
+            assert_eq!(len, 1);
+            assert_eq!(check, frame_checksum(&buf[HEADER_LEN..]));
+        }
+        FrameHeader::NeedHeader => panic!("full header not recognized"),
+    }
+}

@@ -15,6 +15,8 @@
 //! | [`Counter`] | statistics (hit/lookup counts) that no control flow depends on | `Relaxed` |
 //! | [`PoisonFlag`] | sticky cross-thread failure latch | `Release` set / `Acquire` read |
 //! | [`Mutex`] | plain mutual exclusion, modeled under the checker | n/a |
+//! | [`RwLock`] | read-mostly shared state with rare exclusive swaps (the serve hot-swap protocol) | n/a |
+//! | [`LatencyHistogram`] | fixed log-bucket latency statistics: one relaxed RMW per sample, no clock inside | `Relaxed` |
 //! | [`CachePadded`] | layout shim: gives each element of an array of contended atomics its own cache line | n/a |
 //!
 //! Narrowing the API is the point: a call site cannot pick a wrong ordering
@@ -39,14 +41,18 @@ mod counter;
 mod cursor;
 mod flag;
 mod generation;
+mod histogram;
 pub mod model;
 mod mutex;
 mod padded;
+mod rwlock;
 
 pub use cell::AtomicF32Cell;
 pub use counter::Counter;
 pub use cursor::ClaimCursor;
 pub use flag::PoisonFlag;
 pub use generation::Generation;
+pub use histogram::{HistogramSnapshot, LatencyHistogram, HISTOGRAM_BUCKETS};
 pub use mutex::{Mutex, MutexGuard};
 pub use padded::CachePadded;
+pub use rwlock::{ReadGuard, RwLock, WriteGuard};

@@ -1,0 +1,202 @@
+//! Reader–writer lock, modeled (conservatively) under the checker.
+
+use std::sync::RwLock as StdRwLock;
+use std::sync::{RwLockReadGuard as StdReadGuard, RwLockWriteGuard as StdWriteGuard};
+
+/// A reader–writer lock for read-mostly shared state with rare exclusive
+/// swaps — the hot-swap protocol of the network front-end: every request
+/// holds a read guard for its whole service, an artifact swap takes the
+/// write guard, so a response can never mix two generations.
+///
+/// In normal builds this is a zero-cost wrapper over `std::sync::RwLock`
+/// that panics on poison, like [`crate::Mutex`]. Under
+/// `--cfg bns_model_check` both acquisitions route through the model
+/// scheduler's mutex protocol — a **conservative exclusive approximation**
+/// (modeled readers do not overlap). That over-serializes schedules but
+/// cannot hide a data race the real lock would allow: shared read guards
+/// only ever hand out `&T`, and writes always hold the exclusive guard in
+/// both the model and the real lock.
+///
+/// ```
+/// use bns_sync::RwLock;
+///
+/// let state = RwLock::new(7);
+/// assert_eq!(*state.read(), 7);
+/// *state.write() += 1;
+/// assert_eq!(*state.read(), 8);
+/// ```
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    inner: StdRwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a lock protecting `value`.
+    pub fn new(value: T) -> Self {
+        Self {
+            inner: StdRwLock::new(value),
+        }
+    }
+
+    /// Acquires shared read access, blocking while a writer holds the
+    /// lock. Panics if a previous writer panicked (poison).
+    pub fn read(&self) -> ReadGuard<'_, T> {
+        #[cfg(bns_model_check)]
+        let key = {
+            let key = self as *const Self as usize;
+            crate::model::mutex_acquire(key, "RwLock::read");
+            key
+        };
+        let guard = self
+            .inner
+            .read()
+            .expect("bns_sync::RwLock poisoned: a previous writer panicked");
+        ReadGuard {
+            guard: Some(guard),
+            #[cfg(bns_model_check)]
+            key,
+        }
+    }
+
+    /// Acquires exclusive write access, blocking until all readers and
+    /// writers release. Panics if a previous writer panicked (poison).
+    pub fn write(&self) -> WriteGuard<'_, T> {
+        #[cfg(bns_model_check)]
+        let key = {
+            let key = self as *const Self as usize;
+            crate::model::mutex_acquire(key, "RwLock::write");
+            key
+        };
+        let guard = self
+            .inner
+            .write()
+            .expect("bns_sync::RwLock poisoned: a previous writer panicked");
+        WriteGuard {
+            guard: Some(guard),
+            #[cfg(bns_model_check)]
+            key,
+        }
+    }
+
+    /// Consumes the lock and returns the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .expect("bns_sync::RwLock poisoned: a previous writer panicked")
+    }
+
+    /// Mutable access without locking — the `&mut` receiver proves
+    /// exclusivity statically.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner
+            .get_mut()
+            .expect("bns_sync::RwLock poisoned: a previous writer panicked")
+    }
+}
+
+/// Shared RAII guard for [`RwLock`]; releases on drop.
+#[derive(Debug)]
+pub struct ReadGuard<'a, T> {
+    guard: Option<StdReadGuard<'a, T>>,
+    #[cfg(bns_model_check)]
+    key: usize,
+}
+
+impl<T> std::ops::Deref for ReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present until drop")
+    }
+}
+
+impl<T> Drop for ReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.guard.take();
+        #[cfg(bns_model_check)]
+        crate::model::mutex_release(self.key);
+    }
+}
+
+/// Exclusive RAII guard for [`RwLock`]; releases on drop.
+#[derive(Debug)]
+pub struct WriteGuard<'a, T> {
+    guard: Option<StdWriteGuard<'a, T>>,
+    #[cfg(bns_model_check)]
+    key: usize,
+}
+
+impl<T> std::ops::Deref for WriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present until drop")
+    }
+}
+
+impl<T> std::ops::DerefMut for WriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard present until drop")
+    }
+}
+
+impl<T> Drop for WriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.guard.take();
+        #[cfg(bns_model_check)]
+        crate::model::mutex_release(self.key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip() {
+        let l = RwLock::new(1);
+        *l.write() += 41;
+        assert_eq!(*l.read(), 42);
+        assert_eq!(l.into_inner(), 42);
+    }
+
+    #[test]
+    fn readers_share() {
+        let l = RwLock::new(5);
+        let a = l.read();
+        let b = l.read();
+        assert_eq!(*a + *b, 10);
+    }
+
+    #[test]
+    fn get_mut_skips_locking() {
+        let mut l = RwLock::new(String::from("a"));
+        l.get_mut().push('b');
+        assert_eq!(&*l.read(), "ab");
+    }
+
+    #[test]
+    fn contended_writes_all_land() {
+        let l = RwLock::new(0u64);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let l = &l;
+                s.spawn(move || {
+                    for _ in 0..250 {
+                        *l.write() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(l.into_inner(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "poisoned")]
+    fn poison_panics_on_read() {
+        let l = RwLock::new(0);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = l.write();
+            panic!("writer dies");
+        }));
+        let _ = l.read();
+    }
+}

@@ -1,0 +1,126 @@
+//! TCP serving walkthrough: freeze → bind → query over the wire.
+//!
+//! Freezes a small MF artifact, binds the `bns-serve` network front-end
+//! on a loopback socket, exercises both protocol surfaces — the
+//! length-prefixed binary frames via [`bns::serve::WireClient`] and the
+//! HTTP/1.1 GET shim via a raw socket — and then holds the server open
+//! for `--hold-ms` so an outside client (curl, the CI smoke) can talk to
+//! it before a graceful shutdown.
+//!
+//! ```sh
+//! cargo run --release --example serve_tcp                     # ephemeral port
+//! cargo run --release --example serve_tcp -- --port 7878 --hold-ms 30000
+//! # then, from another shell:
+//! curl 'http://127.0.0.1:7878/topk?user=3&k=5&exclude_seen=1'
+//! curl 'http://127.0.0.1:7878/metrics'
+//! ```
+//!
+//! `--addr-file <path>` writes the bound `host:port` to a file once the
+//! listener is up — the CI smoke polls that file instead of racing the
+//! bind.
+
+use bns::data::Interactions;
+use bns::model::MatrixFactorization;
+use bns::serve::proto::ModeRequest;
+use bns::serve::{ModelArtifact, NetConfig, NetServer, QueryEngine, Status, WireClient};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+const N_USERS: u32 = 64;
+const N_ITEMS: u32 = 256;
+
+fn main() {
+    let mut port = 0u16;
+    let mut hold_ms = 1_500u64;
+    let mut addr_file: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || {
+            args.next()
+                .unwrap_or_else(|| panic!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--port" => port = value().parse().expect("--port takes a u16"),
+            "--hold-ms" => hold_ms = value().parse().expect("--hold-ms takes a u64"),
+            "--addr-file" => addr_file = Some(value()),
+            other => panic!("unknown flag {other} (expected --port/--hold-ms/--addr-file)"),
+        }
+    }
+
+    // 1. A small frozen artifact: random-init MF plus a sparse seen-set —
+    //    enough to demonstrate the wire without a training loop.
+    let mut rng = StdRng::seed_from_u64(17);
+    let model =
+        MatrixFactorization::new(N_USERS, N_ITEMS, 16, 0.1, &mut rng).expect("valid model config");
+    let pairs: Vec<(u32, u32)> = (0..N_USERS)
+        .flat_map(|u| (0..4u32).map(move |j| (u, (u * 37 + j * 11) % N_ITEMS)))
+        .collect();
+    let seen = Interactions::from_pairs(N_USERS, N_ITEMS, &pairs).expect("valid seen pairs");
+    let artifact = ModelArtifact::freeze(&model, &seen).expect("freezable model");
+
+    // 2. Bind the front-end. Port 0 asks the OS for an ephemeral port.
+    let server = NetServer::bind(
+        ("127.0.0.1", port),
+        QueryEngine::new(artifact),
+        NetConfig::default(),
+    )
+    .expect("loopback bind");
+    let addr = server.local_addr();
+    println!("listening on {addr}");
+    println!("  curl 'http://{addr}/topk?user=3&k=5&exclude_seen=1'");
+    println!("  curl 'http://{addr}/metrics'");
+    if let Some(path) = &addr_file {
+        // Write-then-rename so a polling reader never sees a partial line.
+        let tmp = format!("{path}.tmp");
+        std::fs::write(&tmp, addr.to_string()).expect("addr file written");
+        std::fs::rename(&tmp, path).expect("addr file renamed");
+    }
+
+    // 3. Binary protocol self-check: ping, then a top-k round trip.
+    let mut client = WireClient::connect(addr).expect("loopback connect");
+    assert_eq!(client.ping().expect("ping").status, Status::Pong);
+    let resp = client
+        .top_k(3, 5, true, ModeRequest::Default)
+        .expect("top-k over the wire");
+    assert_eq!(resp.status, Status::Ok);
+    println!(
+        "binary frame: user 3 → top-5 {:?} (generation {})",
+        resp.items, resp.generation
+    );
+
+    // 4. HTTP shim self-check: the same query and the metrics exposition
+    //    through plain GETs.
+    let body = http_get(addr, "/topk?user=3&k=5&exclude_seen=1");
+    assert!(body.contains("\"items\""), "unexpected /topk body: {body}");
+    println!("http shim:    {}", body.lines().last().unwrap_or(""));
+    let metrics = http_get(addr, "/metrics");
+    assert!(
+        metrics.contains("bns_requests_ok"),
+        "metrics missing series"
+    );
+    println!(
+        "metrics:      {} series exported",
+        metrics.lines().filter(|l| !l.starts_with('#')).count()
+    );
+
+    // 5. Hold the port open for outside clients, then shut down cleanly.
+    std::thread::sleep(Duration::from_millis(hold_ms));
+    drop(server);
+    if let Some(path) = &addr_file {
+        std::fs::remove_file(path).ok();
+    }
+    println!("shut down cleanly");
+}
+
+/// One-shot HTTP GET over a fresh connection (the shim answers a single
+/// request and closes, so `read_to_string` terminates).
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut s = TcpStream::connect(addr).expect("http connect");
+    write!(s, "GET {path} HTTP/1.1\r\nhost: example\r\n\r\n").expect("http request");
+    let mut body = String::new();
+    s.read_to_string(&mut body).expect("http response");
+    body
+}
